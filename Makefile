@@ -1,0 +1,45 @@
+# hhcw — reproduction of "Scalable Composable Workflows in
+# Hyper-Heterogeneous Computing Environments" (WORKS @ SC 2023).
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment's human-readable output.
+experiments:
+	$(GO) run ./cmd/entkrun
+	$(GO) run ./cmd/entkrun -full
+	$(GO) run ./cmd/atlasrun
+	$(GO) run ./cmd/cwsbench -waste
+	$(GO) run ./cmd/jawsrun
+	$(GO) run ./cmd/jawsrun -lint
+	$(GO) run ./cmd/llmrun
+	$(GO) run ./cmd/llmrun -agents -inject
+	$(GO) run ./cmd/llmrun -sweep -limit 2000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cws_scheduling
+	$(GO) run ./examples/exaam_uq
+	$(GO) run ./examples/transcriptomics_atlas
+	$(GO) run ./examples/llm_compose
+	$(GO) run ./examples/jaws_migration
+	$(GO) run ./examples/adaptive_uq
+
+clean:
+	$(GO) clean ./...

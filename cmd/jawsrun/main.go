@@ -1,0 +1,184 @@
+// Command jawsrun reproduces the §6 JAWS migration results: the task-fusion
+// case (≈70 % execution-time cut, ≈71 % fewer shards), the call-caching
+// benefit, and the fair-share anti-pattern on a shared engine. With -lint it
+// also runs the migration linter over a deliberately bad legacy workflow.
+//
+// Usage:
+//
+//	jawsrun [-lint]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/jaws"
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+// legacyWDL is the §6.1 shape: four overhead-dominated scattered tasks.
+const legacyWDL = `
+workflow legacy-annotation
+container docker://jgi/annotate@sha256:0ddba11
+task setup dur=60s overhead=30s
+task s1 dur=25s overhead=400s after=setup scatter=24
+task s2 dur=25s overhead=400s after=s1 scatter=24
+task s3 dur=25s overhead=400s after=s2 scatter=24
+task s4 dur=25s overhead=400s after=s3 scatter=24
+task final dur=60s overhead=30s after=s4
+`
+
+const badWDL = `
+workflow adhoc-port
+task everything dur=10h overhead=2m
+task spray dur=4m overhead=20m after=everything scatter=250 container=docker://lab/tool:latest
+`
+
+// runStats demonstrates §6.1's organization-wide performance-metrics
+// collection: several users submit through one central service; the service
+// aggregates per-user shard counts, cache hits, and task time.
+func runStats() {
+	eng := sim.NewEngine()
+	svc := jaws.NewService(eng)
+	cl, _ := newSite(eng)
+	svc.AddSite("perlmutter", cl)
+	def, err := jaws.Parse(legacyWDL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jawsrun:", err)
+		os.Exit(1)
+	}
+	fused, _ := jaws.Fuse(def, []string{"s1", "s2", "s3", "s4"})
+	for _, sub := range []struct {
+		user string
+		def  *jaws.WorkflowDef
+	}{
+		{"dcassol", fused}, {"dcassol", fused}, // second run hits the call cache
+		{"jfroula", def},
+		{"ekirton", fused},
+	} {
+		if _, err := svc.Submit(sub.def, sub.user, "perlmutter", nil); err != nil {
+			fmt.Fprintln(os.Stderr, "jawsrun:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("== §6.1: organization-wide metrics from the central service ==")
+	fmt.Printf("%-10s %6s %8s %10s %12s %8s\n", "user", "runs", "shards", "cache hits", "task-sec", "fs ops")
+	for _, u := range svc.Stats() {
+		fmt.Printf("%-10s %6d %8d %10d %12.0f %8d\n",
+			u.User, u.Submissions, u.Shards, u.CacheHits, u.TaskSeconds, u.FsOps)
+	}
+}
+
+func newSite(eng *sim.Engine) (*cluster.Cluster, *storage.Store) {
+	cl := cluster.New(eng, "perlmutter", cluster.Spec{
+		Type:  cluster.NodeType{Name: "cpu", Cores: 16, MemBytes: 256e9},
+		Count: 4,
+	})
+	return cl, storage.NewStore("scratch", 0, 0, 0)
+}
+
+func main() {
+	lint := flag.Bool("lint", false, "lint a legacy workflow against §6 anti-patterns")
+	stats := flag.Bool("stats", false, "run several users through the central service and print org-wide metrics")
+	flag.Parse()
+
+	if *stats {
+		runStats()
+		return
+	}
+
+	if *lint {
+		def, err := jaws.Parse(badWDL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jawsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Println("== migration linter (§6 patterns and anti-patterns) ==")
+		for _, f := range jaws.Lint(def) {
+			fmt.Println(" ", f)
+		}
+		return
+	}
+
+	def, err := jaws.Parse(legacyWDL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jawsrun:", err)
+		os.Exit(1)
+	}
+	fused, err := jaws.Fuse(def, []string{"s1", "s2", "s3", "s4"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jawsrun:", err)
+		os.Exit(1)
+	}
+
+	run := func(d *jaws.WorkflowDef) *jaws.RunReport {
+		eng := sim.NewEngine()
+		cl, store := newSite(eng)
+		e := jaws.NewEngine(cl, store)
+		rep, err := e.Run(d, "jgi")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jawsrun:", err)
+			os.Exit(1)
+		}
+		return rep
+	}
+	orig := run(def)
+	opt := run(fused)
+
+	fmt.Println("== §6.1 claim: task fusion (4 tasks → 1) ==")
+	fmt.Printf("%-12s %10s %10s %12s %10s\n", "", "makespan", "shards", "task-sec", "fs ops")
+	fmt.Printf("%-12s %9.0fs %10d %11.0fs %10d\n", "original", float64(orig.Makespan), orig.ShardsExecuted, orig.TaskSeconds, orig.FilesystemOps)
+	fmt.Printf("%-12s %9.0fs %10d %11.0fs %10d\n", "fused", float64(opt.Makespan), opt.ShardsExecuted, opt.TaskSeconds, opt.FilesystemOps)
+	fmt.Printf("execution-time reduction: %.0f%%  (paper: 70%%)\n", (1-opt.TaskSeconds/orig.TaskSeconds)*100)
+	fmt.Printf("shard reduction:          %.0f%%  (paper: 71%%)\n",
+		(1-float64(opt.ShardsExecuted)/float64(orig.ShardsExecuted))*100)
+
+	// Call caching: rerun after an input-preserving resubmission.
+	eng := sim.NewEngine()
+	cl, store := newSite(eng)
+	e := jaws.NewEngine(cl, store)
+	e.CallCaching = true
+	first, _ := e.Run(fused, "jgi")
+	second, _ := e.Run(fused, "jgi")
+	fmt.Println("\n== call caching (rerun of an identical workflow) ==")
+	fmt.Printf("first run : %.0fs, %d shards executed\n", float64(first.Makespan), first.ShardsExecuted)
+	fmt.Printf("second run: %.0fs, %d shards executed, %d cache hits\n",
+		float64(second.Makespan), second.ShardsExecuted, second.CacheHits)
+
+	// Fair share: a flood user vs a small user on one shared engine.
+	fmt.Println("\n== §6.2 claim: fair share on a shared Cromwell-like engine ==")
+	flood, _ := jaws.Parse("workflow flood\ntask f dur=300s overhead=0s scatter=64")
+	small, _ := jaws.Parse("workflow small\ntask q dur=60s overhead=0s")
+	for _, cap := range []int{0, 8} {
+		eng := sim.NewEngine()
+		cl := cluster.New(eng, "shared", cluster.Spec{
+			Type:  cluster.NodeType{Name: "n", Cores: 4, MemBytes: 64e9},
+			Count: 2,
+		})
+		e := jaws.NewEngine(cl, storage.NewStore("s", 0, 0, 0))
+		e.MaxConcurrentPerUser = cap
+		fr, fd, err := e.Start(flood, "hog")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jawsrun:", err)
+			os.Exit(1)
+		}
+		sr, sd, err := e.Start(small, "alice")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jawsrun:", err)
+			os.Exit(1)
+		}
+		eng.Run()
+		if !*fd || !*sd {
+			fmt.Fprintln(os.Stderr, "jawsrun: workflows stalled")
+			os.Exit(1)
+		}
+		label := "no per-user cap (anti-pattern)"
+		if cap > 0 {
+			label = fmt.Sprintf("per-user cap = %d", cap)
+		}
+		fmt.Printf("%-32s hog %6.0fs, alice %6.0fs\n", label, float64(fr.Makespan), float64(sr.Makespan))
+	}
+}

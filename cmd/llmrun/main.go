@@ -1,0 +1,129 @@
+// Command llmrun reproduces the §2 experiments: the function-calling
+// prototype composing and executing Phyloflow (Fig 1's agents when -agents
+// is set), the prototype's unrecoverable-failure limitation (-inject), and
+// the token-limit breakdown versus workflow depth (-sweep).
+//
+// Usage:
+//
+//	llmrun [-agents] [-inject] [-sweep] [-limit 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hhcw/internal/futures"
+	"hhcw/internal/llmwf"
+	"hhcw/internal/sim"
+)
+
+const goal = "run the phylogenetic analysis on patient-007.vcf"
+
+func main() {
+	agents := flag.Bool("agents", false, "use the §2.2 planner/executor/debugger engine")
+	inject := flag.Bool("inject", false, "inject a wrong function call every 2nd model turn")
+	sweep := flag.Bool("sweep", false, "sweep workflow depth against the token limit")
+	limit := flag.Int("limit", 4096, "model context limit in tokens (0 = unlimited)")
+	flag.Parse()
+
+	if *sweep {
+		sweepDepth(*limit)
+		return
+	}
+
+	eng := sim.NewEngine()
+	exec := futures.NewExecutor(eng)
+	specs := llmwf.RegisterPhyloflow(exec, "")
+	llm := llmwf.NewMockLLM(llmwf.PhyloflowTemplate)
+	if *inject {
+		llm.WrongCallEvery = 2
+	}
+
+	if *agents {
+		e := &llmwf.AgentEngine{
+			Eng: eng, Exec: exec, LLM: llm, Specs: specs,
+			TokenLimit: *limit, MaxDebugAttempts: 2,
+			Human: func(is llmwf.Issue) bool {
+				fmt.Printf("  [human] consulted about step %d: %s → retry\n", is.Step, is.Problem)
+				return true
+			},
+		}
+		rep, err := e.Execute(goal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llmrun:", err)
+			os.Exit(1)
+		}
+		fmt.Println("== §2.2 agent engine (planner + executor + debugger) ==")
+		fmt.Printf("steps executed : %d (%v)\n", rep.Steps, rep.FutureIDs)
+		fmt.Printf("debugger       : invoked %d×, recovered %d×, human %d×\n",
+			rep.DebuggerInvoked, rep.Recovered, rep.HumanEscalations)
+		fmt.Printf("API requests   : %d (%d tokens total, peak %d)\n",
+			rep.Requests, rep.SentTokens, rep.PeakRequestTokens)
+		fmt.Printf("virtual runtime: %.0f s\n", rep.MakespanSec)
+		return
+	}
+
+	stats, err := llmwf.RunFunctionCalling(eng, exec, llm, specs, goal, *limit)
+	fmt.Println("== §2.1 function-calling prototype ==")
+	fmt.Printf("steps executed : %d (%v)\n", stats.Steps, stats.FutureIDs)
+	fmt.Printf("API requests   : %d (%d tokens total, peak %d)\n",
+		stats.Requests, stats.SentTokens, stats.PeakRequestTokens)
+	fmt.Printf("virtual runtime: %.0f s\n", stats.MakespanSec)
+	if err != nil {
+		fmt.Printf("limitation hit : %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// sweepDepth shows the §2.1 token-limit limitation — chains deeper than the
+// context allows cannot be composed by the flat function-calling scheme —
+// and the hierarchical decomposition that fixes it (window of 4 steps per
+// sub-conversation).
+func sweepDepth(limit int) {
+	fmt.Printf("== token-limit sweep (context limit %d tokens) ==\n", limit)
+	fmt.Printf("%6s | %10s %12s %12s | %10s %12s %12s\n",
+		"depth", "flat reqs", "flat peak", "flat", "hier reqs", "hier peak", "hierarchical")
+	for depth := 2; depth <= 64; depth *= 2 {
+		setup := func() (*sim.Engine, *futures.Executor, llmwf.WorkflowTemplate, func([]string) []llmwf.FunctionSpec) {
+			eng := sim.NewEngine()
+			exec := futures.NewExecutor(eng)
+			all := map[string][]llmwf.FunctionSpec{}
+			steps := make([]string, depth)
+			for i := range steps {
+				name := fmt.Sprintf("step%02d", i)
+				steps[i] = name
+				exec.RegisterApp(futures.App{Name: name, DurationSec: 10, Outputs: []string{name + ".out"}})
+				all[name] = llmwf.AdaptersForApp(name, "pipeline step")
+			}
+			tpl := llmwf.WorkflowTemplate{Name: "deep", Goal: "deep", Steps: steps}
+			return eng, exec, tpl, func(sub []string) []llmwf.FunctionSpec {
+				var out []llmwf.FunctionSpec
+				for _, s := range sub {
+					out = append(out, all[s]...)
+				}
+				return out
+			}
+		}
+
+		engF, execF, tplF, specsForF := setup()
+		flat, errF := llmwf.RunFunctionCalling(engF, execF, llmwf.NewMockLLM(tplF),
+			specsForF(tplF.Steps), "run the deep pipeline on data.bin", limit)
+		flatRes := "ok"
+		if errF != nil {
+			flatRes = "TOKEN LIMIT"
+		}
+
+		engH, execH, tplH, specsForH := setup()
+		hier, errH := llmwf.RunHierarchical(engH, execH, tplH, specsForH,
+			func(sub llmwf.WorkflowTemplate) llmwf.LLM { return llmwf.NewMockLLM(sub) },
+			"run the deep pipeline on data.bin", limit, 4)
+		hierRes := "ok"
+		if errH != nil {
+			hierRes = "TOKEN LIMIT"
+		}
+		fmt.Printf("%6d | %10d %12d %12s | %10d %12d %12s\n",
+			depth, flat.Requests, flat.PeakRequestTokens, flatRes,
+			hier.Requests, hier.PeakRequestTokens, hierRes)
+	}
+}

@@ -1,0 +1,17 @@
+// Package hhcw reproduces "Novel Approaches Toward Scalable Composable
+// Workflows in Hyper-Heterogeneous Computing Environments" (WORKS @ SC 2023,
+// DOI 10.1145/3624062.3626283) as a self-contained Go library.
+//
+// The repository builds every system the paper describes over a
+// deterministic discrete-event simulation: LLM-driven workflow composition
+// (§2, internal/llmwf + internal/futures), the Common Workflow Scheduler
+// Interface (§3, internal/cwsi over internal/rm), RADICAL-EnTK-style
+// ensemble execution on a simulated Frontier (§4, internal/entk +
+// internal/pilot + internal/exaam), the Transcriptomics Atlas cloud-vs-HPC
+// pipeline (§5, internal/atlas + internal/cloud), and JAWS-style workflow
+// migration (§6, internal/jaws). internal/core ties them together with a
+// composable workflow API that runs unchanged across environments.
+//
+// The benchmarks in this package regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for paper-vs-measured values.
+package hhcw

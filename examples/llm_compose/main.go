@@ -1,0 +1,57 @@
+// llm_compose: the §2 demonstration — a natural-language instruction is
+// turned into a running Phyloflow workflow through function calling, first
+// with the fragile §2.1 prototype, then with the §2.2 agent engine that
+// survives an injected wrong function call.
+package main
+
+import (
+	"fmt"
+
+	"hhcw/internal/futures"
+	"hhcw/internal/llmwf"
+	"hhcw/internal/sim"
+)
+
+const instruction = "run the phylogenetic analysis on cohort-melanoma.vcf"
+
+func main() {
+	fmt.Printf("instruction: %q\n\n", instruction)
+
+	// §2.1 prototype, clean model: works.
+	eng := sim.NewEngine()
+	exec := futures.NewExecutor(eng)
+	specs := llmwf.RegisterPhyloflow(exec, "")
+	llm := llmwf.NewMockLLM(llmwf.PhyloflowTemplate)
+	stats, err := llmwf.RunFunctionCalling(eng, exec, llm, specs, instruction, 8192)
+	fmt.Printf("prototype, clean model : %d steps in %.0f virtual s (err=%v)\n",
+		stats.Steps, stats.MakespanSec, err)
+
+	// §2.1 prototype, flaky model: unrecoverable.
+	eng2 := sim.NewEngine()
+	exec2 := futures.NewExecutor(eng2)
+	specs2 := llmwf.RegisterPhyloflow(exec2, "")
+	flaky := llmwf.NewMockLLM(llmwf.PhyloflowTemplate)
+	flaky.WrongCallEvery = 2
+	_, err = llmwf.RunFunctionCalling(eng2, exec2, flaky, specs2, instruction, 8192)
+	fmt.Printf("prototype, flaky model : %v\n", err)
+
+	// §2.2 agent engine, same flaky model: the debugger recovers.
+	eng3 := sim.NewEngine()
+	exec3 := futures.NewExecutor(eng3)
+	specs3 := llmwf.RegisterPhyloflow(exec3, "")
+	flaky3 := llmwf.NewMockLLM(llmwf.PhyloflowTemplate)
+	flaky3.WrongCallEvery = 2
+	agent := &llmwf.AgentEngine{
+		Eng: eng3, Exec: exec3, LLM: flaky3, Specs: specs3,
+		TokenLimit: 8192, MaxDebugAttempts: 2,
+	}
+	rep, err := agent.Execute(instruction)
+	if err != nil {
+		fmt.Printf("agent engine           : %v\n", err)
+		return
+	}
+	fmt.Printf("agent engine, same flaky model: %d steps, debugger recovered %d wrong calls\n",
+		rep.Steps, rep.Recovered)
+	fmt.Printf("token cost             : prototype %d vs agents %d (validation costs requests)\n",
+		stats.SentTokens, rep.SentTokens)
+}

@@ -1,0 +1,48 @@
+// transcriptomics_atlas: the §5 pipeline — a batch of SRA runs processed by
+// the Salmon pipeline on an auto-scaled cloud fleet and on an HPC cluster
+// with containerized workers, with the per-step comparison the paper's
+// Table 2 makes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hhcw/internal/atlas"
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func main() {
+	rng := randx.New(2024)
+	catalog := atlas.GenerateCatalog(rng.Fork(), 40)
+
+	cloudRep, err := atlas.RunCloud(sim.NewEngine(), rng.Fork(), catalog, 6, cloud.T3Medium)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hpcEng := sim.NewEngine()
+	ares := cluster.New(hpcEng, "ares", cluster.Spec{
+		Type:  cluster.NodeType{Name: "ares", Cores: 48, MemBytes: 192e9},
+		Count: 2,
+	})
+	hpcRep, err := atlas.RunHPC(hpcEng, rng.Fork(), catalog, ares, 6, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processed %d SRA runs\n\n", len(catalog))
+	fmt.Printf("%-14s %14s %14s\n", "step", "cloud mean", "HPC mean")
+	for _, row := range atlas.Compare(cloudRep, hpcRep) {
+		fmt.Printf("%-14s %14s %14s\n", row.Step,
+			metrics.HumanSeconds(row.CloudMean), metrics.HumanSeconds(row.HPCMean))
+	}
+	fmt.Printf("\ncloud: %s end-to-end, $%.2f instance cost\n",
+		metrics.HumanSeconds(cloudRep.Makespan), cloudRep.CostUSD)
+	fmt.Printf("HPC:   %s end-to-end, %.0f%% job efficiency\n",
+		metrics.HumanSeconds(hpcRep.Makespan), hpcRep.Efficiency*100)
+}

@@ -1,0 +1,3 @@
+module hhcw
+
+go 1.22

@@ -1,0 +1,79 @@
+package atlas
+
+import (
+	"fmt"
+	"sort"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/storage"
+)
+
+// Atlas assembly — the project's stated goal: "create a database of analyzed
+// RNA sequences corresponding to given tissue and organ types based on the
+// data from public repositories and make it available for researchers"
+// (§5). Runs are labelled with tissues; after the per-run pipelines finish,
+// per-tissue aggregation merges their quantifications into atlas entries.
+
+// Tissues are the organ/tissue labels of the 20-tissue atlas (§5.1 sizes the
+// full corpus at 8.6 TB across 20 human tissues).
+var Tissues = []string{
+	"adipose", "adrenal", "blood", "brain", "breast", "colon", "heart",
+	"kidney", "liver", "lung", "lymph", "muscle", "ovary", "pancreas",
+	"prostate", "skin", "spleen", "stomach", "testis", "thyroid",
+}
+
+// GenerateTissueCatalog labels a synthetic catalog with tissues drawn
+// zipf-style (some tissues are studied far more than others, as in the SRA).
+func GenerateTissueCatalog(rng *randx.Source, n int, tissues []string) []SRARun {
+	if len(tissues) == 0 {
+		tissues = Tissues
+	}
+	z := randx.NewZipf(len(tissues), 0.8)
+	runs := GenerateCatalog(rng, n)
+	for i := range runs {
+		runs[i].Tissue = tissues[z.Sample(rng)-1]
+	}
+	return runs
+}
+
+// AtlasEntry is one tissue's aggregated database record.
+type AtlasEntry struct {
+	Tissue     string
+	Runs       int
+	InputBytes float64
+	EntryBytes float64 // size of the merged quantification matrix
+}
+
+// AssembleAtlas merges per-run quantifications (as uploaded by the cloud
+// pipeline to the store with names "<acc>.quant.tar") into per-tissue atlas
+// entries, writing "atlas/<tissue>.matrix" files. Runs without results in
+// the store are skipped and reported.
+func AssembleAtlas(store *storage.Store, catalog []SRARun) ([]AtlasEntry, int, error) {
+	byTissue := map[string]*AtlasEntry{}
+	missing := 0
+	for _, run := range catalog {
+		if run.Tissue == "" {
+			return nil, 0, fmt.Errorf("atlas: run %s has no tissue label", run.Accession)
+		}
+		f, _, ok := store.Get(run.Accession + ".quant.tar")
+		if !ok {
+			missing++
+			continue
+		}
+		e := byTissue[run.Tissue]
+		if e == nil {
+			e = &AtlasEntry{Tissue: run.Tissue}
+			byTissue[run.Tissue] = e
+		}
+		e.Runs++
+		e.InputBytes += run.Bytes
+		e.EntryBytes += f.Bytes * 0.1 // merged matrix compresses well
+	}
+	out := make([]AtlasEntry, 0, len(byTissue))
+	for _, e := range byTissue {
+		store.Put(storage.File{Name: "atlas/" + e.Tissue + ".matrix", Bytes: e.EntryBytes})
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tissue < out[j].Tissue })
+	return out, missing, nil
+}

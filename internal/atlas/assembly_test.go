@@ -1,0 +1,102 @@
+package atlas
+
+import (
+	"strings"
+	"testing"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/storage"
+)
+
+func TestGenerateTissueCatalog(t *testing.T) {
+	rng := randx.New(3)
+	cat := GenerateTissueCatalog(rng, 200, nil)
+	counts := map[string]int{}
+	for _, r := range cat {
+		if r.Tissue == "" {
+			t.Fatal("unlabelled run")
+		}
+		counts[r.Tissue]++
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d tissues drawn from 20", len(counts))
+	}
+	// Zipf skew: the most common tissue should dominate the rarest.
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("tissue distribution not skewed: max=%d min=%d", max, min)
+	}
+}
+
+func TestAssembleAtlasEndToEnd(t *testing.T) {
+	// Run the cloud pipeline, then build the atlas from its S3 outputs.
+	rng := randx.New(6)
+	cat := GenerateTissueCatalog(rng.Fork(), 40, []string{"liver", "lung", "brain"})
+
+	// RunCloud writes <acc>.quant.tar into its own env store; recreate the
+	// flow manually with a shared store for the assembly step.
+	store := storage.NewStore("s3", 0, 0, 0)
+	for _, run := range cat {
+		store.Put(storage.File{Name: run.Accession + ".quant.tar", Bytes: run.Bytes * 0.02})
+	}
+	entries, missing, err := AssembleAtlas(store, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 0 {
+		t.Fatalf("missing = %d", missing)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3 tissues", len(entries))
+	}
+	total := 0
+	for _, e := range entries {
+		total += e.Runs
+		if e.EntryBytes <= 0 {
+			t.Fatalf("empty entry for %s", e.Tissue)
+		}
+		if !store.Has("atlas/" + e.Tissue + ".matrix") {
+			t.Fatalf("matrix for %s not written", e.Tissue)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("entries cover %d runs, want 40", total)
+	}
+	// Sorted by tissue.
+	for i := 1; i < len(entries); i++ {
+		if strings.Compare(entries[i-1].Tissue, entries[i].Tissue) >= 0 {
+			t.Fatal("entries not sorted")
+		}
+	}
+}
+
+func TestAssembleAtlasMissingResults(t *testing.T) {
+	cat := []SRARun{
+		{Accession: "SRR1", Bytes: 1e9, Tissue: "liver"},
+		{Accession: "SRR2", Bytes: 1e9, Tissue: "liver"},
+	}
+	store := storage.NewStore("s3", 0, 0, 0)
+	store.Put(storage.File{Name: "SRR1.quant.tar", Bytes: 2e7})
+	entries, missing, err := AssembleAtlas(store, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 1 || len(entries) != 1 || entries[0].Runs != 1 {
+		t.Fatalf("entries=%v missing=%d", entries, missing)
+	}
+}
+
+func TestAssembleAtlasUnlabelled(t *testing.T) {
+	store := storage.NewStore("s3", 0, 0, 0)
+	if _, _, err := AssembleAtlas(store, []SRARun{{Accession: "X", Bytes: 1}}); err == nil {
+		t.Fatal("unlabelled run accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package atlas
+
+import (
+	"math"
+	"testing"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func TestGenerateCatalog(t *testing.T) {
+	rng := randx.New(1)
+	cat := GenerateCatalog(rng, 99)
+	if len(cat) != 99 {
+		t.Fatalf("catalog = %d", len(cat))
+	}
+	seen := map[string]bool{}
+	sum := 0.0
+	for _, r := range cat {
+		if seen[r.Accession] {
+			t.Fatalf("duplicate accession %s", r.Accession)
+		}
+		seen[r.Accession] = true
+		if r.Bytes <= 0 {
+			t.Fatalf("non-positive size for %s", r.Accession)
+		}
+		sum += r.Bytes
+	}
+	mean := sum / 99
+	if mean < MeanSRABytes/2 || mean > MeanSRABytes*2 {
+		t.Fatalf("catalog mean size %v far from %v", mean, MeanSRABytes)
+	}
+}
+
+func TestStepStringAndOrder(t *testing.T) {
+	want := []string{"prefetch", "fasterq-dump", "salmon", "deseq2"}
+	for i, s := range Steps() {
+		if s.String() != want[i] {
+			t.Fatalf("step %d = %q, want %q", i, s, want[i])
+		}
+	}
+}
+
+func TestSampleStepScalesWithSize(t *testing.T) {
+	big := SRARun{Accession: "b", Bytes: MeanSRABytes * 8}
+	small := SRARun{Accession: "s", Bytes: MeanSRABytes / 8}
+	sumBig, sumSmall := 0.0, 0.0
+	rng := randx.New(2)
+	for i := 0; i < 200; i++ {
+		sumBig += SampleStep(rng, Cloud, Salmon, big, 1).DurationSec
+		sumSmall += SampleStep(rng, Cloud, Salmon, small, 1).DurationSec
+	}
+	if sumBig <= sumSmall*10 {
+		t.Fatalf("salmon time not size-scaled: big=%v small=%v", sumBig, sumSmall)
+	}
+}
+
+func TestSampleStepBounds(t *testing.T) {
+	rng := randx.New(3)
+	run := SRARun{Accession: "x", Bytes: MeanSRABytes}
+	for i := 0; i < 500; i++ {
+		for _, s := range Steps() {
+			ex := SampleStep(rng, HPC, s, run, 1)
+			if ex.DurationSec < 1 {
+				t.Fatalf("duration below floor: %v", ex.DurationSec)
+			}
+			if ex.Sample.CPUPct < 0 || ex.Sample.CPUPct > 100 {
+				t.Fatalf("CPU%% out of range: %v", ex.Sample.CPUPct)
+			}
+			if ex.Sample.IOWaitPct < 0 || ex.Sample.IOWaitPct > 100 {
+				t.Fatalf("iowait out of range: %v", ex.Sample.IOWaitPct)
+			}
+			if ex.Sample.RSSBytes <= 0 {
+				t.Fatalf("RSS non-positive")
+			}
+		}
+	}
+}
+
+func TestPrefetchAsymmetry(t *testing.T) {
+	// Table 2's strongest signal: prefetch is much slower on HPC (public
+	// Internet) than on AWS (S3-internal).
+	rng := randx.New(4)
+	run := SRARun{Accession: "x", Bytes: MeanSRABytes}
+	var c, h float64
+	for i := 0; i < 300; i++ {
+		c += SampleStep(rng, Cloud, Prefetch, run, 1).DurationSec
+		h += SampleStep(rng, HPC, Prefetch, run, 1).DurationSec
+	}
+	if h < 2*c {
+		t.Fatalf("prefetch HPC/cloud ratio = %v, want >2", h/c)
+	}
+}
+
+func TestRunCloud99Files(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := randx.New(7)
+	cat := GenerateCatalog(rng.Fork(), 99)
+	rep, err := RunCloud(eng, rng, cat, 8, cloud.T3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 99 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	// ~2.7 h in the paper; accept 1.5–5 h for the calibrated sim.
+	if rep.Makespan < 1.5*3600 || rep.Makespan > 5*3600 {
+		t.Fatalf("cloud makespan = %v h, want ~2.7 h", rep.Makespan/3600)
+	}
+	// Salmon is the most resource-consuming step.
+	if rep.StepStats[Salmon].Dur.Mean() <= rep.StepStats[Prefetch].Dur.Mean() {
+		t.Fatal("salmon should dominate prefetch")
+	}
+	if rep.StepStats[Salmon].Proc.CPU.Mean() < 85 {
+		t.Fatalf("salmon CPU mean = %v, want ~94", rep.StepStats[Salmon].Proc.CPU.Mean())
+	}
+	// No step exceeded 4 GB RSS (the c6a.large suggestion's premise).
+	for _, s := range Steps() {
+		if rep.StepStats[s].Proc.RSS.Max() > 4e9 {
+			t.Fatalf("%s RSS max %v exceeds 4GB", s, rep.StepStats[s].Proc.RSS.Max())
+		}
+	}
+	if rep.CostUSD <= 0 {
+		t.Fatal("cost not accounted")
+	}
+}
+
+func TestRunHPC99Files(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := randx.New(7)
+	cat := GenerateCatalog(rng.Fork(), 99)
+	cl := cluster.New(eng, "ares", cluster.Spec{
+		Type:  cluster.NodeType{Name: "ares", Cores: 48, MemBytes: 192e9},
+		Count: 2,
+	})
+	rep, err := RunHPC(eng, rng, cat, cl, 8, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan < 1.5*3600 || rep.Makespan > 5*3600 {
+		t.Fatalf("HPC makespan = %v h, want ~2.5 h", rep.Makespan/3600)
+	}
+	// "The reported job efficiency for the experiment was about 72%."
+	if rep.Efficiency < 0.55 || rep.Efficiency > 0.92 {
+		t.Fatalf("efficiency = %v, want ~0.72", rep.Efficiency)
+	}
+	// Allocations fully returned.
+	for _, n := range cl.Nodes() {
+		if n.FreeCores() != n.Type.Cores {
+			t.Fatal("worker allocation leaked")
+		}
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := randx.New(11)
+	cat := GenerateCatalog(rng.Fork(), 99)
+	cloudRep, err := RunCloud(eng, rng.Fork(), cat, 8, cloud.T3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sim.NewEngine()
+	cl := cluster.New(eng2, "ares", cluster.Spec{
+		Type:  cluster.NodeType{Name: "ares", Cores: 48, MemBytes: 192e9},
+		Count: 2,
+	})
+	hpcRep, err := RunHPC(eng2, rng.Fork(), cat, cl, 8, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Compare(cloudRep, hpcRep)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Table 2 directions: prefetch slower on HPC; fasterq & salmon faster;
+	// DESeq2 roughly equal.
+	if rows[Prefetch].HPCRelativeSlowdown < 0.5 {
+		t.Fatalf("prefetch slowdown = %v, want strongly positive", rows[Prefetch].HPCRelativeSlowdown)
+	}
+	if rows[FasterqDump].HPCRelativeSlowdown > -0.1 {
+		t.Fatalf("fasterq slowdown = %v, want negative (HPC faster)", rows[FasterqDump].HPCRelativeSlowdown)
+	}
+	if rows[Salmon].HPCRelativeSlowdown > -0.05 {
+		t.Fatalf("salmon slowdown = %v, want negative (HPC faster)", rows[Salmon].HPCRelativeSlowdown)
+	}
+	if math.Abs(rows[DESeq2].HPCRelativeSlowdown) > 0.15 {
+		t.Fatalf("deseq2 slowdown = %v, want ~0", rows[DESeq2].HPCRelativeSlowdown)
+	}
+}
+
+func TestRunHPCValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "c", cluster.Spec{Type: cluster.NodeType{Name: "n", Cores: 4, MemBytes: 64e9}, Count: 1})
+	if _, err := RunHPC(eng, randx.New(1), nil, cl, 0, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestReportPipelineSeconds(t *testing.T) {
+	var r Report
+	r.observe(StepExecution{Step: Prefetch, DurationSec: 30})
+	r.observe(StepExecution{Step: Salmon, DurationSec: 500})
+	if got := r.PipelineSeconds(); got != 530 {
+		t.Fatalf("PipelineSeconds = %v", got)
+	}
+}
+
+func TestEnvAndStepStrings(t *testing.T) {
+	if Cloud.String() != "cloud" || HPC.String() != "hpc" {
+		t.Fatal("environment strings")
+	}
+	if Step(99).String() != "step99" {
+		t.Fatal("unknown step string")
+	}
+}

@@ -1,0 +1,189 @@
+package atlas
+
+import (
+	"fmt"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+// RunCloud executes the catalog on the §5 cloud architecture (Fig 7): SRR
+// accessions on an SQS-like queue, an auto-scaled fleet of EC2 instances,
+// each processing one file start-to-finish and uploading results to S3.
+func RunCloud(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInstances int, itype cloud.InstanceType) (*Report, error) {
+	env := cloud.NewEnv(eng)
+	byAcc := map[string]SRARun{}
+	for _, run := range catalog {
+		byAcc[run.Accession] = run
+		env.Queue.Send(run.Accession)
+	}
+	rep := &Report{Env: Cloud, Files: len(catalog), Outputs: env.S3}
+	start := eng.Now()
+
+	busyCPUSec := 0.0
+	worker := func(inst *cloud.Instance, done func()) {
+		var next func()
+		next = func() {
+			acc, ok := env.Queue.Receive()
+			if !ok {
+				done()
+				return
+			}
+			run := byAcc[acc]
+			steps := Steps()
+			var runStep func(i int)
+			runStep = func(i int) {
+				if i == len(steps) {
+					// Upload results + metadata to S3; intermediates
+					// (.fastq) are discarded (§5.1).
+					env.S3.Put(storage.File{Name: acc + ".quant.tar", Bytes: run.Bytes * 0.02})
+					env.S3.Put(storage.File{Name: acc + ".meta.json", Bytes: 4e3})
+					env.Queue.Delete()
+					next()
+					return
+				}
+				ex := SampleStep(rng, Cloud, steps[i], run, inst.Type.SpeedFactor)
+				eng.After(sim.Time(ex.DurationSec), func() {
+					rep.observe(ex)
+					busyCPUSec += ex.DurationSec * ex.Sample.CPUPct / 100
+					runStep(i + 1)
+				})
+			}
+			runStep(0)
+		}
+		next()
+	}
+	_, err := cloud.NewASG(env, cloud.ASGConfig{
+		Type:   itype,
+		Max:    maxInstances,
+		Worker: worker,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	rep.Makespan = float64(eng.Now() - start)
+	rep.CostUSD = env.TotalCost(eng.Now())
+
+	allocated := 0.0
+	for _, inst := range env.Instances() {
+		allocated += inst.UptimeSec(eng.Now())
+	}
+	if allocated > 0 {
+		rep.Efficiency = busyCPUSec / allocated
+	}
+	if env.Queue.Consumed() != len(catalog) {
+		return nil, fmt.Errorf("atlas: cloud run consumed %d of %d files", env.Queue.Consumed(), len(catalog))
+	}
+	return rep, nil
+}
+
+// RunHPC executes the catalog on an HPC cluster: `workers` containerized
+// pipeline instances (2 cores / 8 GB each, the Salmon footprint §5.1 gives)
+// submitted through the task-level resource manager, pulling files from a
+// shared list. startupSec models container pull + batch queue wait.
+func RunHPC(eng *sim.Engine, rng *randx.Source, catalog []SRARun, cl *cluster.Cluster, workers int, startupSec float64) (*Report, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("atlas: workers must be positive")
+	}
+	rep := &Report{Env: HPC, Files: len(catalog)}
+	start := eng.Now()
+
+	queue := append([]SRARun(nil), catalog...)
+	busyCPUSec := 0.0
+	processed := 0
+
+	// Each worker is a long-running 2-core submission; its runtime is
+	// determined dynamically by the files it manages to pull, so we model
+	// it directly on the engine while holding the allocation.
+	placedWorkers := workers
+	for wi := 0; wi < workers; wi++ {
+		// Find a node with 2 free cores.
+		var alloc *cluster.Alloc
+		for _, n := range cl.UpNodes() {
+			if a, err := cl.Allocate(n, 2, 0, 8e9); err == nil {
+				alloc = a
+				break
+			}
+		}
+		if alloc == nil {
+			placedWorkers--
+			continue
+		}
+		a := alloc
+		speed := a.Node.Type.SpeedFactor
+		eng.After(sim.Time(startupSec), func() {
+			var next func()
+			next = func() {
+				if len(queue) == 0 {
+					cl.Release(a)
+					return
+				}
+				run := queue[0]
+				queue = queue[1:]
+				steps := Steps()
+				var runStep func(i int)
+				runStep = func(i int) {
+					if i == len(steps) {
+						processed++
+						next()
+						return
+					}
+					ex := SampleStep(rng, HPC, steps[i], run, speed)
+					eng.After(sim.Time(ex.DurationSec), func() {
+						rep.observe(ex)
+						busyCPUSec += ex.DurationSec * ex.Sample.CPUPct / 100
+						runStep(i + 1)
+					})
+				}
+				runStep(0)
+			}
+			next()
+		})
+	}
+	eng.Run()
+	rep.Makespan = float64(eng.Now() - start)
+	if processed != len(catalog) {
+		return nil, fmt.Errorf("atlas: HPC run processed %d of %d files", processed, len(catalog))
+	}
+	// Job efficiency: busy CPU over allocated CPU (workers held their
+	// allocation from t=0 to their own release; approximate with makespan,
+	// matching how SLURM's seff reports whole-job efficiency).
+	allocated := float64(placedWorkers) * rep.Makespan
+	if allocated > 0 {
+		rep.Efficiency = busyCPUSec / allocated
+	}
+	return rep, nil
+}
+
+// CompareRow is one Table 2 row: per-step cloud vs HPC means/maxes and the
+// relative difference, "calculated as an average of relative difference in
+// execution time".
+type CompareRow struct {
+	Step                Step
+	CloudMean, CloudMax float64
+	HPCMean, HPCMax     float64
+	HPCRelativeSlowdown float64 // >0: HPC slower; <0: HPC faster
+}
+
+// Compare builds Table 2 from a cloud and an HPC report.
+func Compare(cloudRep, hpcRep *Report) []CompareRow {
+	rows := make([]CompareRow, 0, int(numSteps))
+	for _, s := range Steps() {
+		c := cloudRep.StepStats[s]
+		h := hpcRep.StepStats[s]
+		row := CompareRow{
+			Step:      s,
+			CloudMean: c.Dur.Mean(), CloudMax: c.Dur.Max(),
+			HPCMean: h.Dur.Mean(), HPCMax: h.Dur.Max(),
+		}
+		if c.Dur.Mean() > 0 {
+			row.HPCRelativeSlowdown = (h.Dur.Mean() - c.Dur.Mean()) / c.Dur.Mean()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

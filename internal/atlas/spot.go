@@ -1,0 +1,122 @@
+package atlas
+
+import (
+	"fmt"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+// RunCloudSpot executes the Salmon pipeline on an interruptible spot fleet:
+// the per-SRR message model makes interruption recovery free — a reclaimed
+// worker returns its in-flight accession to the queue and a replacement
+// instance picks it up. This is the cost-optimization the Fig-7 architecture
+// enables; the report's CostUSD reflects the spot discount and the re-done
+// work.
+type SpotReport struct {
+	Report
+	Interruptions int
+	RedoneFiles   int
+	// OnDemandCostUSD is what the same instance-hours would have cost at
+	// the on-demand price.
+	OnDemandCostUSD float64
+}
+
+// RunCloudSpot runs the catalog on up to maxInstances spot instances of the
+// given config.
+func RunCloudSpot(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInstances int, cfg cloud.SpotConfig) (*SpotReport, error) {
+	if maxInstances <= 0 {
+		return nil, fmt.Errorf("atlas: maxInstances must be positive")
+	}
+	env := cloud.NewEnv(eng)
+	fleet := cloud.NewSpotFleet(env, cfg, rng.Fork())
+	byAcc := map[string]SRARun{}
+	for _, run := range catalog {
+		byAcc[run.Accession] = run
+		env.Queue.Send(run.Accession)
+	}
+	rep := &SpotReport{Report: Report{Env: Cloud, Files: len(catalog), Outputs: env.S3}}
+	start := eng.Now()
+
+	live := 0
+	var launch func()
+	launch = func() {
+		if live >= maxInstances || env.Queue.Len() == 0 {
+			return
+		}
+		live++
+		type workerState struct {
+			current     string
+			interrupted bool
+		}
+		st := &workerState{}
+		fleet.Launch(func(inst *cloud.Instance) {
+			var next func()
+			next = func() {
+				if st.interrupted {
+					return
+				}
+				acc, ok := env.Queue.Receive()
+				if !ok {
+					env.Terminate(inst)
+					live--
+					return
+				}
+				st.current = acc
+				run := byAcc[acc]
+				steps := Steps()
+				var runStep func(i int)
+				runStep = func(i int) {
+					if st.interrupted {
+						return
+					}
+					if i == len(steps) {
+						env.S3.Put(storage.File{Name: acc + ".quant.tar", Bytes: run.Bytes * 0.02})
+						env.Queue.Delete()
+						st.current = ""
+						next()
+						return
+					}
+					ex := SampleStep(rng, Cloud, steps[i], run, inst.Type.SpeedFactor)
+					eng.After(sim.Time(ex.DurationSec), func() {
+						if st.interrupted {
+							return
+						}
+						rep.observe(ex)
+						runStep(i + 1)
+					})
+				}
+				runStep(0)
+			}
+			next()
+		}, func(inst *cloud.Instance) {
+			// Interruption warning: requeue in-flight work and backfill
+			// the fleet.
+			st.interrupted = true
+			live--
+			if st.current != "" {
+				env.Queue.Return(st.current)
+				rep.RedoneFiles++
+			}
+			launch()
+		})
+	}
+	for i := 0; i < maxInstances; i++ {
+		launch()
+	}
+	eng.Run()
+	if env.Queue.Consumed() != len(catalog) {
+		return nil, fmt.Errorf("atlas: spot run consumed %d of %d", env.Queue.Consumed(), len(catalog))
+	}
+	rep.Makespan = float64(eng.Now() - start)
+	rep.CostUSD = env.TotalCost(eng.Now())
+	rep.Interruptions = fleet.Interruptions()
+	discount := cfg.DiscountFactor
+	if discount <= 0 {
+		discount = 0.3
+	}
+	rep.OnDemandCostUSD = rep.CostUSD / discount
+	return rep, nil
+}

@@ -1,0 +1,83 @@
+package atlas
+
+import (
+	"testing"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func spotCfg(rate float64) cloud.SpotConfig {
+	return cloud.SpotConfig{
+		Type:             cloud.T3Medium,
+		DiscountFactor:   0.3,
+		InterruptionRate: rate,
+	}
+}
+
+func TestSpotNoInterruptionsMatchesOnDemandShape(t *testing.T) {
+	rng := randx.New(5)
+	cat := GenerateCatalog(rng.Fork(), 30)
+	rep, err := RunCloudSpot(sim.NewEngine(), rng.Fork(), cat, 6, spotCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interruptions != 0 || rep.RedoneFiles != 0 {
+		t.Fatalf("unexpected interruptions: %+v", rep)
+	}
+	if rep.Files != 30 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	// Spot price is 30 % of on-demand.
+	if rep.OnDemandCostUSD <= rep.CostUSD*3-1e-9 {
+		t.Fatalf("cost accounting: spot %v, on-demand %v", rep.CostUSD, rep.OnDemandCostUSD)
+	}
+}
+
+func TestSpotInterruptionsRecovered(t *testing.T) {
+	rng := randx.New(9)
+	cat := GenerateCatalog(rng.Fork(), 40)
+	// Aggressive reclaim rate: ~2 interruptions/hour/instance.
+	rep, err := RunCloudSpot(sim.NewEngine(), rng.Fork(), cat, 6, spotCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interruptions == 0 {
+		t.Fatal("expected interruptions at rate 2/h")
+	}
+	// Every file still processed exactly once to completion.
+	if rep.Files != 40 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	if rep.RedoneFiles == 0 {
+		t.Fatal("expected in-flight work to be requeued")
+	}
+}
+
+func TestSpotCheaperDespiteRedoneWork(t *testing.T) {
+	rng := randx.New(13)
+	cat := GenerateCatalog(rng.Fork(), 50)
+	onDemand, err := RunCloud(sim.NewEngine(), randx.New(14), cat, 6, cloud.T3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot, err := RunCloudSpot(sim.NewEngine(), randx.New(14), cat, 6, spotCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spot.CostUSD >= onDemand.CostUSD {
+		t.Fatalf("spot cost %v not below on-demand %v despite %d interruptions",
+			spot.CostUSD, onDemand.CostUSD, spot.Interruptions)
+	}
+	// Makespan suffers a bit but stays the same order of magnitude.
+	if spot.Makespan > onDemand.Makespan*2.5 {
+		t.Fatalf("spot makespan blew up: %v vs %v", spot.Makespan, onDemand.Makespan)
+	}
+}
+
+func TestSpotValidation(t *testing.T) {
+	if _, err := RunCloudSpot(sim.NewEngine(), randx.New(1), nil, 0, spotCfg(0)); err == nil {
+		t.Fatal("zero instances accepted")
+	}
+}

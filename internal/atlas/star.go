@@ -1,0 +1,385 @@
+package atlas
+
+import (
+	"fmt"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+// §5's stated next steps, implemented here: the STAR pipeline ("the more
+// CPU- and memory-intensive STAR Pipeline"), serverless deployment ("deploy
+// Salmon Pipeline to serverless computing services"), and the hybrid split
+// ("split the workload among HPC and Cloud").
+
+// Kind selects the alignment path of Fig 6.
+type Kind int
+
+// Pipeline kinds.
+const (
+	SalmonKind Kind = iota // pseudo-alignment: 2 cores / 8 GB, 1 GB index
+	StarKind               // full alignment: needs the 90 GB whole-genome index and >250 GB RAM
+)
+
+// String returns the pipeline kind name.
+func (k Kind) String() string {
+	if k == StarKind {
+		return "star"
+	}
+	return "salmon"
+}
+
+// Resource footprints from §5.1.
+const (
+	SalmonIndexBytes = 1e9  // "the generated index on human transcriptome is about 1GB"
+	StarIndexBytes   = 90e9 // "in case of STAR the index is ... 90GB"
+	SalmonMemBytes   = 8e9  // "2 cores and 8GB of RAM"
+	StarMemBytes     = 250e9
+	SalmonCores      = 2
+	StarCores        = 16
+)
+
+// starProfile is the STAR replacement for the Salmon alignment step: more
+// CPU, much more memory (index resident), somewhat longer.
+var starProfile = profile{
+	cloudMeanSec: 900, hpcMeanSec: 760, durCV: 0.30, sizeScaled: true,
+	cpuMean: 97, cpuSD: 2, iowaitMean: 1.0, iowaitSD: 3, memMean: 260e9, memCV: 0.02,
+}
+
+// sampleStepKind is SampleStep with the alignment step swapped per kind.
+func sampleStepKind(rng *randx.Source, env Environment, step Step, run SRARun, speedFactor float64, kind Kind) StepExecution {
+	if kind == StarKind && step == Salmon {
+		p := starProfile
+		mean := p.cloudMeanSec
+		if env == HPC {
+			mean = p.hpcMeanSec
+		}
+		scale := run.Bytes / MeanSRABytes
+		if speedFactor <= 0 {
+			speedFactor = 1
+		}
+		dur := rng.LogNormalMeanCV(mean*scale, p.durCV) / speedFactor
+		if dur < 1 {
+			dur = 1
+		}
+		return StepExecution{
+			Step:        step,
+			DurationSec: dur,
+			Sample: metrics.ProcSample{
+				CPUPct:    rng.TruncNormal(p.cpuMean, p.cpuSD, 0, 100),
+				IOWaitPct: rng.TruncNormal(p.iowaitMean, p.iowaitSD, 0, 100),
+				RSSBytes:  rng.LogNormalMeanCV(p.memMean, p.memCV),
+			},
+		}
+	}
+	return SampleStep(rng, env, step, run, speedFactor)
+}
+
+// KindMem returns the per-worker memory footprint for a pipeline kind.
+func KindMem(kind Kind) float64 {
+	if kind == StarKind {
+		return StarMemBytes
+	}
+	return SalmonMemBytes
+}
+
+// KindCores returns the per-worker core request.
+func KindCores(kind Kind) int {
+	if kind == StarKind {
+		return StarCores
+	}
+	return SalmonCores
+}
+
+// KindIndexBytes returns the index that must be staged before the first
+// pipeline execution on a worker.
+func KindIndexBytes(kind Kind) float64 {
+	if kind == StarKind {
+		return StarIndexBytes
+	}
+	return SalmonIndexBytes
+}
+
+// CloudInstanceFor returns an instance family that fits the pipeline: the
+// small general-purpose one for Salmon, a memory-optimized one for STAR.
+func CloudInstanceFor(kind Kind) cloud.InstanceType {
+	if kind == StarKind {
+		return cloud.InstanceType{
+			Name: "r6a.16xlarge", VCPUs: 64, MemBytes: 512e9,
+			BootDelaySec: 90, SpeedFactor: 1.1, PricePerHour: 3.63,
+		}
+	}
+	return cloud.T3Medium
+}
+
+// RunCloudKind is RunCloud generalized over the pipeline kind, including the
+// per-instance index staging cost (download from S3 at boot).
+func RunCloudKind(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInstances int, kind Kind) (*Report, error) {
+	itype := CloudInstanceFor(kind)
+	if itype.MemBytes < KindMem(kind) {
+		return nil, fmt.Errorf("atlas: instance %s (%s RAM) cannot hold the %s footprint",
+			itype.Name, human(itype.MemBytes), kind)
+	}
+	env := cloud.NewEnv(eng)
+	byAcc := map[string]SRARun{}
+	for _, run := range catalog {
+		byAcc[run.Accession] = run
+		env.Queue.Send(run.Accession)
+	}
+	rep := &Report{Env: Cloud, Files: len(catalog), Outputs: env.S3}
+	start := eng.Now()
+	busyCPUSec := 0.0
+
+	// Index download: S3-internal, ~200 MB/s per instance.
+	indexStageSec := KindIndexBytes(kind) / 200e6
+
+	worker := func(inst *cloud.Instance, done func()) {
+		eng.After(sim.Time(indexStageSec), func() {
+			var next func()
+			next = func() {
+				acc, ok := env.Queue.Receive()
+				if !ok {
+					done()
+					return
+				}
+				run := byAcc[acc]
+				steps := Steps()
+				var runStep func(i int)
+				runStep = func(i int) {
+					if i == len(steps) {
+						env.S3.Put(storage.File{Name: acc + "." + kind.String() + ".tar", Bytes: run.Bytes * 0.02})
+						env.Queue.Delete()
+						next()
+						return
+					}
+					ex := sampleStepKind(rng, Cloud, steps[i], run, inst.Type.SpeedFactor, kind)
+					eng.After(sim.Time(ex.DurationSec), func() {
+						rep.observe(ex)
+						busyCPUSec += ex.DurationSec * ex.Sample.CPUPct / 100
+						runStep(i + 1)
+					})
+				}
+				runStep(0)
+			}
+			next()
+		})
+	}
+	if _, err := cloud.NewASG(env, cloud.ASGConfig{Type: itype, Max: maxInstances, Worker: worker}); err != nil {
+		return nil, err
+	}
+	eng.Run()
+	rep.Makespan = float64(eng.Now() - start)
+	rep.CostUSD = env.TotalCost(eng.Now())
+	allocated := 0.0
+	for _, inst := range env.Instances() {
+		allocated += inst.UptimeSec(eng.Now())
+	}
+	if allocated > 0 {
+		rep.Efficiency = busyCPUSec / allocated
+	}
+	if env.Queue.Consumed() != len(catalog) {
+		return nil, fmt.Errorf("atlas: cloud run consumed %d of %d files", env.Queue.Consumed(), len(catalog))
+	}
+	return rep, nil
+}
+
+// RunHPCKind is RunHPC generalized over the pipeline kind. STAR workers
+// require fat nodes (250 GB free memory); the index lives on SCRATCH and is
+// bind-mounted, so staging is paid once per run, not per worker (§5.1's
+// "make the index available on SCRATCH partition and mount it to each
+// container").
+func RunHPCKind(eng *sim.Engine, rng *randx.Source, catalog []SRARun, cl *cluster.Cluster, workers int, startupSec float64, kind Kind) (*Report, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("atlas: workers must be positive")
+	}
+	rep := &Report{Env: HPC, Files: len(catalog)}
+	start := eng.Now()
+	queue := append([]SRARun(nil), catalog...)
+	busyCPUSec := 0.0
+	processed := 0
+
+	// One shared index staging to SCRATCH (GPFS ~1 GB/s).
+	indexStageSec := KindIndexBytes(kind) / 1e9
+
+	placedWorkers := 0
+	for wi := 0; wi < workers; wi++ {
+		var alloc *cluster.Alloc
+		for _, n := range cl.UpNodes() {
+			if a, err := cl.Allocate(n, KindCores(kind), 0, KindMem(kind)); err == nil {
+				alloc = a
+				break
+			}
+		}
+		if alloc == nil {
+			continue
+		}
+		placedWorkers++
+		a := alloc
+		speed := a.Node.Type.SpeedFactor
+		eng.After(sim.Time(startupSec+indexStageSec), func() {
+			var next func()
+			next = func() {
+				if len(queue) == 0 {
+					cl.Release(a)
+					return
+				}
+				run := queue[0]
+				queue = queue[1:]
+				steps := Steps()
+				var runStep func(i int)
+				runStep = func(i int) {
+					if i == len(steps) {
+						processed++
+						next()
+						return
+					}
+					ex := sampleStepKind(rng, HPC, steps[i], run, speed, kind)
+					eng.After(sim.Time(ex.DurationSec), func() {
+						rep.observe(ex)
+						busyCPUSec += ex.DurationSec * ex.Sample.CPUPct / 100
+						runStep(i + 1)
+					})
+				}
+				runStep(0)
+			}
+			next()
+		})
+	}
+	if placedWorkers == 0 {
+		return nil, fmt.Errorf("atlas: no node can fit a %s worker (%d cores, %s RAM)",
+			kind, KindCores(kind), human(KindMem(kind)))
+	}
+	eng.Run()
+	rep.Makespan = float64(eng.Now() - start)
+	if processed != len(catalog) {
+		return nil, fmt.Errorf("atlas: HPC run processed %d of %d files", processed, len(catalog))
+	}
+	allocated := float64(placedWorkers) * rep.Makespan
+	if allocated > 0 {
+		rep.Efficiency = busyCPUSec / allocated
+	}
+	return rep, nil
+}
+
+// ServerlessLimits reflects Fargate-style per-container caps.
+const (
+	ServerlessMaxCores = 4
+	ServerlessMaxMem   = 30e9
+	// serverlessColdStartSec is the per-invocation container cold start.
+	serverlessColdStartSec = 25
+)
+
+// RunServerless executes the pipeline as one serverless container invocation
+// per SRA file (§5.3's Fargate suggestion). It refuses the STAR kind — its
+// footprint exceeds the platform caps, which is exactly why the paper keeps
+// STAR off serverless.
+func RunServerless(eng *sim.Engine, rng *randx.Source, catalog []SRARun, concurrency int, kind Kind) (*Report, error) {
+	if KindCores(kind) > ServerlessMaxCores || KindMem(kind) > ServerlessMaxMem {
+		return nil, fmt.Errorf("atlas: %s pipeline (%d cores, %s) exceeds serverless limits (%d cores, %s)",
+			kind, KindCores(kind), human(KindMem(kind)), ServerlessMaxCores, human(ServerlessMaxMem))
+	}
+	if concurrency <= 0 {
+		return nil, fmt.Errorf("atlas: concurrency must be positive")
+	}
+	rep := &Report{Env: Cloud, Files: len(catalog)}
+	start := eng.Now()
+	queue := append([]SRARun(nil), catalog...)
+	processed := 0
+	var invoke func()
+	invoke = func() {
+		if len(queue) == 0 {
+			return
+		}
+		run := queue[0]
+		queue = queue[1:]
+		// Cold start + index pull per invocation: the serverless tax.
+		setup := serverlessColdStartSec + KindIndexBytes(kind)/200e6
+		eng.After(sim.Time(setup), func() {
+			steps := Steps()
+			var runStep func(i int)
+			runStep = func(i int) {
+				if i == len(steps) {
+					processed++
+					invoke()
+					return
+				}
+				ex := sampleStepKind(rng, Cloud, steps[i], run, 1, kind)
+				eng.After(sim.Time(ex.DurationSec), func() {
+					rep.observe(ex)
+					runStep(i + 1)
+				})
+			}
+			runStep(0)
+		})
+	}
+	for i := 0; i < concurrency && i < len(catalog); i++ {
+		invoke()
+	}
+	eng.Run()
+	rep.Makespan = float64(eng.Now() - start)
+	if processed != len(catalog) {
+		return nil, fmt.Errorf("atlas: serverless run processed %d of %d", processed, len(catalog))
+	}
+	return rep, nil
+}
+
+// HybridReport is the outcome of a cloud+HPC split.
+type HybridReport struct {
+	Cloud, HPC  *Report
+	CloudShare  float64 // fraction of files sent to the cloud
+	MakespanSec float64 // max of the two sides
+}
+
+// RunHybrid splits the catalog between cloud and HPC proportionally to each
+// side's estimated throughput (workers / mean pipeline seconds) and runs
+// both sides, returning the combined report — §5.3's "hybrid approach where
+// we split the workload among HPC and Cloud".
+func RunHybrid(rng *randx.Source, catalog []SRARun, maxInstances int, cl *cluster.Cluster, hpcWorkers int, kind Kind) (*HybridReport, error) {
+	// Throughput estimate from the calibrated per-step means.
+	perFile := func(env Environment) float64 {
+		total := 0.0
+		for _, s := range Steps() {
+			p := profiles[s]
+			if kind == StarKind && s == Salmon {
+				p = starProfile
+			}
+			if env == Cloud {
+				total += p.cloudMeanSec
+			} else {
+				total += p.hpcMeanSec
+			}
+		}
+		return total
+	}
+	cloudRate := float64(maxInstances) / perFile(Cloud)
+	hpcRate := float64(hpcWorkers) / perFile(HPC)
+	share := cloudRate / (cloudRate + hpcRate)
+	nCloud := int(share*float64(len(catalog)) + 0.5)
+	if nCloud > len(catalog) {
+		nCloud = len(catalog)
+	}
+
+	cloudRep, err := RunCloudKind(sim.NewEngine(), rng.Fork(), catalog[:nCloud], maxInstances, kind)
+	if err != nil {
+		return nil, err
+	}
+	hpcRep, err := RunHPCKind(cl.Engine(), rng.Fork(), catalog[nCloud:], cl, hpcWorkers, 120, kind)
+	if err != nil {
+		return nil, err
+	}
+	ms := cloudRep.Makespan
+	if hpcRep.Makespan > ms {
+		ms = hpcRep.Makespan
+	}
+	return &HybridReport{
+		Cloud: cloudRep, HPC: hpcRep,
+		CloudShare:  share,
+		MakespanSec: ms,
+	}, nil
+}
+
+func human(b float64) string { return metrics.HumanBytes(b) }

@@ -1,0 +1,188 @@
+package atlas
+
+import (
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func fatCluster(eng *sim.Engine, nodes int) *cluster.Cluster {
+	return cluster.New(eng, "fat", cluster.Spec{
+		Type:  cluster.NodeType{Name: "fat", Cores: 64, MemBytes: 512e9},
+		Count: nodes,
+	})
+}
+
+func TestKindFootprints(t *testing.T) {
+	if KindMem(SalmonKind) != 8e9 || KindCores(SalmonKind) != 2 {
+		t.Fatal("salmon footprint wrong")
+	}
+	if KindMem(StarKind) != 250e9 || KindCores(StarKind) != 16 {
+		t.Fatal("star footprint wrong")
+	}
+	if KindIndexBytes(StarKind) != 90e9 || KindIndexBytes(SalmonKind) != 1e9 {
+		t.Fatal("index sizes wrong")
+	}
+	if SalmonKind.String() != "salmon" || StarKind.String() != "star" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestCloudInstanceForStarFits(t *testing.T) {
+	it := CloudInstanceFor(StarKind)
+	if it.MemBytes < StarMemBytes {
+		t.Fatalf("%s cannot hold the STAR footprint", it.Name)
+	}
+	if CloudInstanceFor(SalmonKind).Name != "t3.medium" {
+		t.Fatal("salmon should use the small instance")
+	}
+}
+
+func TestStarStepIsHeavier(t *testing.T) {
+	rng := randx.New(5)
+	run := SRARun{Accession: "x", Bytes: MeanSRABytes}
+	var star, salmon, starMem float64
+	for i := 0; i < 200; i++ {
+		s := sampleStepKind(rng, Cloud, Salmon, run, 1, StarKind)
+		star += s.DurationSec
+		starMem += s.Sample.RSSBytes
+		salmon += sampleStepKind(rng, Cloud, Salmon, run, 1, SalmonKind).DurationSec
+	}
+	if star <= salmon {
+		t.Fatalf("STAR not slower than salmon: %v vs %v", star, salmon)
+	}
+	if starMem/200 < 200e9 {
+		t.Fatalf("STAR mean RSS = %v, want ~260GB", starMem/200)
+	}
+	// Non-alignment steps are identical between kinds.
+	a := sampleStepKind(randx.New(9), HPC, Prefetch, run, 1, StarKind)
+	b := sampleStepKind(randx.New(9), HPC, Prefetch, run, 1, SalmonKind)
+	if a.DurationSec != b.DurationSec {
+		t.Fatal("prefetch should not depend on kind")
+	}
+}
+
+func TestRunCloudKindStar(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := randx.New(3)
+	cat := GenerateCatalog(rng.Fork(), 20)
+	rep, err := RunCloudKind(eng, rng, cat, 4, StarKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 20 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	// STAR on big instances costs much more than salmon on t3.medium.
+	eng2 := sim.NewEngine()
+	rng2 := randx.New(3)
+	salmonRep, err := RunCloudKind(eng2, rng2.Fork(), cat, 4, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = salmonRep
+	rep2, err := RunCloudKind(sim.NewEngine(), randx.New(4), cat, 4, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostUSD <= rep2.CostUSD {
+		t.Fatalf("STAR cost %v should exceed salmon cost %v", rep.CostUSD, rep2.CostUSD)
+	}
+}
+
+func TestRunHPCKindStarNeedsFatNodes(t *testing.T) {
+	eng := sim.NewEngine()
+	thin := cluster.New(eng, "thin", cluster.Spec{
+		Type:  cluster.NodeType{Name: "thin", Cores: 48, MemBytes: 192e9},
+		Count: 4,
+	})
+	if _, err := RunHPCKind(eng, randx.New(1), GenerateCatalog(randx.New(2), 5), thin, 2, 0, StarKind); err == nil {
+		t.Fatal("STAR on 192GB nodes should fail (needs 250GB)")
+	}
+
+	eng2 := sim.NewEngine()
+	fat := fatCluster(eng2, 2)
+	rep, err := RunHPCKind(eng2, randx.New(1), GenerateCatalog(randx.New(2), 10), fat, 2, 0, StarKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 10 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	// STAR mean alignment RSS visible in the metrics.
+	if rep.StepStats[Salmon].Proc.RSS.Mean() < 200e9 {
+		t.Fatalf("STAR RSS mean = %v", rep.StepStats[Salmon].Proc.RSS.Mean())
+	}
+}
+
+func TestRunHPCKindSalmonMatchesRunHPC(t *testing.T) {
+	// The kind-generalized runner with SalmonKind behaves like RunHPC.
+	cat := GenerateCatalog(randx.New(7), 30)
+	eng1 := sim.NewEngine()
+	cl1 := cluster.New(eng1, "a", cluster.Spec{Type: cluster.NodeType{Name: "n", Cores: 48, MemBytes: 192e9}, Count: 2})
+	r1, err := RunHPC(eng1, randx.New(9), cat, cl1, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sim.NewEngine()
+	cl2 := cluster.New(eng2, "b", cluster.Spec{Type: cluster.NodeType{Name: "n", Cores: 48, MemBytes: 192e9}, Count: 2})
+	r2, err := RunHPCKind(eng2, randx.New(9), cat, cl2, 4, 60, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seeds, same step sampling → same step means; makespans differ
+	// only by the 1 GB index staging (1 s on GPFS).
+	if d := r2.Makespan - r1.Makespan; d < 0 || d > 5 {
+		t.Fatalf("kind runner diverges: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestRunServerlessSalmonOnly(t *testing.T) {
+	cat := GenerateCatalog(randx.New(8), 25)
+	if _, err := RunServerless(sim.NewEngine(), randx.New(1), cat, 10, StarKind); err == nil {
+		t.Fatal("STAR on serverless should be rejected")
+	}
+	rep, err := RunServerless(sim.NewEngine(), randx.New(1), cat, 10, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 25 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	if _, err := RunServerless(sim.NewEngine(), randx.New(1), cat, 0, SalmonKind); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+}
+
+func TestRunHybridSplitsProportionally(t *testing.T) {
+	rng := randx.New(11)
+	cat := GenerateCatalog(rng.Fork(), 60)
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "ares", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 48, MemBytes: 192e9},
+		Count: 2,
+	})
+	rep, err := RunHybrid(rng, cat, 6, cl, 6, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cloud.Files+rep.HPC.Files != 60 {
+		t.Fatalf("split lost files: %d + %d", rep.Cloud.Files, rep.HPC.Files)
+	}
+	if rep.CloudShare <= 0.2 || rep.CloudShare >= 0.8 {
+		t.Fatalf("share = %v, want balanced for equal worker counts", rep.CloudShare)
+	}
+	if rep.MakespanSec < rep.Cloud.Makespan || rep.MakespanSec < rep.HPC.Makespan {
+		t.Fatal("hybrid makespan below a side's")
+	}
+	// The hybrid should beat either side running the whole catalog alone.
+	solo, err := RunCloudKind(sim.NewEngine(), randx.New(11), cat, 6, SalmonKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanSec >= solo.Makespan {
+		t.Fatalf("hybrid %v not faster than cloud-only %v", rep.MakespanSec, solo.Makespan)
+	}
+}

@@ -1,0 +1,87 @@
+package cloud
+
+import (
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// Spot-market instances: the cost lever real Atlas-style deployments reach
+// for once the pipeline is interruption-safe (each SRR is processed
+// independently and the SQS message model makes work requeueable, §5.1's
+// architecture is exactly the shape spot wants).
+
+// SpotConfig shapes a spot fleet.
+type SpotConfig struct {
+	Type InstanceType
+	// DiscountFactor scales the on-demand price (AWS spot averages ~0.3).
+	DiscountFactor float64
+	// InterruptionRate is the per-instance probability of interruption per
+	// hour of runtime.
+	InterruptionRate float64
+}
+
+// SpotFleet launches interruptible instances. On interruption the instance
+// terminates after a two-minute warning and the OnInterrupt callback fires
+// (workers should Return their in-flight message to the queue).
+type SpotFleet struct {
+	env *Env
+	cfg SpotConfig
+	rng *randx.Source
+
+	interruptions int
+}
+
+// NewSpotFleet creates a fleet manager.
+func NewSpotFleet(env *Env, cfg SpotConfig, rng *randx.Source) *SpotFleet {
+	if cfg.DiscountFactor <= 0 {
+		cfg.DiscountFactor = 0.3
+	}
+	return &SpotFleet{env: env, cfg: cfg, rng: rng}
+}
+
+// Interruptions returns how many instances were reclaimed.
+func (f *SpotFleet) Interruptions() int { return f.interruptions }
+
+// SpotPricePerHour returns the discounted hourly price.
+func (f *SpotFleet) SpotPricePerHour() float64 {
+	return f.cfg.Type.PricePerHour * f.cfg.DiscountFactor
+}
+
+// Launch starts a spot instance. onReady fires when it boots; onInterrupt
+// fires (at most once) two minutes before a reclaim terminates it. The
+// returned instance's price reflects the spot discount.
+func (f *SpotFleet) Launch(onReady func(*Instance), onInterrupt func(*Instance)) *Instance {
+	t := f.cfg.Type
+	t.PricePerHour = f.SpotPricePerHour()
+	var inst *Instance
+	inst = f.env.Launch(t, func(i *Instance) {
+		if onReady != nil {
+			onReady(i)
+		}
+		f.scheduleReclaim(i, onInterrupt)
+	})
+	return inst
+}
+
+// scheduleReclaim draws an exponential time-to-interruption; if it lands
+// before the instance terminates naturally, the warning and reclaim fire.
+func (f *SpotFleet) scheduleReclaim(inst *Instance, onInterrupt func(*Instance)) {
+	if f.cfg.InterruptionRate <= 0 {
+		return
+	}
+	meanSec := 3600 / f.cfg.InterruptionRate
+	delay := f.rng.Exp(meanSec)
+	f.env.Eng.After(sim.Time(delay), func() {
+		if inst.State() != Running {
+			return
+		}
+		f.interruptions++
+		if onInterrupt != nil {
+			onInterrupt(inst)
+		}
+		// Two-minute warning, then hard termination.
+		f.env.Eng.After(120, func() {
+			f.env.Terminate(inst)
+		})
+	})
+}

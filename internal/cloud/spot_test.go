@@ -1,0 +1,70 @@
+package cloud
+
+import (
+	"testing"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func TestSpotFleetPricing(t *testing.T) {
+	eng := sim.NewEngine()
+	env := NewEnv(eng)
+	f := NewSpotFleet(env, SpotConfig{Type: T3Medium, DiscountFactor: 0.25}, randx.New(1))
+	if got := f.SpotPricePerHour(); got != T3Medium.PricePerHour*0.25 {
+		t.Fatalf("spot price = %v", got)
+	}
+	// Default discount applies when unset.
+	f2 := NewSpotFleet(env, SpotConfig{Type: T3Medium}, randx.New(1))
+	if got := f2.SpotPricePerHour(); got != T3Medium.PricePerHour*0.3 {
+		t.Fatalf("default discount price = %v", got)
+	}
+}
+
+func TestSpotFleetNoRateNeverInterrupts(t *testing.T) {
+	eng := sim.NewEngine()
+	env := NewEnv(eng)
+	f := NewSpotFleet(env, SpotConfig{Type: T3Medium}, randx.New(2))
+	interrupted := false
+	inst := f.Launch(nil, func(*Instance) { interrupted = true })
+	eng.RunUntil(1e6)
+	if interrupted || f.Interruptions() != 0 {
+		t.Fatal("zero-rate fleet interrupted an instance")
+	}
+	env.Terminate(inst)
+}
+
+func TestSpotFleetInterruptsWithWarning(t *testing.T) {
+	eng := sim.NewEngine()
+	env := NewEnv(eng)
+	f := NewSpotFleet(env, SpotConfig{Type: T3Medium, InterruptionRate: 3600}, randx.New(3)) // ~1/sec
+	var warnedAt, deadAt sim.Time
+	inst := f.Launch(nil, func(i *Instance) { warnedAt = eng.Now() })
+	eng.RunUntil(1e5)
+	if f.Interruptions() != 1 {
+		t.Fatalf("interruptions = %d", f.Interruptions())
+	}
+	if inst.State() != Terminated {
+		t.Fatal("instance not reclaimed")
+	}
+	// Launched at t=0, so uptime equals the termination time.
+	deadAt = sim.Time(inst.UptimeSec(eng.Now()))
+	if float64(deadAt)-float64(warnedAt) != 120 {
+		t.Fatalf("warning lead = %v, want 120 s", float64(deadAt)-float64(warnedAt))
+	}
+}
+
+func TestSpotReclaimSkipsTerminated(t *testing.T) {
+	eng := sim.NewEngine()
+	env := NewEnv(eng)
+	f := NewSpotFleet(env, SpotConfig{Type: T3Medium, InterruptionRate: 0.001}, randx.New(4))
+	interrupted := false
+	inst := f.Launch(func(i *Instance) {
+		env.Terminate(i) // dies naturally right after boot
+	}, func(*Instance) { interrupted = true })
+	eng.Run()
+	if interrupted || f.Interruptions() != 0 {
+		t.Fatal("terminated instance was reclaimed")
+	}
+	_ = inst
+}

@@ -1,0 +1,314 @@
+// Package cluster models a heterogeneous HPC cluster: nodes with cores, GPUs
+// and memory, grouped into node types with distinct machine speed factors
+// (the heterogeneity Lotaru/Tarema exploit, §3.4), plus allocation tracking
+// and fault injection (the node failures EnTK recovers from, §4.3).
+//
+// The cluster is a passive resource ledger: resource managers (internal/rm)
+// and pilots (internal/pilot) decide placement; the cluster enforces capacity
+// invariants and records utilization.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// NodeType describes a homogeneous family of nodes.
+type NodeType struct {
+	Name     string
+	Cores    int
+	GPUs     int
+	MemBytes float64
+	// SpeedFactor scales task durations: a task's nominal duration is
+	// divided by SpeedFactor on this node type (1.0 = reference machine).
+	SpeedFactor float64
+	// IOFactor scales I/O-bound phase durations similarly.
+	IOFactor float64
+}
+
+// Node is one machine in the cluster.
+type Node struct {
+	ID   int
+	Type *NodeType
+
+	freeCores int
+	freeGPUs  int
+	freeMem   float64
+	down      bool
+}
+
+// FreeCores returns currently unallocated cores.
+func (n *Node) FreeCores() int { return n.freeCores }
+
+// FreeGPUs returns currently unallocated GPUs.
+func (n *Node) FreeGPUs() int { return n.freeGPUs }
+
+// FreeMem returns currently unallocated memory in bytes.
+func (n *Node) FreeMem() float64 { return n.freeMem }
+
+// Down reports whether the node has failed.
+func (n *Node) Down() bool { return n.down }
+
+// Name returns a stable human-readable node name.
+func (n *Node) Name() string { return fmt.Sprintf("%s-%04d", n.Type.Name, n.ID) }
+
+// Alloc is a resource reservation on a single node.
+type Alloc struct {
+	Node  *Node
+	Cores int
+	GPUs  int
+	Mem   float64
+
+	released bool
+}
+
+// Cluster is a set of nodes plus utilization accounting.
+type Cluster struct {
+	Name  string
+	nodes []*Node
+	types []*NodeType
+
+	eng *sim.Engine
+
+	totalCores int
+	totalGPUs  int
+	usedCores  *metrics.Gauge
+	usedGPUs   *metrics.Gauge
+	downNodes  *metrics.Gauge
+
+	// onNodeDown callbacks fire when a node fails, letting runtimes kill
+	// and resubmit affected work.
+	onNodeDown []func(*Node)
+}
+
+// New builds a cluster on the given engine from (type, count) specs.
+func New(eng *sim.Engine, name string, specs ...Spec) *Cluster {
+	c := &Cluster{
+		Name:      name,
+		eng:       eng,
+		usedCores: metrics.NewGauge(name + ".used_cores"),
+		usedGPUs:  metrics.NewGauge(name + ".used_gpus"),
+		downNodes: metrics.NewGauge(name + ".down_nodes"),
+	}
+	id := 0
+	for _, s := range specs {
+		nt := s.Type
+		if nt.SpeedFactor == 0 {
+			nt.SpeedFactor = 1
+		}
+		if nt.IOFactor == 0 {
+			nt.IOFactor = 1
+		}
+		tcopy := nt
+		c.types = append(c.types, &tcopy)
+		for i := 0; i < s.Count; i++ {
+			n := &Node{
+				ID:        id,
+				Type:      &tcopy,
+				freeCores: tcopy.Cores,
+				freeGPUs:  tcopy.GPUs,
+				freeMem:   tcopy.MemBytes,
+			}
+			id++
+			c.nodes = append(c.nodes, n)
+			c.totalCores += tcopy.Cores
+			c.totalGPUs += tcopy.GPUs
+		}
+	}
+	return c
+}
+
+// Spec pairs a node type with a node count for cluster construction.
+type Spec struct {
+	Type  NodeType
+	Count int
+}
+
+// Engine returns the simulation engine the cluster runs on.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Nodes returns all nodes (including down ones).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Types returns the node types in declaration order.
+func (c *Cluster) Types() []*NodeType { return c.types }
+
+// TotalCores returns the cluster-wide core count.
+func (c *Cluster) TotalCores() int { return c.totalCores }
+
+// TotalGPUs returns the cluster-wide GPU count.
+func (c *Cluster) TotalGPUs() int { return c.totalGPUs }
+
+// NodeCount returns the number of nodes.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// UpNodes returns nodes that are not down.
+func (c *Cluster) UpNodes() []*Node {
+	up := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.down {
+			up = append(up, n)
+		}
+	}
+	return up
+}
+
+// UsedCoresSeries exposes the allocated-cores trajectory for Fig-4-style
+// utilization plots.
+func (c *Cluster) UsedCoresSeries() *metrics.Gauge { return c.usedCores }
+
+// UsedGPUsSeries exposes the allocated-GPU trajectory.
+func (c *Cluster) UsedGPUsSeries() *metrics.Gauge { return c.usedGPUs }
+
+// Allocate reserves cores/GPUs/memory on node n. It returns an error when
+// the node is down or lacks capacity; partial allocation never occurs.
+func (c *Cluster) Allocate(n *Node, cores, gpus int, mem float64) (*Alloc, error) {
+	if n.down {
+		return nil, fmt.Errorf("cluster: node %s is down", n.Name())
+	}
+	if cores < 0 || gpus < 0 || mem < 0 {
+		return nil, fmt.Errorf("cluster: negative resource request (%d cores, %d gpus, %.0f mem)", cores, gpus, mem)
+	}
+	if cores > n.freeCores || gpus > n.freeGPUs || mem > n.freeMem {
+		return nil, fmt.Errorf("cluster: node %s cannot fit %d cores/%d gpus/%.0fB (free %d/%d/%.0fB)",
+			n.Name(), cores, gpus, mem, n.freeCores, n.freeGPUs, n.freeMem)
+	}
+	n.freeCores -= cores
+	n.freeGPUs -= gpus
+	n.freeMem -= mem
+	c.usedCores.AddDelta(c.eng.Now(), float64(cores))
+	c.usedGPUs.AddDelta(c.eng.Now(), float64(gpus))
+	return &Alloc{Node: n, Cores: cores, GPUs: gpus, Mem: mem}, nil
+}
+
+// Release returns an allocation's resources. Releasing twice is a no-op, so
+// failure paths can release defensively.
+func (c *Cluster) Release(a *Alloc) {
+	if a == nil || a.released {
+		return
+	}
+	a.released = true
+	a.Node.freeCores += a.Cores
+	a.Node.freeGPUs += a.GPUs
+	a.Node.freeMem += a.Mem
+	c.usedCores.AddDelta(c.eng.Now(), -float64(a.Cores))
+	c.usedGPUs.AddDelta(c.eng.Now(), -float64(a.GPUs))
+}
+
+// OnNodeDown registers a callback invoked when any node fails.
+func (c *Cluster) OnNodeDown(fn func(*Node)) { c.onNodeDown = append(c.onNodeDown, fn) }
+
+// FailNode marks a node down immediately and notifies subscribers. Resources
+// currently allocated on the node are NOT auto-released: the owning runtime
+// must release them from its failure handler (mirroring how a real RM reaps
+// jobs from a dead node).
+func (c *Cluster) FailNode(n *Node) {
+	if n.down {
+		return
+	}
+	n.down = true
+	c.downNodes.AddDelta(c.eng.Now(), 1)
+	for _, fn := range c.onNodeDown {
+		fn(n)
+	}
+}
+
+// RepairNode brings a failed node back with full capacity free.
+func (c *Cluster) RepairNode(n *Node) {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.freeCores = n.Type.Cores
+	n.freeGPUs = n.Type.GPUs
+	n.freeMem = n.Type.MemBytes
+	c.downNodes.AddDelta(c.eng.Now(), -1)
+}
+
+// Utilization returns time-averaged core utilization over [from,to] as a
+// fraction of total cores.
+func (c *Cluster) Utilization(from, to sim.Time) float64 {
+	if c.totalCores == 0 || to <= from {
+		return 0
+	}
+	return c.usedCores.Integral(from, to) / (float64(c.totalCores) * float64(to-from))
+}
+
+// GPUUtilization returns time-averaged GPU utilization over [from,to].
+func (c *Cluster) GPUUtilization(from, to sim.Time) float64 {
+	if c.totalGPUs == 0 || to <= from {
+		return 0
+	}
+	return c.usedGPUs.Integral(from, to) / (float64(c.totalGPUs) * float64(to-from))
+}
+
+// FaultInjector schedules random node failures, modeling the hardware faults
+// the paper's Frontier run hit (a single node failure killed 8 tasks, §4.3).
+type FaultInjector struct {
+	cluster *Cluster
+	rng     *randx.Source
+}
+
+// NewFaultInjector returns an injector bound to the cluster.
+func NewFaultInjector(c *Cluster, rng *randx.Source) *FaultInjector {
+	return &FaultInjector{cluster: c, rng: rng}
+}
+
+// ScheduleNodeFailures schedules exactly count distinct node failures at
+// uniform random times in (0, horizon). It returns the failed nodes in
+// failure-time order.
+func (f *FaultInjector) ScheduleNodeFailures(count int, horizon sim.Time) []*Node {
+	nodes := f.cluster.UpNodes()
+	if count > len(nodes) {
+		count = len(nodes)
+	}
+	perm := f.rng.Perm(len(nodes))
+	type plan struct {
+		at   sim.Time
+		node *Node
+	}
+	plans := make([]plan, count)
+	for i := 0; i < count; i++ {
+		plans[i] = plan{at: sim.Time(f.rng.Float64() * float64(horizon)), node: nodes[perm[i]]}
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].at < plans[j].at })
+	out := make([]*Node, count)
+	for i, p := range plans {
+		p := p
+		out[i] = p.node
+		f.cluster.eng.At(p.at, func() { f.cluster.FailNode(p.node) })
+	}
+	return out
+}
+
+// Frontier builds a Frontier-like cluster: the paper's runs used nodes with
+// 64 cores (56 usable for compute after 8 reserved for system processes) and
+// 8 GPUs. We model the usable 56 cores + 8 GPUs directly so 8000 nodes gives
+// the paper's 448,000 CPU cores and 64,000 GPUs (Fig 4 caption).
+func Frontier(eng *sim.Engine, nodes int) *Cluster {
+	return New(eng, "frontier", Spec{
+		Type: NodeType{
+			Name:        "frontier",
+			Cores:       56,
+			GPUs:        8,
+			MemBytes:    512e9,
+			SpeedFactor: 1.0,
+			IOFactor:    1.0,
+		},
+		Count: nodes,
+	})
+}
+
+// Heterogeneous builds a small heterogeneous commodity cluster like the
+// Lotaru/Tarema test-beds: three node families with distinct speed factors.
+func Heterogeneous(eng *sim.Engine, perType int) *Cluster {
+	return New(eng, "hetero",
+		Spec{Type: NodeType{Name: "a", Cores: 8, MemBytes: 32e9, SpeedFactor: 1.0, IOFactor: 1.0}, Count: perType},
+		Spec{Type: NodeType{Name: "b", Cores: 16, MemBytes: 64e9, SpeedFactor: 1.4, IOFactor: 1.2}, Count: perType},
+		Spec{Type: NodeType{Name: "c", Cores: 32, MemBytes: 128e9, SpeedFactor: 2.0, IOFactor: 1.5}, Count: perType},
+	)
+}

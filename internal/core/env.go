@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/pilot"
+	"hhcw/internal/predict"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// Result is one workflow execution on an environment.
+type Result struct {
+	Environment string
+	MakespanSec float64
+	// UtilizationCore is time-averaged core utilization during the run.
+	UtilizationCore float64
+	TasksRun        int
+	// Provenance is the CWS store when the environment is CWSI-enabled.
+	Provenance any
+}
+
+// Environment executes compiled workflows. Each Run uses a fresh simulated
+// substrate so results are independent and reproducible.
+type Environment interface {
+	Name() string
+	Run(w *dag.Workflow) (*Result, error)
+}
+
+// KubernetesEnv is a Kubernetes-like cluster of identical nodes, optionally
+// workflow-aware via a CWS strategy (§3).
+type KubernetesEnv struct {
+	Nodes        int
+	CoresPerNode int
+	MemPerNode   float64
+	// Strategy enables the Common Workflow Scheduler; nil = plain FIFO.
+	Strategy cwsi.Strategy
+	// Predictor optionally feeds CWS strategies with learned runtimes.
+	Predictor func() predict.RuntimePredictor
+}
+
+// Name implements Environment.
+func (e *KubernetesEnv) Name() string {
+	if e.Strategy != nil {
+		return "kubernetes+cws/" + e.Strategy.Name()
+	}
+	return "kubernetes"
+}
+
+// Run implements Environment.
+func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
+	if e.Nodes <= 0 || e.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
+	}
+	mem := e.MemPerNode
+	if mem == 0 {
+		mem = 1e12
+	}
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "k8s", cluster.Spec{
+		Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
+		Count: e.Nodes,
+	})
+	mgr := rm.NewTaskManager(cl, nil)
+	res := &Result{Environment: e.Name(), TasksRun: w.Len()}
+
+	if e.Strategy == nil {
+		runner := &rm.MakespanRunner{Manager: mgr, Workflow: w, WorkflowID: w.Name}
+		ms := runner.Run()
+		res.MakespanSec = float64(ms)
+		res.UtilizationCore = cl.Utilization(0, ms)
+		return res, nil
+	}
+	var p predict.RuntimePredictor
+	if e.Predictor != nil {
+		p = e.Predictor()
+	}
+	cws := cwsi.New(mgr, e.Strategy, p)
+	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
+		return nil, err
+	}
+	ms, err := cws.RunWorkflow(w.Name, 1)
+	if err != nil {
+		return nil, err
+	}
+	res.MakespanSec = float64(ms)
+	res.UtilizationCore = cl.Utilization(0, ms)
+	res.Provenance = cws.Provenance()
+	return res, nil
+}
+
+// HPCEnv executes through a pilot job on a Frontier-like allocation (§4):
+// tasks become node-granular pilot tasks.
+type HPCEnv struct {
+	Nodes        int
+	CoresPerNode int
+	// Resource shaping (zero values = no agent overhead / unlimited rates).
+	BootstrapSec          float64
+	SchedRate, LaunchRate float64
+	WalltimeSec           float64
+}
+
+// Name implements Environment.
+func (e *HPCEnv) Name() string { return "hpc-pilot" }
+
+// Run implements Environment.
+func (e *HPCEnv) Run(w *dag.Workflow) (*Result, error) {
+	if e.Nodes <= 0 {
+		return nil, fmt.Errorf("core: hpc env needs nodes")
+	}
+	cores := e.CoresPerNode
+	if cores <= 0 {
+		cores = 56
+	}
+	wall := e.WalltimeSec
+	if wall <= 0 {
+		wall = 24 * 3600
+	}
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "hpc", cluster.Spec{
+		Type:  cluster.NodeType{Name: "hpc", Cores: cores, GPUs: 8, MemBytes: 512e9},
+		Count: e.Nodes,
+	})
+	bm := rm.NewBatchManager(cl, nil)
+	p, err := pilot.Submit(bm, cl, pilot.Config{
+		Nodes:        e.Nodes,
+		Walltime:     sim.Time(wall),
+		Account:      "core",
+		BootstrapSec: e.BootstrapSec,
+		SchedRate:    e.SchedRate,
+		LaunchRate:   e.LaunchRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	remainingDeps := map[dag.TaskID]int{}
+	for _, t := range w.Tasks() {
+		remainingDeps[t.ID] = len(t.Deps)
+	}
+	remaining := w.Len()
+	var failErr error
+	var submit func(t *dag.Task)
+	submit = func(t *dag.Task) {
+		task := t
+		nodes := (task.Cores + cores - 1) / cores
+		if nodes < 1 {
+			nodes = 1
+		}
+		err := p.SubmitTask(&pilot.Task{
+			ID:          string(task.ID),
+			Nodes:       nodes,
+			DurationSec: task.NominalDur,
+			Done: func(r pilot.TaskResult) {
+				if r.Failed {
+					failErr = r.Err
+					return
+				}
+				remaining--
+				for _, c := range w.Children(task.ID) {
+					remainingDeps[c.ID]--
+					if remainingDeps[c.ID] == 0 {
+						submit(c)
+					}
+				}
+			},
+		})
+		if err != nil {
+			failErr = err
+		}
+	}
+	p.OnActive(func() {
+		for _, t := range w.Roots() {
+			submit(t)
+		}
+	})
+	eng.Run()
+	if failErr != nil {
+		return nil, fmt.Errorf("core: hpc run failed: %w", failErr)
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("core: hpc run stalled with %d tasks", remaining)
+	}
+	ms := p.Overhead() + p.TTX()
+	res := &Result{
+		Environment: e.Name(),
+		MakespanSec: float64(ms),
+		TasksRun:    w.Len(),
+	}
+	if ms > 0 {
+		res.UtilizationCore = p.BusyNodesSeries().Integral(p.StartedAt(), p.StartedAt()+ms) /
+			(float64(e.Nodes) * float64(ms))
+	}
+	p.Release()
+	return res, nil
+}
+
+// CloudEnv executes on an elastic instance fleet (§5): each ready task runs
+// on an instance; the fleet scales to MaxInstances.
+type CloudEnv struct {
+	MaxInstances int
+	Instance     cloud.InstanceType
+}
+
+// Name implements Environment.
+func (e *CloudEnv) Name() string { return "cloud" }
+
+// Run implements Environment.
+func (e *CloudEnv) Run(w *dag.Workflow) (*Result, error) {
+	if e.MaxInstances <= 0 {
+		return nil, fmt.Errorf("core: cloud env needs instances")
+	}
+	itype := e.Instance
+	if itype.Name == "" {
+		itype = cloud.T3Medium
+	}
+	eng := sim.NewEngine()
+	env := cloud.NewEnv(eng)
+
+	// Elastic fleet: instances launch on demand up to the cap, park when
+	// idle (tasks may become ready later), and terminate when the
+	// workflow drains.
+	remainingDeps := map[dag.TaskID]int{}
+	for _, t := range w.Tasks() {
+		remainingDeps[t.ID] = len(t.Deps)
+	}
+	var ready []*dag.Task
+	ready = append(ready, w.Roots()...)
+	remaining := w.Len()
+	busySec := 0.0
+
+	launched := 0
+	var idle []func() // parked instance continuations
+	var instances []*cloud.Instance
+
+	var dispatch func()
+	startWorker := func() {
+		var loop func()
+		loop = func() {
+			if len(ready) == 0 {
+				idle = append(idle, loop)
+				return
+			}
+			t := ready[0]
+			ready = ready[1:]
+			dur := t.NominalDur / instSpeed(itype)
+			eng.After(sim.Time(dur), func() {
+				busySec += dur
+				remaining--
+				for _, c := range w.Children(t.ID) {
+					remainingDeps[c.ID]--
+					if remainingDeps[c.ID] == 0 {
+						ready = append(ready, c)
+					}
+				}
+				dispatch()
+				loop()
+			})
+		}
+		loop()
+	}
+	dispatch = func() {
+		// Wake parked instances first, then launch up to the cap.
+		for len(ready) > 0 && len(idle) > 0 {
+			wake := idle[0]
+			idle = idle[1:]
+			wake()
+		}
+		for demand := len(ready); demand > 0 && launched < e.MaxInstances; demand-- {
+			launched++
+			inst := env.Launch(itype, func(*cloud.Instance) { startWorker() })
+			instances = append(instances, inst)
+		}
+	}
+	dispatch()
+	eng.Run()
+	for _, inst := range instances {
+		env.Terminate(inst)
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("core: cloud run stalled with %d tasks", remaining)
+	}
+	res := &Result{
+		Environment: e.Name(),
+		MakespanSec: float64(eng.Now()),
+		TasksRun:    w.Len(),
+	}
+	allocated := 0.0
+	for _, inst := range env.Instances() {
+		allocated += inst.UptimeSec(eng.Now())
+	}
+	if allocated > 0 {
+		res.UtilizationCore = busySec / allocated
+	}
+	return res, nil
+}
+
+func instSpeed(t cloud.InstanceType) float64 {
+	if t.SpeedFactor <= 0 {
+		return 1
+	}
+	return t.SpeedFactor
+}

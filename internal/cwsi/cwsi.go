@@ -1,0 +1,440 @@
+// Package cwsi implements the Common Workflow Scheduler (CWS) and its
+// interface (CWSI) from §3: a component that lives inside the resource
+// manager, receives workflow structure and task metadata from any WMS, and
+// uses that information for workflow-aware scheduling, centralized
+// provenance, and runtime prediction.
+//
+// The CWS plugs into rm.TaskManager as its Strategy, so a resource manager
+// implements the CWS once and every CWSI-speaking workflow engine benefits
+// ("a workflow engine needs to implement support for CWSI to work with all
+// resource managers already offering CWSI").
+package cwsi
+
+import (
+	"fmt"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/dag"
+	"hhcw/internal/predict"
+	"hhcw/internal/provenance"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// Interface is the CWSI wire surface as a WMS sees it. CWS implements it;
+// WMS adapters (see wms.go) speak it.
+type Interface interface {
+	// RegisterWorkflow transfers the workflow DAG — task dependencies,
+	// resource requests, data sizes, task-specific parameters.
+	RegisterWorkflow(id string, w *dag.Workflow) error
+	// SubmitTask submits one ready-to-run task of a registered workflow.
+	SubmitTask(req TaskRequest) error
+	// WorkflowDone tells the CWS no more tasks of this workflow will come.
+	WorkflowDone(id string)
+}
+
+// TaskRequest is a CWSI task submission.
+type TaskRequest struct {
+	WorkflowID string
+	TaskID     dag.TaskID
+	// Runtime computes actual execution time on a node. If nil, the
+	// default heterogeneity model (rm.DefaultRuntime) is used.
+	Runtime func(t *dag.Task, n *cluster.Node) float64
+	// Done is invoked with the terminal result (after provenance capture).
+	Done func(rm.Result)
+	// Params are task-invocation parameters, stored for provenance.
+	Params map[string]string
+}
+
+// Context gives strategies access to everything the CWS knows: the DAG, the
+// provenance store, and the trained predictor.
+type Context struct {
+	cws *CWS
+}
+
+// Workflow returns the registered workflow for id, or nil.
+func (c *Context) Workflow(id string) *dag.Workflow {
+	if st := c.cws.workflows[id]; st != nil {
+		return st.wf
+	}
+	return nil
+}
+
+// Rank returns the upward rank of a task within its workflow (0 when the
+// workflow is unknown). Ranks are computed at registration from nominal
+// durations — the static DAG knowledge only a workflow-aware scheduler has.
+func (c *Context) Rank(wfID string, taskID dag.TaskID) float64 {
+	if st := c.cws.workflows[wfID]; st != nil {
+		return st.ranks[taskID]
+	}
+	return 0
+}
+
+// PredictRuntime estimates the runtime of a task (by process name and input
+// size) on a node, using the online predictor when trained and the declared
+// nominal duration as fallback.
+func (c *Context) PredictRuntime(wfID string, taskID dag.TaskID, n *cluster.Node) float64 {
+	st := c.cws.workflows[wfID]
+	if st == nil {
+		return 0
+	}
+	t := st.wf.Task(taskID)
+	if t == nil {
+		return 0
+	}
+	if c.cws.predictor != nil {
+		// Prefer Kubestone-style measured machine characteristics over the
+		// declared spec (§3.4); they coincide unless hardware misbehaves.
+		if sec, ok := c.cws.predictor.Predict(t.Name, t.InputBytes, c.MeasuredSpeed(n)); ok {
+			return sec
+		}
+	}
+	return rm.DefaultRuntime(t, n)
+}
+
+// ObservedMeanRuntime returns the provenance-store mean reference runtime
+// for a process name (ok=false before any successful execution).
+func (c *Context) ObservedMeanRuntime(name string) (float64, bool) {
+	recs := c.cws.prov.ByTaskName(name)
+	sum, n := 0.0, 0
+	for _, r := range recs {
+		if r.Failed {
+			continue
+		}
+		sf := r.SpeedFactor
+		if sf <= 0 {
+			sf = 1
+		}
+		sum += float64(r.Runtime()) * sf
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Strategy is a workflow-aware scheduling policy.
+type Strategy interface {
+	Name() string
+	// Priority scores a pending submission; higher runs first.
+	Priority(s *rm.Submission, ctx *Context) float64
+	// PickNode chooses among feasible nodes (nil = skip this pass).
+	PickNode(s *rm.Submission, candidates []*cluster.Node, ctx *Context) *cluster.Node
+}
+
+type wfState struct {
+	wf       *dag.Workflow
+	ranks    map[dag.TaskID]float64
+	attempts map[dag.TaskID]int
+	done     bool
+}
+
+// CWS is the Common Workflow Scheduler.
+type CWS struct {
+	mgr       *rm.TaskManager
+	prov      *provenance.Store
+	predictor predict.RuntimePredictor
+	memPred   *predict.MemPredictor
+	strategy  Strategy
+	workflows map[string]*wfState
+	ctx       *Context
+
+	// Data-plane model (see locality.go).
+	dataBW  float64
+	outputs map[string]*cluster.Node
+
+	// Measured machine characteristics (see profiling.go).
+	measuredSpeed map[string]float64
+}
+
+// New creates a CWS over mgr with the given strategy and installs it as the
+// manager's scheduling policy. predictor may be nil (no learned runtimes).
+func New(mgr *rm.TaskManager, strategy Strategy, predictor predict.RuntimePredictor) *CWS {
+	c := &CWS{
+		mgr:       mgr,
+		prov:      provenance.NewStore(),
+		predictor: predictor,
+		strategy:  strategy,
+		workflows: map[string]*wfState{},
+	}
+	c.ctx = &Context{cws: c}
+	mgr.SetStrategy(&rmAdapter{cws: c})
+	mgr.Cluster().OnNodeDown(func(n *cluster.Node) {
+		c.prov.AddNodeEvent(provenance.NodeEvent{At: mgr.Cluster().Engine().Now(), Node: n.Name(), Kind: "down"})
+	})
+	return c
+}
+
+// Provenance exposes the central provenance store (§3.3).
+func (c *CWS) Provenance() *provenance.Store { return c.prov }
+
+// Predictor returns the online runtime predictor, if any.
+func (c *CWS) Predictor() predict.RuntimePredictor { return c.predictor }
+
+// SetMemPredictor enables memory right-sizing (§3.4, §6.1): first attempts
+// of a task are submitted with the predicted peak (plus the predictor's
+// safety margin) instead of the user's — typically inflated — request, so
+// more tasks pack per node. An under-prediction manifests as an OOM kill;
+// the retry falls back to the full declared request.
+func (c *CWS) SetMemPredictor(p *predict.MemPredictor) { c.memPred = p }
+
+// Manager returns the underlying resource manager.
+func (c *CWS) Manager() *rm.TaskManager { return c.mgr }
+
+// RegisterWorkflow implements Interface.
+func (c *CWS) RegisterWorkflow(id string, w *dag.Workflow) error {
+	if _, dup := c.workflows[id]; dup {
+		return fmt.Errorf("cwsi: workflow %q already registered", id)
+	}
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("cwsi: workflow %q: %w", id, err)
+	}
+	c.workflows[id] = &wfState{
+		wf:       w,
+		ranks:    w.UpwardRanks(dag.NominalDur),
+		attempts: map[dag.TaskID]int{},
+	}
+	c.prov.RegisterWorkflow(id, w)
+	return nil
+}
+
+// SubmitTask implements Interface.
+func (c *CWS) SubmitTask(req TaskRequest) error {
+	st := c.workflows[req.WorkflowID]
+	if st == nil {
+		return fmt.Errorf("cwsi: workflow %q not registered", req.WorkflowID)
+	}
+	t := st.wf.Task(req.TaskID)
+	if t == nil {
+		return fmt.Errorf("cwsi: task %q not in workflow %q", req.TaskID, req.WorkflowID)
+	}
+	runtime := req.Runtime
+	if runtime == nil {
+		runtime = rm.DefaultRuntime
+	}
+	st.attempts[req.TaskID]++
+	attempt := st.attempts[req.TaskID]
+	submittedAt := c.mgr.Cluster().Engine().Now()
+
+	// Memory right-sizing: predicted peak on the first attempt, the full
+	// declared request after an OOM retry.
+	mem := t.MemBytes
+	if c.memPred != nil && attempt == 1 {
+		if pred, ok := c.memPred.Predict(t.Name); ok && pred < mem {
+			mem = pred
+		}
+	}
+	grantedMem := mem
+	c.mgr.Submit(&rm.Submission{
+		ID:         fmt.Sprintf("%s/%s#%d", req.WorkflowID, req.TaskID, attempt),
+		WorkflowID: req.WorkflowID,
+		TaskID:     req.TaskID,
+		Name:       t.Name,
+		Cores:      t.Cores,
+		GPUs:       t.GPUs,
+		Mem:        mem,
+		InputBytes: t.InputBytes,
+		Runtime: func(n *cluster.Node) float64 {
+			d := runtime(t, n)
+			if c.dataBW > 0 {
+				d += c.remoteInputBytes(req.WorkflowID, t, n) / c.dataBW
+			}
+			return d
+		},
+		Validate: func(n *cluster.Node) error {
+			if grantedMem < t.PeakMem() {
+				return fmt.Errorf("cwsi: task %s OOM-killed: granted %.0fB, peak %.0fB",
+					req.TaskID, grantedMem, t.PeakMem())
+			}
+			return nil
+		},
+		Done: func(r rm.Result) {
+			if !r.Failed {
+				c.noteOutput(req.WorkflowID, req.TaskID, r.Node)
+			}
+			c.record(req, t, attempt, submittedAt, r)
+			if req.Done != nil {
+				req.Done(r)
+			}
+		},
+	})
+	return nil
+}
+
+func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.Time, r rm.Result) {
+	errMsg := ""
+	if r.Err != nil {
+		errMsg = r.Err.Error()
+	}
+	rec := provenance.TaskRecord{
+		WorkflowID:  req.WorkflowID,
+		TaskID:      req.TaskID,
+		Name:        t.Name,
+		Attempt:     attempt,
+		SubmittedAt: submittedAt,
+		StartedAt:   r.StartedAt,
+		FinishedAt:  r.FinishedAt,
+		Node:        r.Node.Name(),
+		MachineType: r.Node.Type.Name,
+		SpeedFactor: r.Node.Type.SpeedFactor,
+		Cores:       t.Cores,
+		MemRequest:  t.MemBytes,
+		PeakMem:     t.PeakMem(),
+		InputBytes:  t.InputBytes,
+		OutputBytes: t.OutputBytes,
+		Failed:      r.Failed,
+		Error:       errMsg,
+		Params:      req.Params,
+	}
+	c.prov.AddTask(rec)
+	if c.memPred != nil && !r.Failed {
+		c.memPred.Observe(predict.Observation{TaskName: t.Name, PeakMem: t.PeakMem()})
+	}
+	if c.predictor != nil && !r.Failed {
+		c.predictor.Observe(predict.Observation{
+			TaskName:    t.Name,
+			InputBytes:  t.InputBytes,
+			RuntimeSec:  float64(r.FinishedAt - r.StartedAt),
+			PeakMem:     rec.PeakMem,
+			MachineName: r.Node.Type.Name,
+			SpeedFactor: r.Node.Type.SpeedFactor,
+		})
+	}
+}
+
+// WorkflowDone implements Interface.
+func (c *CWS) WorkflowDone(id string) {
+	if st := c.workflows[id]; st != nil {
+		st.done = true
+	}
+}
+
+// rmAdapter bridges the CWS strategy into rm.Strategy.
+type rmAdapter struct {
+	cws *CWS
+}
+
+func (a *rmAdapter) Name() string { return "cws/" + a.cws.strategy.Name() }
+
+func (a *rmAdapter) Prioritize(pending []*rm.Submission) []*rm.Submission {
+	type scored struct {
+		s *rm.Submission
+		p float64
+		i int
+	}
+	xs := make([]scored, len(pending))
+	for i, s := range pending {
+		xs[i] = scored{s: s, p: a.cws.strategy.Priority(s, a.cws.ctx), i: i}
+	}
+	// Stable sort by descending priority, submission order as tiebreak.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && (xs[j].p > xs[j-1].p || (xs[j].p == xs[j-1].p && xs[j].i < xs[j-1].i)); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	out := make([]*rm.Submission, len(xs))
+	for i, x := range xs {
+		out[i] = x.s
+	}
+	return out
+}
+
+func (a *rmAdapter) PickNode(s *rm.Submission, candidates []*cluster.Node) *cluster.Node {
+	return a.cws.strategy.PickNode(s, candidates, a.cws.ctx)
+}
+
+// StartWorkflow begins driving a registered workflow without running the
+// engine, so several workflows can share one cluster concurrently (the
+// multi-tenant setting the CWS evaluation uses). onDone fires once with the
+// workflow's makespan or an error.
+func (c *CWS) StartWorkflow(id string, maxRetries int, onDone func(sim.Time, error)) error {
+	st := c.workflows[id]
+	if st == nil {
+		return fmt.Errorf("cwsi: workflow %q not registered", id)
+	}
+	w := st.wf
+	eng := c.mgr.Cluster().Engine()
+	start := eng.Now()
+	remaining := w.Len()
+	remainingDeps := make(map[dag.TaskID]int, w.Len())
+	retries := map[dag.TaskID]int{}
+	finished := false
+	fail := func(err error) {
+		if !finished {
+			finished = true
+			onDone(0, err)
+		}
+	}
+
+	var submit func(t *dag.Task)
+	submit = func(t *dag.Task) {
+		task := t
+		err := c.SubmitTask(TaskRequest{
+			WorkflowID: id,
+			TaskID:     task.ID,
+			Done: func(r rm.Result) {
+				if r.Failed {
+					if retries[task.ID] < maxRetries {
+						retries[task.ID]++
+						submit(task)
+						return
+					}
+					fail(fmt.Errorf("cwsi: task %s failed after %d retries: %v", task.ID, maxRetries, r.Err))
+					return
+				}
+				remaining--
+				if remaining == 0 && !finished {
+					finished = true
+					c.WorkflowDone(id)
+					onDone(eng.Now()-start, nil)
+					return
+				}
+				for _, child := range w.Children(task.ID) {
+					remainingDeps[child.ID]--
+					if remainingDeps[child.ID] == 0 {
+						submit(child)
+					}
+				}
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	for _, t := range w.Tasks() {
+		remainingDeps[t.ID] = len(t.Deps)
+	}
+	for _, t := range w.Roots() {
+		submit(t)
+	}
+	return nil
+}
+
+// RunWorkflow drives a registered workflow through the CWS: tasks are
+// submitted as dependencies complete and failed tasks are resubmitted up to
+// maxRetries times. It runs the engine and returns the makespan.
+func (c *CWS) RunWorkflow(id string, maxRetries int) (sim.Time, error) {
+	eng := c.mgr.Cluster().Engine()
+	var makespan sim.Time
+	var runErr error
+	done := false
+	err := c.StartWorkflow(id, maxRetries, func(ms sim.Time, err error) {
+		makespan, runErr = ms, err
+		done = true
+		if err != nil {
+			eng.Halt()
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	eng.Run()
+	if runErr != nil {
+		return 0, runErr
+	}
+	if !done {
+		return 0, fmt.Errorf("cwsi: workflow %q stalled (cluster too small for a request?)", id)
+	}
+	return makespan, nil
+}

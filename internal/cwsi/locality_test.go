@@ -1,0 +1,173 @@
+package cwsi
+
+import (
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/dag"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// dataChain builds a pipeline whose stages pass large intermediates.
+func dataChain(n int, bytes float64) *dag.Workflow {
+	w := dag.New("datachain")
+	var prev dag.TaskID
+	for i := 0; i < n; i++ {
+		id := dag.TaskID("s" + string(rune('0'+i)))
+		var deps []dag.TaskID
+		var in float64
+		if prev != "" {
+			deps = []dag.TaskID{prev}
+			in = bytes
+		}
+		w.Add(&dag.Task{
+			ID: id, Name: "stage", NominalDur: 100,
+			InputBytes: in, OutputBytes: bytes, Deps: deps,
+		})
+		prev = id
+	}
+	return w
+}
+
+func TestDataLocalityChargesRemoteStaging(t *testing.T) {
+	// Two nodes; without locality awareness, FIFO first-fit places every
+	// stage on node 0 anyway (first fit), so force the comparison through
+	// occupancy: node 0 is busy with a long filler when stage 2 arrives.
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "d", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 2, MemBytes: 64e9},
+		Count: 2,
+	})
+	cws := New(rm.NewTaskManager(cl, nil), Baseline{}, nil)
+	cws.SetDataBandwidth(100e6) // 100 MB/s inter-node staging
+
+	w := dataChain(2, 10e9) // 10 GB intermediate = 100 s staging if remote
+	if err := cws.RegisterWorkflow("w", w); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := cws.RunWorkflow("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both stages land on node 0 (first fit): stage 2's input is local,
+	// so no staging: 100 + 100.
+	if ms != 200 {
+		t.Fatalf("local-chain makespan = %v, want 200", ms)
+	}
+}
+
+func TestDataLocalStrategySticksToProducerNode(t *testing.T) {
+	// Node 0 is blocked with filler work when the child becomes ready;
+	// first-fit then picks node 1 and pays staging, while DataLocal waits…
+	// actually DataLocal also has only node 1 as candidate. Instead verify
+	// placement: DataLocal picks the producer node among multiple free
+	// candidates even when it is later in the node list.
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "d", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 4, MemBytes: 64e9},
+		Count: 3,
+	})
+	cws := New(rm.NewTaskManager(cl, nil), DataLocal{}, nil)
+	cws.SetDataBandwidth(100e6)
+
+	// Occupy nodes 0 and 1 partially so all three are candidates, then
+	// check the chain stays put. Place the root via a pre-task that fills
+	// node 0's remaining capacity... simpler: run the chain and assert all
+	// stages executed on the same node.
+	w := dataChain(4, 10e9)
+	if err := cws.RegisterWorkflow("w", w); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := cws.RunWorkflow("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 400 { // 4 × 100 s, zero staging
+		t.Fatalf("DataLocal makespan = %v, want 400", ms)
+	}
+	recs := cws.Provenance().ByWorkflow("w")
+	node := recs[0].Node
+	for _, r := range recs {
+		if r.Node != node {
+			t.Fatalf("chain hopped nodes: %s vs %s", r.Node, node)
+		}
+	}
+}
+
+func TestRemoteStagingPenaltyObservable(t *testing.T) {
+	// An adversarial strategy that always picks the LAST candidate forces
+	// every stage onto a different node than its producer under
+	// round-robin-ish occupancy — here we simply compare: bandwidth on vs
+	// off with a hop-forcing strategy.
+	run := func(bw float64) sim.Time {
+		hop := &hopStrategy{}
+		eng := sim.NewEngine()
+		cl := cluster.New(eng, "d", cluster.Spec{
+			Type:  cluster.NodeType{Name: "n", Cores: 2, MemBytes: 64e9},
+			Count: 2,
+		})
+		cws := New(rm.NewTaskManager(cl, nil), hop, nil)
+		cws.SetDataBandwidth(bw)
+		w := dataChain(3, 10e9)
+		if err := cws.RegisterWorkflow("w", w); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := cws.RunWorkflow("w", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	free := run(0)      // data plane disabled
+	charged := run(1e8) // 100 MB/s: 100 s per hopped 10 GB intermediate
+	if free != 300 {
+		t.Fatalf("uncharged makespan = %v, want 300", free)
+	}
+	// Stages 2 and 3 hop (alternating nodes): +100 s each.
+	if charged != 500 {
+		t.Fatalf("charged makespan = %v, want 500", charged)
+	}
+}
+
+// hopStrategy intentionally alternates nodes to defeat locality.
+type hopStrategy struct{ k int }
+
+func (*hopStrategy) Name() string                              { return "hop" }
+func (*hopStrategy) Priority(*rm.Submission, *Context) float64 { return 0 }
+func (h *hopStrategy) PickNode(s *rm.Submission, c []*cluster.Node, _ *Context) *cluster.Node {
+	h.k++
+	return c[h.k%len(c)]
+}
+
+func TestLocalInputBytesAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "d", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 4, MemBytes: 64e9},
+		Count: 2,
+	})
+	cws := New(rm.NewTaskManager(cl, nil), Baseline{}, nil)
+	w := dataChain(2, 5e9)
+	if err := cws.RegisterWorkflow("w", w); err != nil {
+		t.Fatal(err)
+	}
+	// Before any execution, nothing is local anywhere.
+	if got := cws.ctx.LocalInputBytes("w", "s1", cl.Nodes()[0]); got != 0 {
+		t.Fatalf("cold locality = %v", got)
+	}
+	if _, err := cws.RunWorkflow("w", 0); err != nil {
+		t.Fatal(err)
+	}
+	// After the run, s0's output is on the node that ran it.
+	recs := cws.Provenance().ByWorkflow("w")
+	producer := recs[0].Node
+	var pn *cluster.Node
+	for _, n := range cl.Nodes() {
+		if n.Name() == producer {
+			pn = n
+		}
+	}
+	if got := cws.ctx.LocalInputBytes("w", "s1", pn); got != 5e9 {
+		t.Fatalf("locality on producer = %v, want 5e9", got)
+	}
+}

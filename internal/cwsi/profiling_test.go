@@ -1,0 +1,67 @@
+package cwsi
+
+import (
+	"math"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+func TestProfileNodesMeasuresSpeeds(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Heterogeneous(eng, 2) // types a(1.0), b(1.4), c(2.0)
+	cws := New(rm.NewTaskManager(cl, nil), Baseline{}, nil)
+
+	reports, err := cws.ProfileNodes(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3 node types", len(reports))
+	}
+	for _, r := range reports {
+		if math.Abs(r.MeasuredSpeed-r.DeclaredSpeed) > 1e-9 {
+			t.Fatalf("%s: measured %v vs declared %v", r.NodeType, r.MeasuredSpeed, r.DeclaredSpeed)
+		}
+	}
+	// The context serves measured speeds (float round-trip tolerance).
+	for _, n := range cl.Nodes() {
+		if got := cws.ctx.MeasuredSpeed(n); math.Abs(got-n.Type.SpeedFactor) > 1e-9 {
+			t.Fatalf("MeasuredSpeed(%s) = %v", n.Name(), got)
+		}
+	}
+}
+
+func TestMeasuredSpeedFallsBackToDeclared(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Heterogeneous(eng, 1)
+	cws := New(rm.NewTaskManager(cl, nil), Baseline{}, nil)
+	// No profiling run: declared values served.
+	n := cl.Nodes()[0]
+	if got := cws.ctx.MeasuredSpeed(n); got != n.Type.SpeedFactor {
+		t.Fatalf("fallback = %v", got)
+	}
+}
+
+func TestProfileNodesValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Heterogeneous(eng, 1)
+	cws := New(rm.NewTaskManager(cl, nil), Baseline{}, nil)
+	if _, err := cws.ProfileNodes(0); err == nil {
+		t.Fatal("zero probe duration accepted")
+	}
+}
+
+func TestProfileRestoresStrategy(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Heterogeneous(eng, 1)
+	cws := New(rm.NewTaskManager(cl, nil), Rank{}, nil)
+	if _, err := cws.ProfileNodes(10); err != nil {
+		t.Fatal(err)
+	}
+	if cws.strategy.Name() != "rank" {
+		t.Fatalf("strategy after profiling = %q", cws.strategy.Name())
+	}
+}

@@ -1,0 +1,48 @@
+package dag
+
+import (
+	"testing"
+
+	"hhcw/internal/randx"
+)
+
+func benchWorkflow() *Workflow {
+	return RandomLayered(randx.New(1), 20, 50, GenOpts{})
+}
+
+// BenchmarkTopoOrder measures topological sorting of a ~700-task DAG.
+func BenchmarkTopoOrder(b *testing.B) {
+	w := benchWorkflow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpwardRanks measures HEFT rank computation (run at every CWSI
+// workflow registration).
+func BenchmarkUpwardRanks(b *testing.B) {
+	w := benchWorkflow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.UpwardRanks(NominalDur)
+	}
+}
+
+// BenchmarkCriticalPath measures critical-path extraction.
+func BenchmarkCriticalPath(b *testing.B) {
+	w := benchWorkflow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.CriticalPath(NominalDur)
+	}
+}
+
+// BenchmarkGenerateMontage measures workflow generation itself.
+func BenchmarkGenerateMontage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MontageLike(randx.New(int64(i)), 64, GenOpts{})
+	}
+}

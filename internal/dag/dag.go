@@ -1,0 +1,352 @@
+// Package dag models scientific workflows as directed acyclic graphs of
+// tasks with resource requests, nominal durations, and data sizes — the
+// information the Common Workflow Scheduler Interface transfers from a WMS
+// to a resource manager (§3.1: "input files, CPU, and memory requests, along
+// with task-specific parameters").
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within a workflow.
+type TaskID string
+
+// Task is one node of a workflow DAG.
+type Task struct {
+	ID   TaskID
+	Name string // process/tool name; tasks sharing a Name share a runtime profile
+
+	// Resource requests, as a WMS would declare them.
+	Cores    int
+	GPUs     int
+	MemBytes float64
+	// PeakMemBytes is the memory the task actually touches at peak; users
+	// habitually over-request, so this is typically well below MemBytes.
+	// Zero means 80 % of the request.
+	PeakMemBytes float64
+
+	// NominalDur is the task's duration in seconds on a reference machine
+	// (cluster.NodeType.SpeedFactor == 1). Actual durations are scaled by
+	// node speed and perturbed by the execution substrate.
+	NominalDur float64
+	// IOFrac is the fraction of NominalDur that is I/O-bound (scaled by a
+	// node's IOFactor rather than SpeedFactor).
+	IOFrac float64
+
+	InputBytes  float64
+	OutputBytes float64
+
+	// Params are the task-specific parameters the CWSI forwards verbatim.
+	Params map[string]string
+
+	Deps []TaskID
+}
+
+// CPUSeconds returns the task's nominal core-seconds (duration × cores).
+func (t *Task) CPUSeconds() float64 { return t.NominalDur * float64(maxInt(t.Cores, 1)) }
+
+// PeakMem returns the actual peak memory (PeakMemBytes, defaulting to 80 %
+// of the declared request).
+func (t *Task) PeakMem() float64 {
+	if t.PeakMemBytes > 0 {
+		return t.PeakMemBytes
+	}
+	return t.MemBytes * 0.8
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Workflow is a named DAG of tasks.
+type Workflow struct {
+	Name     string
+	tasks    map[TaskID]*Task
+	order    []TaskID // insertion order, for deterministic iteration
+	children map[TaskID][]TaskID
+}
+
+// New returns an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{
+		Name:     name,
+		tasks:    make(map[TaskID]*Task),
+		children: make(map[TaskID][]TaskID),
+	}
+}
+
+// Add inserts a task. It panics on duplicate IDs — workflow construction
+// bugs should fail loudly at build time, not scheduling time.
+func (w *Workflow) Add(t *Task) *Task {
+	if t.ID == "" {
+		panic("dag: task with empty ID")
+	}
+	if _, dup := w.tasks[t.ID]; dup {
+		panic(fmt.Sprintf("dag: duplicate task ID %q", t.ID))
+	}
+	if t.Cores <= 0 {
+		t.Cores = 1
+	}
+	w.tasks[t.ID] = t
+	w.order = append(w.order, t.ID)
+	for _, d := range t.Deps {
+		w.children[d] = append(w.children[d], t.ID)
+	}
+	return t
+}
+
+// Task returns the task with the given ID, or nil.
+func (w *Workflow) Task(id TaskID) *Task { return w.tasks[id] }
+
+// Len returns the number of tasks.
+func (w *Workflow) Len() int { return len(w.order) }
+
+// Tasks returns tasks in insertion order.
+func (w *Workflow) Tasks() []*Task {
+	out := make([]*Task, len(w.order))
+	for i, id := range w.order {
+		out[i] = w.tasks[id]
+	}
+	return out
+}
+
+// Children returns direct successors of id.
+func (w *Workflow) Children(id TaskID) []*Task {
+	ids := w.children[id]
+	out := make([]*Task, len(ids))
+	for i, c := range ids {
+		out[i] = w.tasks[c]
+	}
+	return out
+}
+
+// Parents returns direct predecessors of id.
+func (w *Workflow) Parents(id TaskID) []*Task {
+	t := w.tasks[id]
+	if t == nil {
+		return nil
+	}
+	out := make([]*Task, 0, len(t.Deps))
+	for _, d := range t.Deps {
+		if p := w.tasks[d]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Roots returns tasks with no dependencies, in insertion order.
+func (w *Workflow) Roots() []*Task {
+	var out []*Task
+	for _, t := range w.Tasks() {
+		if len(t.Deps) == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Leaves returns tasks with no successors, in insertion order.
+func (w *Workflow) Leaves() []*Task {
+	var out []*Task
+	for _, t := range w.Tasks() {
+		if len(w.children[t.ID]) == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of dependency edges.
+func (w *Workflow) EdgeCount() int {
+	n := 0
+	for _, t := range w.tasks {
+		n += len(t.Deps)
+	}
+	return n
+}
+
+// Validate checks that all dependencies reference existing tasks and that
+// the graph is acyclic.
+func (w *Workflow) Validate() error {
+	for _, t := range w.Tasks() {
+		for _, d := range t.Deps {
+			if _, ok := w.tasks[d]; !ok {
+				return fmt.Errorf("dag: task %q depends on unknown task %q", t.ID, d)
+			}
+		}
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns tasks in a deterministic topological order (Kahn's
+// algorithm with insertion-order tie-breaking) or an error if a cycle exists.
+func (w *Workflow) TopoOrder() ([]*Task, error) {
+	indeg := make(map[TaskID]int, len(w.tasks))
+	for _, t := range w.tasks {
+		indeg[t.ID] = len(t.Deps)
+	}
+	var ready []TaskID
+	for _, id := range w.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	out := make([]*Task, 0, len(w.tasks))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, w.tasks[id])
+		for _, c := range w.children[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(out) != len(w.tasks) {
+		return nil, fmt.Errorf("dag: workflow %q contains a cycle", w.Name)
+	}
+	return out, nil
+}
+
+// Levels assigns each task its depth (longest path from any root, roots = 0)
+// and returns tasks grouped by level. It panics on cyclic workflows; call
+// Validate first.
+func (w *Workflow) Levels() [][]*Task {
+	topo, err := w.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	level := make(map[TaskID]int, len(topo))
+	maxLevel := 0
+	for _, t := range topo {
+		l := 0
+		for _, d := range t.Deps {
+			if level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[t.ID] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]*Task, maxLevel+1)
+	for _, t := range topo {
+		out[level[t.ID]] = append(out[level[t.ID]], t)
+	}
+	return out
+}
+
+// DurFn maps a task to an (estimated or actual) duration; rank and critical
+// path computations are parameterized on it so they work with predictions.
+type DurFn func(*Task) float64
+
+// NominalDur is the DurFn that uses each task's declared nominal duration.
+func NominalDur(t *Task) float64 { return t.NominalDur }
+
+// CriticalPath returns the length of the longest path through the workflow
+// under durations from fn, and the IDs along one such path in order.
+func (w *Workflow) CriticalPath(fn DurFn) (float64, []TaskID) {
+	topo, err := w.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	dist := make(map[TaskID]float64, len(topo))
+	prev := make(map[TaskID]TaskID, len(topo))
+	best := 0.0
+	var bestID TaskID
+	for _, t := range topo {
+		d := 0.0
+		var from TaskID
+		for _, dep := range t.Deps {
+			if dist[dep] > d {
+				d = dist[dep]
+				from = dep
+			}
+		}
+		dist[t.ID] = d + fn(t)
+		if from != "" {
+			prev[t.ID] = from
+		}
+		if dist[t.ID] > best {
+			best = dist[t.ID]
+			bestID = t.ID
+		}
+	}
+	var path []TaskID
+	for id := bestID; id != ""; id = prev[id] {
+		path = append(path, id)
+		if _, ok := prev[id]; !ok {
+			break
+		}
+	}
+	// Reverse into root→leaf order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path
+}
+
+// UpwardRanks computes HEFT-style upward ranks: rank(t) = dur(t) +
+// max over children c of rank(c). Higher rank = more critical. Communication
+// costs are folded into fn if desired.
+func (w *Workflow) UpwardRanks(fn DurFn) map[TaskID]float64 {
+	topo, err := w.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	rank := make(map[TaskID]float64, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, c := range w.children[t.ID] {
+			if rank[c] > best {
+				best = rank[c]
+			}
+		}
+		rank[t.ID] = fn(t) + best
+	}
+	return rank
+}
+
+// TotalWork returns the sum of nominal core-seconds over all tasks — the
+// lower bound on makespan × cores for any schedule.
+func (w *Workflow) TotalWork() float64 {
+	sum := 0.0
+	for _, t := range w.tasks {
+		sum += t.CPUSeconds()
+	}
+	return sum
+}
+
+// Descendants returns the transitive successors of id (not including id),
+// sorted by ID for determinism.
+func (w *Workflow) Descendants(id TaskID) []TaskID {
+	seen := map[TaskID]bool{}
+	var walk func(TaskID)
+	walk = func(x TaskID) {
+		for _, c := range w.children[x] {
+			if !seen[c] {
+				seen[c] = true
+				walk(c)
+			}
+		}
+	}
+	walk(id)
+	out := make([]TaskID, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

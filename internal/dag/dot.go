@@ -1,0 +1,32 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the workflow as a Graphviz digraph: one box per task
+// (labelled with name and nominal duration), one edge per dependency. Handy
+// for inspecting generated or composed workflows.
+func (w *Workflow) ToDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", w.Name)
+	for _, t := range w.Tasks() {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s (%.0fs, %dc)\"];\n",
+			t.ID, t.ID, t.Name, t.NominalDur, t.Cores)
+	}
+	// Deterministic edge order.
+	var edges []string
+	for _, t := range w.Tasks() {
+		for _, d := range t.Deps {
+			edges = append(edges, fmt.Sprintf("  %q -> %q;", d, t.ID))
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e + "\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

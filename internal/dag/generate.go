@@ -1,0 +1,228 @@
+package dag
+
+import (
+	"fmt"
+
+	"hhcw/internal/randx"
+)
+
+// Generators for the workflow shapes the CWSI evaluation sweeps over. Each
+// produces tasks whose nominal durations and data sizes are drawn from
+// lognormal distributions (the canonical model for scientific task runtimes),
+// so workflow-aware strategies have real variance to exploit.
+
+// GenOpts tunes the random generators.
+type GenOpts struct {
+	MeanDur  float64 // mean nominal duration per task (seconds)
+	CVDur    float64 // coefficient of variation of durations
+	MeanData float64 // mean output size (bytes)
+	Cores    int     // cores per task (default 1)
+	MaxCores int     // if >0, cores drawn uniformly in [Cores, MaxCores]
+	MeanMem  float64 // mean memory request (bytes)
+}
+
+func (o *GenOpts) defaults() {
+	if o.MeanDur == 0 {
+		o.MeanDur = 120
+	}
+	if o.CVDur == 0 {
+		o.CVDur = 0.5
+	}
+	if o.MeanData == 0 {
+		o.MeanData = 1e9
+	}
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+	if o.MeanMem == 0 {
+		o.MeanMem = 4e9
+	}
+}
+
+func (o GenOpts) task(rng *randx.Source, id string, name string, deps ...TaskID) *Task {
+	cores := o.Cores
+	if o.MaxCores > o.Cores {
+		cores = o.Cores + rng.Intn(o.MaxCores-o.Cores+1)
+	}
+	dur := rng.LogNormalMeanCV(o.MeanDur, o.CVDur)
+	// Data sizes correlate with runtime (longer tasks process more data),
+	// which is what makes size-aware scheduling (§3.5's "file size"
+	// strategy) informative in practice.
+	sizeScale := dur / o.MeanDur
+	return &Task{
+		ID:          TaskID(id),
+		Name:        name,
+		Cores:       cores,
+		MemBytes:    rng.LogNormalMeanCV(o.MeanMem, 0.3),
+		NominalDur:  dur,
+		IOFrac:      rng.Uniform(0.05, 0.3),
+		InputBytes:  rng.LogNormalMeanCV(o.MeanData*sizeScale, 0.2),
+		OutputBytes: rng.LogNormalMeanCV(o.MeanData*sizeScale, 0.2),
+		Deps:        deps,
+	}
+}
+
+// Chain generates a linear pipeline of n tasks.
+func Chain(rng *randx.Source, n int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("chain-%d", n))
+	var prev TaskID
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%03d", i)
+		var deps []TaskID
+		if prev != "" {
+			deps = []TaskID{prev}
+		}
+		w.Add(opts.task(rng, id, fmt.Sprintf("step%d", i), deps...))
+		prev = TaskID(id)
+	}
+	return w
+}
+
+// ForkJoin generates stages of `width` parallel tasks separated by single
+// merge tasks — the "merge point" shape §3.2 says makes Airflow's big-worker
+// strategy wasteful.
+func ForkJoin(rng *randx.Source, stages, width int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("forkjoin-%dx%d", stages, width))
+	prev := TaskID("")
+	for s := 0; s < stages; s++ {
+		var stageIDs []TaskID
+		for i := 0; i < width; i++ {
+			id := fmt.Sprintf("s%02d-w%03d", s, i)
+			var deps []TaskID
+			if prev != "" {
+				deps = []TaskID{prev}
+			}
+			w.Add(opts.task(rng, id, fmt.Sprintf("fan%d", s), deps...))
+			stageIDs = append(stageIDs, TaskID(id))
+		}
+		mid := fmt.Sprintf("s%02d-merge", s)
+		w.Add(opts.task(rng, mid, fmt.Sprintf("merge%d", s), stageIDs...))
+		prev = TaskID(mid)
+	}
+	return w
+}
+
+// Diamond generates the 4-task diamond: one source, two branches, one sink.
+func Diamond(rng *randx.Source, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New("diamond")
+	w.Add(opts.task(rng, "src", "src"))
+	w.Add(opts.task(rng, "left", "branch", "src"))
+	w.Add(opts.task(rng, "right", "branch", "src"))
+	w.Add(opts.task(rng, "sink", "sink", "left", "right"))
+	return w
+}
+
+// RandomLayered generates `levels` layers of up to `width` tasks; each task
+// depends on 1..3 random tasks of the previous layer. This is the standard
+// synthetic-DAG family used in scheduling studies.
+func RandomLayered(rng *randx.Source, levels, width int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("layered-%dx%d", levels, width))
+	var prevLayer []TaskID
+	for l := 0; l < levels; l++ {
+		n := 1 + rng.Intn(width)
+		if l == 0 {
+			n = width // full fan-out at the roots
+		}
+		var layer []TaskID
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("l%02d-t%03d", l, i)
+			var deps []TaskID
+			if len(prevLayer) > 0 {
+				k := 1 + rng.Intn(3)
+				if k > len(prevLayer) {
+					k = len(prevLayer)
+				}
+				perm := rng.Perm(len(prevLayer))
+				for j := 0; j < k; j++ {
+					deps = append(deps, prevLayer[perm[j]])
+				}
+			}
+			w.Add(opts.task(rng, id, fmt.Sprintf("proc%d", l), deps...))
+			layer = append(layer, TaskID(id))
+		}
+		prevLayer = layer
+	}
+	return w
+}
+
+// MontageLike generates the Montage astronomy workflow shape: project fan,
+// overlap-pair fit, concat, background correction fan, gather, tile.
+func MontageLike(rng *randx.Source, width int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("montage-%d", width))
+	var projs []TaskID
+	for i := 0; i < width; i++ {
+		id := fmt.Sprintf("mProject-%03d", i)
+		w.Add(opts.task(rng, id, "mProject"))
+		projs = append(projs, TaskID(id))
+	}
+	var diffs []TaskID
+	for i := 0; i+1 < width; i++ {
+		id := fmt.Sprintf("mDiffFit-%03d", i)
+		w.Add(opts.task(rng, id, "mDiffFit", projs[i], projs[i+1]))
+		diffs = append(diffs, TaskID(id))
+	}
+	w.Add(opts.task(rng, "mConcatFit", "mConcatFit", diffs...))
+	w.Add(opts.task(rng, "mBgModel", "mBgModel", TaskID("mConcatFit")))
+	var bgs []TaskID
+	for i := 0; i < width; i++ {
+		id := fmt.Sprintf("mBackground-%03d", i)
+		w.Add(opts.task(rng, id, "mBackground", projs[i], TaskID("mBgModel")))
+		bgs = append(bgs, TaskID(id))
+	}
+	w.Add(opts.task(rng, "mImgtbl", "mImgtbl", bgs...))
+	w.Add(opts.task(rng, "mAdd", "mAdd", TaskID("mImgtbl")))
+	w.Add(opts.task(rng, "mViewer", "mViewer", TaskID("mAdd")))
+	return w
+}
+
+// EpigenomicsLike generates the Epigenomics bioinformatics shape: per-lane
+// linear pipelines that merge into a global final chain.
+func EpigenomicsLike(rng *randx.Source, lanes, depth int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("epigenomics-%dx%d", lanes, depth))
+	var tails []TaskID
+	for l := 0; l < lanes; l++ {
+		var prev TaskID
+		for d := 0; d < depth; d++ {
+			id := fmt.Sprintf("lane%02d-s%02d", l, d)
+			var deps []TaskID
+			if prev != "" {
+				deps = []TaskID{prev}
+			}
+			w.Add(opts.task(rng, id, fmt.Sprintf("stage%d", d), deps...))
+			prev = TaskID(id)
+		}
+		tails = append(tails, prev)
+	}
+	w.Add(opts.task(rng, "merge", "mergeSort", tails...))
+	w.Add(opts.task(rng, "map", "map", TaskID("merge")))
+	w.Add(opts.task(rng, "filter", "pileup", TaskID("map")))
+	return w
+}
+
+// RNASeqLike generates a transcriptomics-atlas-shaped workflow: `samples`
+// independent 4-step pipelines (prefetch → fasterq → salmon → deseq2), as in
+// §5's "multiple independent pipelines processed in parallel".
+func RNASeqLike(rng *randx.Source, samples int, opts GenOpts) *Workflow {
+	opts.defaults()
+	w := New(fmt.Sprintf("rnaseq-%d", samples))
+	steps := []string{"prefetch", "fasterq", "salmon", "deseq2"}
+	for s := 0; s < samples; s++ {
+		var prev TaskID
+		for _, st := range steps {
+			id := fmt.Sprintf("%s-%04d", st, s)
+			var deps []TaskID
+			if prev != "" {
+				deps = []TaskID{prev}
+			}
+			w.Add(opts.task(rng, id, st, deps...))
+			prev = TaskID(id)
+		}
+	}
+	return w
+}

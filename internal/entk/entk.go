@@ -1,0 +1,544 @@
+// Package entk implements a RADICAL-EnTK-style Ensemble Toolkit (§4): the
+// Pipeline-Stage-Task (PST) programming model on top of a pilot runtime.
+//
+// "Pipeline is a sequence of Stages, and each Stage is a set of independent
+// computing Tasks. Multiple pipelines can be executed concurrently, while
+// stages, within each pipeline, are executed sequentially."
+//
+// Fault tolerance follows the paper's ExaAM applications: tasks that fail
+// (e.g. from node faults) are collected and re-submitted "as part of the
+// consecutive batch job (i.e., the next EnTK run)", with a smaller job whose
+// size "correlates to the number of failed tasks", preserving the order of
+// the original stages.
+package entk
+
+import (
+	"fmt"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/metrics"
+	"hhcw/internal/pilot"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// TaskState tracks a task through the EnTK state model.
+type TaskState int
+
+// Task states.
+const (
+	Initial TaskState = iota
+	Scheduling
+	Executed
+	Failed
+)
+
+// String returns the state name.
+func (s TaskState) String() string {
+	switch s {
+	case Initial:
+		return "initial"
+	case Scheduling:
+		return "scheduling"
+	case Executed:
+		return "executed"
+	default:
+		return "failed"
+	}
+}
+
+// Task is one EnTK computing task (whole-node granularity, like the ExaAM
+// codes: AdditiveFOAM 4 nodes, ExaCA 1 node, ExaConstit 8 nodes).
+type Task struct {
+	ID          string
+	Nodes       int
+	DurationSec float64
+
+	// FailAttempts makes the first N submissions fail at half the task's
+	// duration — the knob fault-injection experiments use to model
+	// application-level failures (the paper's "too large of a time step"
+	// cases) independent of node faults.
+	FailAttempts int
+
+	state    TaskState
+	attempts int
+}
+
+// State returns the task's current state.
+func (t *Task) State() TaskState { return t.state }
+
+// Attempts returns how many times the task was submitted.
+func (t *Task) Attempts() int { return t.attempts }
+
+// Stage is a set of independent tasks.
+type Stage struct {
+	Name  string
+	Tasks []*Task
+
+	// PostExec, when set, fires once when every task of the stage is
+	// terminal in its first job, before the next stage starts. It may
+	// append stages to the pipeline — EnTK's dynamic-workflow capability:
+	// "handle the size of a workflow dynamically, e.g., create a new
+	// workflow stages based on the status of previously executed stages"
+	// (§4). Stages appended by PostExec run in order after the existing
+	// ones.
+	PostExec func(p *Pipeline, s *Stage)
+
+	postExecFired bool
+}
+
+// AddTask appends a task and returns it (builder style).
+func (s *Stage) AddTask(t *Task) *Task {
+	s.Tasks = append(s.Tasks, t)
+	return t
+}
+
+// Pipeline is a sequence of stages.
+type Pipeline struct {
+	Name   string
+	Stages []*Stage
+}
+
+// AddStage appends a stage and returns it (builder style).
+func (p *Pipeline) AddStage(s *Stage) *Stage {
+	p.Stages = append(p.Stages, s)
+	return s
+}
+
+// ResourceDesc describes the pilot allocation an AppManager acquires —
+// EnTK's resource description, reconfigured per platform (§4.3).
+type ResourceDesc struct {
+	Nodes    int
+	Walltime sim.Time
+	Account  string
+
+	BootstrapSec float64 // agent overhead (Fig 4 OVH)
+	SchedRate    float64 // tasks/s (Fig 5, ~269 on Frontier)
+	LaunchRate   float64 // tasks/s (Fig 5, ~51 on Frontier)
+}
+
+// FrontierResource returns the §4.3 Frontier configuration for a given node
+// count.
+func FrontierResource(nodes int, walltime sim.Time) ResourceDesc {
+	return ResourceDesc{
+		Nodes:        nodes,
+		Walltime:     walltime,
+		Account:      "exaam",
+		BootstrapSec: 85,
+		SchedRate:    269,
+		LaunchRate:   51,
+	}
+}
+
+// Report summarizes one AppManager run for the Fig 4 / Fig 5 analyses.
+type Report struct {
+	Rounds        int      // 1 + resubmission jobs
+	JobRuntime    sim.Time // first job: grant → release
+	Overhead      sim.Time // first job OVH
+	TTX           sim.Time // first job: first launch → last completion
+	Utilization   float64  // node-seconds busy / (nodes × job runtime), first job
+	TasksExecuted int
+	TasksFailed   int // terminal failures across all rounds
+	ResubmittedOK int // tasks that failed once but succeeded on resubmission
+
+	// Measured agent throughputs of the first job (Fig 5 slopes).
+	MeasuredSchedRate  float64
+	MeasuredLaunchRate float64
+
+	// Series from the first job for plotting Fig 4/5.
+	Running   []metrics.Point
+	Scheduled []metrics.Point
+	BusyNodes []metrics.Point
+}
+
+// AppManager executes pipelines on pilots, handling acquisition,
+// concurrency, and resubmission.
+type AppManager struct {
+	Resource ResourceDesc
+	// MaxResubmitRounds bounds the consecutive smaller jobs for failed
+	// tasks (the paper's runs needed one).
+	MaxResubmitRounds int
+	// Policy, when set, caps every job's walltime to the facility limit
+	// for its node count — "each ensemble respects Frontier's job
+	// scheduling policy in terms of walltime limits per amount of
+	// requested compute nodes" (§4.2).
+	Policy rm.WalltimePolicy
+
+	cl *cluster.Cluster
+	bm *rm.BatchManager
+}
+
+// NewAppManager creates an AppManager over a cluster and batch manager.
+func NewAppManager(cl *cluster.Cluster, bm *rm.BatchManager, res ResourceDesc) *AppManager {
+	return &AppManager{Resource: res, MaxResubmitRounds: 1, cl: cl, bm: bm}
+}
+
+// RunPerJob executes each pipeline in its own batch job with its own
+// resource description — §4's requirement (ii): "either having one large
+// batch job for all workflows or setting a workflow per batch job with the
+// different numbers of acquired compute nodes and runtime." Jobs run
+// concurrently (subject to batch-queue capacity); each gets its own report.
+// resources must be parallel to pipelines.
+func (am *AppManager) RunPerJob(pipelines []*Pipeline, resources []ResourceDesc) ([]*Report, error) {
+	if len(pipelines) != len(resources) {
+		return nil, fmt.Errorf("entk: %d pipelines but %d resource descriptions", len(pipelines), len(resources))
+	}
+	reports := make([]*Report, len(pipelines))
+	managers := make([]*AppManager, len(pipelines))
+	failedAll := make([][][]*Task, len(pipelines))
+	var firstErr error
+	// One manager per job keeps resource descriptions and resubmission
+	// state independent.
+	for i := range pipelines {
+		managers[i] = &AppManager{
+			Resource:          resources[i],
+			MaxResubmitRounds: am.MaxResubmitRounds,
+			Policy:            am.Policy,
+			cl:                am.cl,
+			bm:                am.bm,
+		}
+	}
+	// Start every job before driving the engine, so the pilots coexist
+	// (batch queueing serializes only those that do not fit together).
+	finishers := make([]func() ([][]*Task, error), len(pipelines))
+	for i, pl := range pipelines {
+		reports[i] = &Report{}
+		finish, err := managers[i].startJob(resources[i], []*Pipeline{pl}, reports[i], true)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("entk: pipeline %q: %w", pl.Name, err)
+		}
+		finishers[i] = finish
+	}
+	if firstErr != nil {
+		return reports, firstErr
+	}
+	am.cl.Engine().Run()
+	for i := range pipelines {
+		failed, err := finishers[i]()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("entk: pipeline %q: %w", pipelines[i].Name, err)
+		}
+		reports[i].Rounds = 1
+		failedAll[i] = failed
+	}
+	if firstErr != nil {
+		return reports, firstErr
+	}
+	// Resubmission rounds per pipeline.
+	for i, pl := range pipelines {
+		mgr := managers[i]
+		for round := 0; round < mgr.MaxResubmitRounds; round++ {
+			n := 0
+			for _, tasks := range failedAll[i] {
+				n += len(tasks)
+			}
+			if n == 0 {
+				break
+			}
+			nodes := 0
+			maxNodes := 0
+			for _, tasks := range failedAll[i] {
+				for _, t := range tasks {
+					nodes += t.Nodes
+					if t.Nodes > maxNodes {
+						maxNodes = t.Nodes
+					}
+				}
+			}
+			if nodes > resources[i].Nodes {
+				nodes = resources[i].Nodes
+			}
+			if nodes < maxNodes {
+				nodes = maxNodes
+			}
+			res := resources[i]
+			res.Nodes = nodes
+			rp := &Pipeline{Name: pl.Name + "-resubmit"}
+			for si, tasks := range failedAll[i] {
+				if len(tasks) == 0 {
+					continue
+				}
+				rp.Stages = append(rp.Stages, &Stage{Name: fmt.Sprintf("resubmit-%d", si), Tasks: tasks})
+			}
+			before := countExecuted([]*Pipeline{pl})
+			var err error
+			failedAll[i], err = mgr.runJob(res, []*Pipeline{rp}, reports[i], false)
+			if err != nil {
+				return reports, err
+			}
+			reports[i].Rounds++
+			reports[i].ResubmittedOK += countExecuted([]*Pipeline{pl}) - before
+		}
+		for _, tasks := range failedAll[i] {
+			reports[i].TasksFailed += len(tasks)
+		}
+		reports[i].TasksExecuted = countExecuted([]*Pipeline{pl})
+	}
+	return reports, nil
+}
+
+// Run executes the pipelines to completion (including resubmission rounds)
+// and returns the report. It drives the sim engine.
+func (am *AppManager) Run(pipelines ...*Pipeline) (*Report, error) {
+	rep := &Report{}
+	var failedByStage [][]*Task // preserves original stage order
+
+	// Round 0: full job.
+	failed, err := am.runJob(am.Resource, pipelines, rep, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rounds = 1
+	failedByStage = failed
+
+	// Resubmission rounds: smaller jobs sized to the failed work.
+	for round := 0; round < am.MaxResubmitRounds; round++ {
+		n := 0
+		maxNodes := 0
+		for _, tasks := range failedByStage {
+			for _, t := range tasks {
+				n++
+				if t.Nodes > maxNodes {
+					maxNodes = t.Nodes
+				}
+			}
+		}
+		if n == 0 {
+			break
+		}
+		// Job size correlates with the failed-task count (§4.2), bounded
+		// by the original allocation.
+		nodes := 0
+		for _, tasks := range failedByStage {
+			for _, t := range tasks {
+				nodes += t.Nodes
+			}
+		}
+		if nodes > am.Resource.Nodes {
+			nodes = am.Resource.Nodes
+		}
+		if nodes < maxNodes {
+			nodes = maxNodes
+		}
+		res := am.Resource
+		res.Nodes = nodes
+
+		// Preserve stage order: one synthetic pipeline, one stage per
+		// original stage with failures.
+		rp := &Pipeline{Name: "resubmit"}
+		for i, tasks := range failedByStage {
+			if len(tasks) == 0 {
+				continue
+			}
+			st := &Stage{Name: fmt.Sprintf("resubmit-%d", i)}
+			st.Tasks = tasks
+			rp.Stages = append(rp.Stages, st)
+		}
+		before := countExecuted(pipelines)
+		failedByStage, err = am.runJob(res, []*Pipeline{rp}, rep, false)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rounds++
+		rep.ResubmittedOK += countExecuted(pipelines) - before
+	}
+	// Terminal failures.
+	for _, tasks := range failedByStage {
+		rep.TasksFailed += len(tasks)
+	}
+	rep.TasksExecuted = countExecuted(pipelines)
+	return rep, nil
+}
+
+func countExecuted(pipelines []*Pipeline) int {
+	n := 0
+	for _, p := range pipelines {
+		for _, s := range p.Stages {
+			for _, t := range s.Tasks {
+				if t.state == Executed {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// runJob acquires one pilot, runs the given pipelines concurrently, and
+// returns failed tasks grouped by a global stage index (pipeline-major).
+// runJob acquires one pilot, runs the given pipelines concurrently, drives
+// the engine to completion, and returns failed tasks grouped by a global
+// stage index.
+func (am *AppManager) runJob(res ResourceDesc, pipelines []*Pipeline, rep *Report, first bool) ([][]*Task, error) {
+	finish, err := am.startJob(res, pipelines, rep, first)
+	if err != nil {
+		return nil, err
+	}
+	am.cl.Engine().Run()
+	return finish()
+}
+
+// startJob submits the pilot and wires the stage logic without driving the
+// engine; call the returned finish after the engine drains. This split lets
+// several jobs run concurrently (RunPerJob).
+func (am *AppManager) startJob(res ResourceDesc, pipelines []*Pipeline, rep *Report, first bool) (func() ([][]*Task, error), error) {
+	if am.Policy != nil {
+		if cap := am.Policy(res.Nodes); res.Walltime > cap {
+			res.Walltime = cap
+		}
+	}
+	p, err := pilot.Submit(am.bm, am.cl, pilot.Config{
+		Nodes:        res.Nodes,
+		Walltime:     res.Walltime,
+		Account:      res.Account,
+		BootstrapSec: res.BootstrapSec,
+		SchedRate:    res.SchedRate,
+		LaunchRate:   res.LaunchRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Global stage indexing for order-preserving resubmission.
+	stageIndex := map[*Stage]int{}
+	idx := 0
+	for _, pl := range pipelines {
+		for _, s := range pl.Stages {
+			stageIndex[s] = idx
+			idx++
+		}
+	}
+	failedByStage := make([][]*Task, idx)
+
+	active := len(pipelines)
+	var runStage func(pl *Pipeline, si int)
+	runStage = func(pl *Pipeline, si int) {
+		if si >= len(pl.Stages) {
+			active--
+			if active == 0 {
+				p.Release()
+			}
+			return
+		}
+		stage := pl.Stages[si]
+		if len(stage.Tasks) == 0 {
+			if stage.PostExec != nil && !stage.postExecFired {
+				stage.postExecFired = true
+				stage.PostExec(pl, stage)
+				for _, s := range pl.Stages {
+					if _, known := stageIndex[s]; !known {
+						stageIndex[s] = len(failedByStage)
+						failedByStage = append(failedByStage, nil)
+					}
+				}
+			}
+			runStage(pl, si+1)
+			return
+		}
+		remaining := len(stage.Tasks)
+		for _, t := range stage.Tasks {
+			task := t
+			task.state = Scheduling
+			task.attempts++
+			err := p.SubmitTask(&pilot.Task{
+				ID:           fmt.Sprintf("%s/%s/%s#%d", pl.Name, stage.Name, task.ID, task.attempts),
+				Nodes:        task.Nodes,
+				DurationSec:  task.DurationSec,
+				Fail:         task.attempts <= task.FailAttempts,
+				FailAfterSec: task.DurationSec / 2,
+				Done: func(r pilot.TaskResult) {
+					if r.Failed {
+						task.state = Failed
+						gi := stageIndex[stage]
+						failedByStage[gi] = append(failedByStage[gi], task)
+					} else {
+						task.state = Executed
+					}
+					remaining--
+					if remaining == 0 {
+						if stage.PostExec != nil && !stage.postExecFired {
+							stage.postExecFired = true
+							stage.PostExec(pl, stage)
+							// Register any appended stages for
+							// order-preserving resubmission.
+							for _, s := range pl.Stages {
+								if _, known := stageIndex[s]; !known {
+									stageIndex[s] = len(failedByStage)
+									failedByStage = append(failedByStage, nil)
+								}
+							}
+						}
+						runStage(pl, si+1)
+					}
+				},
+			})
+			if err != nil {
+				task.state = Failed
+				gi := stageIndex[stage]
+				failedByStage[gi] = append(failedByStage[gi], task)
+				remaining--
+				if remaining == 0 {
+					runStage(pl, si+1)
+				}
+			}
+		}
+	}
+	p.OnActive(func() {
+		for _, pl := range pipelines {
+			runStage(pl, 0)
+		}
+	})
+	finish := func() ([][]*Task, error) {
+		if p.State() == pilot.Pending {
+			return nil, fmt.Errorf("entk: pilot for %d nodes was never granted (cluster has %d healthy nodes)",
+				res.Nodes, len(am.cl.UpNodes()))
+		}
+		if first {
+			rep.Overhead = p.Overhead()
+			rep.TTX = p.TTX()
+			end := p.StartedAt() + p.Overhead() + p.TTX()
+			rep.JobRuntime = end - p.StartedAt()
+			if res.Nodes > 0 && rep.JobRuntime > 0 {
+				rep.Utilization = p.BusyNodesSeries().Integral(p.StartedAt(), end) /
+					(float64(res.Nodes) * float64(rep.JobRuntime))
+			}
+			rep.MeasuredSchedRate = measuredRate(p.ScheduledSeries().Points())
+			rep.MeasuredLaunchRate = measuredRate(p.LaunchedSeries().Points())
+			rep.Running = copySeries(p.RunningSeries().Points())
+			rep.Scheduled = copySeries(p.ScheduledSeries().Points())
+			rep.BusyNodes = copySeries(p.BusyNodesSeries().Points())
+		}
+		return failedByStage, nil
+	}
+	return finish, nil
+}
+
+// measuredRate returns events/second over the initial ramp of a cumulative
+// counter series — the slope the paper reads off Fig 5 ("initial slopes of
+// blue and orange lines"). The ramp ends at the first inter-event gap an
+// order of magnitude above the running mean gap (i.e. when launches stall
+// waiting for completions) or at the series end.
+func measuredRate(pts []metrics.Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	end := len(pts) - 1
+	meanGap := 0.0
+	for i := 1; i < len(pts); i++ {
+		gap := float64(pts[i].T - pts[i-1].T)
+		if i >= 3 && meanGap > 0 && gap > 10*meanGap {
+			end = i - 1
+			break
+		}
+		meanGap += (gap - meanGap) / float64(i)
+	}
+	span := float64(pts[end].T - pts[0].T)
+	if span <= 0 {
+		return 0
+	}
+	return (pts[end].V - pts[0].V) / span
+}
+
+func copySeries(pts []metrics.Point) []metrics.Point {
+	return append([]metrics.Point(nil), pts...)
+}

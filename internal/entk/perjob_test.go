@@ -1,0 +1,108 @@
+package entk
+
+import (
+	"testing"
+)
+
+// TestRunPerJobConcurrent verifies §4's requirement (ii): one workflow per
+// batch job, different node counts and runtimes, executing concurrently.
+func TestRunPerJobConcurrent(t *testing.T) {
+	_, cl, bm := setup(8)
+	am := NewAppManager(cl, bm, ResourceDesc{})
+
+	p1 := simplePipeline([]float64{100, 100})
+	p1.Name = "wf-a"
+	p2 := simplePipeline([]float64{100})
+	p2.Name = "wf-b"
+	reports, err := am.RunPerJob(
+		[]*Pipeline{p1, p2},
+		[]ResourceDesc{
+			{Nodes: 4, Walltime: 1e6},
+			{Nodes: 2, Walltime: 1e6},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].TasksExecuted != 2 || reports[1].TasksExecuted != 1 {
+		t.Fatalf("executed = %d/%d", reports[0].TasksExecuted, reports[1].TasksExecuted)
+	}
+	// Concurrency: both jobs fit the 8-node cluster, so both TTX ≈ 100 and
+	// the overall virtual clock is ~100, not 200.
+	if reports[0].TTX != 100 || reports[1].TTX != 100 {
+		t.Fatalf("TTX = %v/%v, want 100/100 (concurrent jobs)", reports[0].TTX, reports[1].TTX)
+	}
+	if bm.Started() != 2 {
+		t.Fatalf("batch jobs = %d", bm.Started())
+	}
+}
+
+// TestRunPerJobQueuesWhenOversubscribed: jobs that do not fit together are
+// serialized by the batch queue, like a real facility.
+func TestRunPerJobQueuesWhenOversubscribed(t *testing.T) {
+	eng, cl, bm := setup(4)
+	am := NewAppManager(cl, bm, ResourceDesc{})
+	p1 := simplePipeline([]float64{100})
+	p1.Name = "big-a"
+	p2 := simplePipeline([]float64{100})
+	p2.Name = "big-b"
+	reports, err := am.RunPerJob(
+		[]*Pipeline{p1, p2},
+		[]ResourceDesc{
+			{Nodes: 4, Walltime: 1e6},
+			{Nodes: 4, Walltime: 1e6},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].TasksExecuted != 1 || reports[1].TasksExecuted != 1 {
+		t.Fatal("not all pipelines completed")
+	}
+	// Serialized: total virtual time ≈ 200.
+	if eng.Now() < 200 {
+		t.Fatalf("virtual clock = %v, want ≥200 (queued jobs)", eng.Now())
+	}
+}
+
+// TestRunPerJobPerJobResubmission: failures in one job trigger that job's
+// own smaller resubmission without touching the other.
+func TestRunPerJobPerJobResubmission(t *testing.T) {
+	_, cl, bm := setup(8)
+	am := NewAppManager(cl, bm, ResourceDesc{})
+	flaky := &Pipeline{Name: "flaky"}
+	st := flaky.AddStage(&Stage{Name: "s"})
+	st.AddTask(&Task{ID: "ok", Nodes: 1, DurationSec: 50})
+	st.AddTask(&Task{ID: "bad", Nodes: 1, DurationSec: 50, FailAttempts: 1})
+	clean := simplePipeline([]float64{50})
+	clean.Name = "clean"
+
+	reports, err := am.RunPerJob(
+		[]*Pipeline{flaky, clean},
+		[]ResourceDesc{{Nodes: 2, Walltime: 1e6}, {Nodes: 2, Walltime: 1e6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Rounds != 2 || reports[0].ResubmittedOK != 1 {
+		t.Fatalf("flaky job: rounds=%d resubmitted=%d", reports[0].Rounds, reports[0].ResubmittedOK)
+	}
+	if reports[1].Rounds != 1 || reports[1].TasksFailed != 0 {
+		t.Fatalf("clean job perturbed: %+v", reports[1])
+	}
+	if bm.Started() != 3 { // 2 initial + 1 resubmission
+		t.Fatalf("batch jobs = %d", bm.Started())
+	}
+}
+
+// TestRunPerJobValidation rejects mismatched lengths.
+func TestRunPerJobValidation(t *testing.T) {
+	_, cl, bm := setup(2)
+	am := NewAppManager(cl, bm, ResourceDesc{})
+	if _, err := am.RunPerJob([]*Pipeline{{}}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

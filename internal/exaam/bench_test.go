@@ -1,0 +1,25 @@
+package exaam
+
+import "testing"
+
+// BenchmarkSparseGrid measures TASMANIAN-style grid generation at the
+// dimensions/levels UQ studies use.
+func BenchmarkSparseGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(SparseGrid(4, 4)); got == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkStage3Build measures building the full 7875-task ensemble
+// pipeline definition.
+func BenchmarkStage3Build(b *testing.B) {
+	cfg := FrontierConfig()
+	for i := 0; i < b.N; i++ {
+		p := Stage3Pipeline(cfg)
+		if len(p.Stages[0].Tasks) != 7875 {
+			b.Fatal("wrong task count")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package exaam implements the ExaAM uncertainty-quantification pipeline of
+// §4.2: Stage 0 builds a UQ grid (TASMANIAN-style sparse grid) over process
+// parameters; Stage 1 runs melt-pool thermal simulations (AdditiveFOAM, even
+// and odd runs plus a gather step) and microstructure generation (ExaCA)
+// over the cartesian product of thermal cases and microstructure UQ
+// parameters; Stage 3 runs ExaConstit local-property ensembles over loading
+// directions × temperatures × RVEs and a final optimization step.
+//
+// The physics codes are replaced by calibrated task models (the paper's
+// published shapes: 4 nodes per AdditiveFOAM task, 1 node per ExaCA task,
+// 8 nodes and 10–25 min per ExaConstit task); the orchestration — what
+// Figures 3–5 measure — is exact.
+package exaam
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseGrid generates a Smolyak sparse grid with Clenshaw-Curtis points on
+// [-1,1]^dim at the given level — the role TASMANIAN plays in UQ Stage 0
+// ("Stage 0 generates the UQ grid using TASMANIAN"). Points are returned
+// deduplicated in deterministic (lexicographic) order.
+func SparseGrid(dim, level int) [][]float64 {
+	if dim <= 0 || level < 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out [][]float64
+
+	var indices [][]int
+	var walk func(prefix []int, remaining, budget int)
+	walk = func(prefix []int, remaining, budget int) {
+		if remaining == 0 {
+			idx := append([]int(nil), prefix...)
+			indices = append(indices, idx)
+			return
+		}
+		for l := 0; l <= budget; l++ {
+			walk(append(prefix, l), remaining-1, budget-l)
+		}
+	}
+	walk(nil, dim, level)
+
+	for _, idx := range indices {
+		grids := make([][]float64, dim)
+		for i, l := range idx {
+			grids[i] = ccPoints(l)
+		}
+		cross(grids, func(pt []float64) {
+			k := pointKey(pt)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, append([]float64(nil), pt...))
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ccPoints returns the 1-D Clenshaw-Curtis nodes at a level: 1 node at level
+// 0, 2^l+1 nodes at level l>=1.
+func ccPoints(level int) []float64 {
+	if level == 0 {
+		return []float64{0}
+	}
+	n := 1<<uint(level) + 1
+	pts := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = -math.Cos(math.Pi * float64(i) / float64(n-1))
+		// Snap numeric zeros so deduplication across levels works.
+		if math.Abs(pts[i]) < 1e-12 {
+			pts[i] = 0
+		}
+	}
+	return pts
+}
+
+func cross(grids [][]float64, emit func([]float64)) {
+	pt := make([]float64, len(grids))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(grids) {
+			emit(pt)
+			return
+		}
+		for _, v := range grids[i] {
+			pt[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func pointKey(pt []float64) string {
+	// Quantize to avoid float-noise duplicates.
+	b := make([]byte, 0, len(pt)*9)
+	for _, v := range pt {
+		q := int64(math.Round(v * 1e9))
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(q>>(8*i)))
+		}
+		b = append(b, ':')
+	}
+	return string(b)
+}
+
+// ScalePoint maps a [-1,1] grid point into physical parameter ranges
+// [lo[i], hi[i]].
+func ScalePoint(pt []float64, lo, hi []float64) []float64 {
+	out := make([]float64, len(pt))
+	for i, v := range pt {
+		out[i] = lo[i] + (v+1)/2*(hi[i]-lo[i])
+	}
+	return out
+}

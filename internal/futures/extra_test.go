@@ -1,0 +1,52 @@
+package futures
+
+import "testing"
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Pending: "pending", Running: "running", Done: "done", Failed: "failed",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestAppsListing(t *testing.T) {
+	_, e := newExec()
+	apps := e.Apps()
+	if len(apps) != 3 {
+		t.Fatalf("Apps = %v", apps)
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		seen[a] = true
+	}
+	for _, want := range []string{"transform", "cluster", "broken"} {
+		if !seen[want] {
+			t.Fatalf("missing app %q in %v", want, apps)
+		}
+	}
+}
+
+func TestTransientFailureFirstN(t *testing.T) {
+	eng, e := newExec()
+	e.RegisterApp(App{Name: "flaky", DurationSec: 5, Outputs: []string{"o"},
+		FailWith: "transient", FailFirstN: 2})
+	f1, _ := e.SubmitFromFiles("flaky", nil)
+	eng.Run()
+	if f1.State() != Failed {
+		t.Fatal("first execution should fail")
+	}
+	f2, _ := e.SubmitFromFiles("flaky", nil)
+	eng.Run()
+	if f2.State() != Failed {
+		t.Fatal("second execution should fail")
+	}
+	f3, _ := e.SubmitFromFiles("flaky", nil)
+	eng.Run()
+	if f3.State() != Done {
+		t.Fatalf("third execution should succeed, got %v: %v", f3.State(), f3.Err())
+	}
+}

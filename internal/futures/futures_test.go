@@ -1,0 +1,133 @@
+package futures
+
+import (
+	"testing"
+
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+func newExec() (*sim.Engine, *Executor) {
+	eng := sim.NewEngine()
+	e := NewExecutor(eng)
+	e.RegisterApp(App{Name: "transform", DurationSec: 10, Outputs: []string{"out.tsv"}})
+	e.RegisterApp(App{Name: "cluster", DurationSec: 20, Outputs: []string{"clusters.tsv"}})
+	e.RegisterApp(App{Name: "broken", DurationSec: 5, Outputs: []string{"x"}, FailWith: "segfault"})
+	return eng, e
+}
+
+func TestSubmitFromFiles(t *testing.T) {
+	eng, e := newExec()
+	f, err := e.SubmitFromFiles("transform", []storage.File{{Name: "in.vcf", Bytes: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.State() != Pending {
+		t.Fatalf("state = %v before run", f.State())
+	}
+	eng.Run()
+	if f.State() != Done {
+		t.Fatalf("state = %v, want done", f.State())
+	}
+	if len(f.Outputs()) != 1 || !f.Outputs()[0].Ready() {
+		t.Fatal("output data future not ready")
+	}
+	if f.Outputs()[0].File.Bytes != 5e5 { // half the input
+		t.Fatalf("output bytes = %v", f.Outputs()[0].File.Bytes)
+	}
+	if eng.Now() != 10 {
+		t.Fatalf("finished at %v", eng.Now())
+	}
+}
+
+func TestUnknownAppAndFuture(t *testing.T) {
+	_, e := newExec()
+	if _, err := e.SubmitFromFiles("nope", nil); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := e.SubmitFromFutures("transform", []string{"fut-9999"}); err == nil {
+		t.Fatal("unknown future ID accepted")
+	}
+}
+
+func TestChainingViaFutureIDs(t *testing.T) {
+	eng, e := newExec()
+	f1, _ := e.SubmitFromFiles("transform", []storage.File{{Name: "in.vcf", Bytes: 1e6}})
+	f2, err := e.SubmitFromFutures("cluster", []string{f1.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if f2.State() != Done {
+		t.Fatalf("downstream state = %v", f2.State())
+	}
+	if eng.Now() != 30 { // sequential: 10 + 20
+		t.Fatalf("chain finished at %v, want 30", eng.Now())
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	eng, e := newExec()
+	f, _ := e.SubmitFromFiles("transform", nil)
+	got, ok := e.Lookup(f.ID)
+	if !ok || got != f {
+		t.Fatal("registry lookup failed")
+	}
+	if _, ok := e.Lookup("nope"); ok {
+		t.Fatal("lookup of unknown ID succeeded")
+	}
+	eng.Run()
+}
+
+func TestFailurePropagates(t *testing.T) {
+	eng, e := newExec()
+	f1, _ := e.SubmitFromFiles("broken", nil)
+	f2, _ := e.SubmitFromFutures("cluster", []string{f1.ID})
+	eng.Run()
+	if f1.State() != Failed {
+		t.Fatalf("f1 state = %v", f1.State())
+	}
+	if f2.State() != Failed {
+		t.Fatalf("f2 state = %v, dependency failure must propagate", f2.State())
+	}
+	if f2.Err() == nil {
+		t.Fatal("f2 has no error")
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	eng, e := newExec()
+	src, _ := e.SubmitFromFiles("transform", []storage.File{{Bytes: 1e6}})
+	l, _ := e.SubmitFromFutures("cluster", []string{src.ID})
+	r, _ := e.SubmitFromFutures("transform", []string{src.ID})
+	sink, _ := e.SubmitFromFutures("cluster", []string{l.ID, r.ID})
+	eng.Run()
+	if sink.State() != Done {
+		t.Fatalf("sink state = %v", sink.State())
+	}
+	// src(10) → max(cluster 20, transform 10) → cluster 20 = 50.
+	if eng.Now() != 50 {
+		t.Fatalf("diamond finished at %v, want 50", eng.Now())
+	}
+}
+
+func TestOnDoneAfterTerminal(t *testing.T) {
+	eng, e := newExec()
+	f, _ := e.SubmitFromFiles("transform", nil)
+	eng.Run()
+	fired := false
+	f.OnDone(func(*AppFuture) { fired = true })
+	if !fired {
+		t.Fatal("OnDone on terminal future did not fire immediately")
+	}
+}
+
+func TestIDsAreSequentialAndUnique(t *testing.T) {
+	eng, e := newExec()
+	f1, _ := e.SubmitFromFiles("transform", nil)
+	f2, _ := e.SubmitFromFiles("transform", nil)
+	if f1.ID == f2.ID {
+		t.Fatal("duplicate future IDs")
+	}
+	eng.Run()
+}

@@ -1,0 +1,102 @@
+package jaws
+
+import (
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/sim"
+	"hhcw/internal/storage"
+)
+
+func TestEstimateSecComponents(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := NewService(eng)
+	cl, _ := testSite(eng, 4, 8) // 32 cores
+	svc.AddSite("a", cl)
+	svc.Central().Put(storage.File{Name: "in.dat", Bytes: 10e9})
+	svc.Transfer().SetLink("jaws-central", "a-scratch", storage.Link{BandwidthBps: 1e9, LatencySec: 5})
+
+	def := mustParse(t, `
+workflow e
+task t cpu=2 dur=100s overhead=10s scatter=8
+`)
+	est, err := svc.EstimateSec(def, "a", []string{"in.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// staging 5+10 = 15; work = 110×8×2 = 1760 core-s / 32 = 55; critical
+	// path = 110 → runtime = 110; total 125.
+	if est != 125 {
+		t.Fatalf("estimate = %v, want 125", est)
+	}
+	if _, err := svc.EstimateSec(def, "ghost", nil); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := svc.EstimateSec(def, "a", []string{"missing"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestSubmitAutoPicksFasterSite(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := NewService(eng)
+
+	small := cluster.New(eng, "small", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 4, MemBytes: 256e9},
+		Count: 1,
+	})
+	big := cluster.New(eng, "big", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 32, MemBytes: 256e9},
+		Count: 8,
+	})
+	svc.AddSite("small", small)
+	svc.AddSite("big", big)
+
+	def := mustParse(t, `
+workflow wide
+task fan cpu=2 dur=30m overhead=1m scatter=64
+`)
+	res, err := svc.SubmitAuto(def, "u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Site != "big" {
+		t.Fatalf("routed to %s, want big for a wide scatter", res.Site)
+	}
+	if res.Report.ShardsExecuted != 64 {
+		t.Fatalf("executed %d shards", res.Report.ShardsExecuted)
+	}
+}
+
+func TestSubmitAutoConsidersStaging(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := NewService(eng)
+	// Two identical sites, but one sits behind a dreadful link.
+	near, _ := testSite(eng, 2, 8)
+	svc.AddSite("near", near)
+	far := cluster.New(eng, "far", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 1e12},
+		Count: 2,
+	})
+	svc.AddSite("far", far)
+	svc.Central().Put(storage.File{Name: "huge.dat", Bytes: 100e9})
+	svc.Transfer().SetLink("jaws-central", "near-scratch", storage.Link{BandwidthBps: 10e9})
+	svc.Transfer().SetLink("jaws-central", "far-scratch", storage.Link{BandwidthBps: 10e6}) // 10 MB/s
+
+	def := mustParse(t, "workflow s\ntask t dur=60s")
+	res, err := svc.SubmitAuto(def, "u", []string{"huge.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Site != "near" {
+		t.Fatalf("routed to %s, want near (staging dominates)", res.Site)
+	}
+}
+
+func TestSubmitAutoNoSites(t *testing.T) {
+	svc := NewService(sim.NewEngine())
+	def := mustParse(t, "workflow s\ntask t dur=1s")
+	if _, err := svc.SubmitAuto(def, "u", nil); err == nil {
+		t.Fatal("no-site routing accepted")
+	}
+}

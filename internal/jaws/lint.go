@@ -1,0 +1,123 @@
+package jaws
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lint encodes §6's migration patterns and anti-patterns as a checker run
+// against a workflow description before it is admitted to the central
+// service.
+
+// Severity grades a finding.
+type Severity int
+
+// Finding severities.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the severity label.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	default:
+		return "error"
+	}
+}
+
+// Finding is one lint result.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Task     string // empty for workflow-level findings
+	Message  string
+}
+
+// String renders the finding as "[severity] rule (where): message".
+func (f Finding) String() string {
+	where := f.Task
+	if where == "" {
+		where = "workflow"
+	}
+	return fmt.Sprintf("[%s] %s (%s): %s", f.Severity, f.Rule, where, f.Message)
+}
+
+// MinShardRuntimeSec is the §6.2 guidance: "each parallel job should have a
+// minimum runtime of 30 minutes."
+const MinShardRuntimeSec = 30 * 60
+
+// Lint checks a workflow against the migration patterns (§6.1) and
+// anti-patterns (§6.2).
+func Lint(def *WorkflowDef) []Finding {
+	var out []Finding
+	if err := def.Validate(); err != nil {
+		return []Finding{{Rule: "valid-dag", Severity: Error, Message: err.Error()}}
+	}
+
+	totalDur := 0.0
+	for _, t := range def.Tasks {
+		totalDur += t.DurationSec * float64(t.Shards())
+
+		// Containerization pattern.
+		if t.Container == "" {
+			out = append(out, Finding{
+				Rule: "containerization", Severity: Warning, Task: t.Name,
+				Message: "task has no container image; environment will not be portable across sites",
+			})
+		} else if !strings.Contains(t.Container, "@sha256:") {
+			// Version-control anti-pattern: "by using version sha256 on
+			// container images ... it is possible to be very precise about
+			// the software's version."
+			out = append(out, Finding{
+				Rule: "version-pinning", Severity: Warning, Task: t.Name,
+				Message: "container image is not pinned by sha256 digest; runs are not reproducible",
+			})
+		}
+
+		// Inappropriate parallelism: scattered shards shorter than the
+		// 30-minute floor pay more in overhead than they gain.
+		if t.Scatter > 1 && t.DurationSec < MinShardRuntimeSec {
+			out = append(out, Finding{
+				Rule: "inappropriate-parallelism", Severity: Warning, Task: t.Name,
+				Message: fmt.Sprintf("scatter of %d shards with %.0fs payload each (< %d min floor); consider fusing or widening shards",
+					t.Scatter, t.DurationSec, MinShardRuntimeSec/60),
+			})
+		}
+
+		// Excessive overhead share: candidates for fusion.
+		if t.OverheadSec > 0 && t.DurationSec > 0 && t.OverheadSec >= t.DurationSec {
+			out = append(out, Finding{
+				Rule: "fusion-candidate", Severity: Info, Task: t.Name,
+				Message: fmt.Sprintf("per-shard overhead (%.0fs) dominates payload (%.0fs); fuse with neighbours",
+					t.OverheadSec, t.DurationSec),
+			})
+		}
+	}
+
+	// Modularization: a single monolithic task can't recover or cache
+	// partial work.
+	if len(def.Tasks) == 1 && totalDur > 4*3600 {
+		out = append(out, Finding{
+			Rule: "modularization", Severity: Warning, Task: def.Tasks[0].Name,
+			Message: "single task runs for hours; decompose so the engine can checkpoint, cache and retry pieces",
+		})
+	}
+
+	// Fair-share: a very wide scatter on a shared engine needs explicit
+	// parallelism constraints (the engine-side cap, §6.2).
+	for _, t := range def.Tasks {
+		if t.Scatter >= 100 {
+			out = append(out, Finding{
+				Rule: "unconstrained-parallelism", Severity: Warning, Task: t.Name,
+				Message: fmt.Sprintf("scatter of %d can monopolize a shared engine; ensure per-user concurrency caps are configured", t.Scatter),
+			})
+		}
+	}
+	return out
+}

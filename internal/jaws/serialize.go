@@ -1,0 +1,96 @@
+package jaws
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders a workflow back into the mini-WDL text format; Parse(def.
+// String()) reproduces an equivalent definition. Useful for storing fused or
+// machine-generated workflows in the central service.
+func (w *WorkflowDef) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %s\n", w.Name)
+	for _, t := range w.Tasks {
+		fmt.Fprintf(&b, "task %s", t.Name)
+		if t.Cores != 1 {
+			fmt.Fprintf(&b, " cpu=%d", t.Cores)
+		}
+		if t.MemBytes > 0 {
+			fmt.Fprintf(&b, " mem=%s", fmtBytes(t.MemBytes))
+		}
+		fmt.Fprintf(&b, " dur=%ss", fmtFloat(t.DurationSec))
+		if t.OverheadSec > 0 {
+			fmt.Fprintf(&b, " overhead=%ss", fmtFloat(t.OverheadSec))
+		}
+		if len(t.After) > 0 {
+			deps := append([]string(nil), t.After...)
+			sort.Strings(deps)
+			fmt.Fprintf(&b, " after=%s", strings.Join(deps, ","))
+		}
+		if t.Scatter > 1 {
+			fmt.Fprintf(&b, " scatter=%d", t.Scatter)
+		}
+		if t.Container != "" {
+			fmt.Fprintf(&b, " container=%s", t.Container)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fmtFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1e9 && b == float64(int64(b/1e9))*1e9:
+		return fmt.Sprintf("%dG", int64(b/1e9))
+	case b >= 1e6 && b == float64(int64(b/1e6))*1e6:
+		return fmt.Sprintf("%dM", int64(b/1e6))
+	default:
+		return fmtFloat(b)
+	}
+}
+
+// Equivalent reports whether two definitions describe the same workflow
+// (same tasks with the same attributes, dependencies compared as sets).
+func Equivalent(a, b *WorkflowDef) bool {
+	if a.Name != b.Name || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for _, ta := range a.Tasks {
+		tb := b.Task(ta.Name)
+		if tb == nil {
+			return false
+		}
+		if ta.Cores != tb.Cores || ta.MemBytes != tb.MemBytes ||
+			!feq(ta.DurationSec, tb.DurationSec) || !feq(ta.OverheadSec, tb.OverheadSec) ||
+			ta.Shards() != tb.Shards() || ta.Container != tb.Container {
+			return false
+		}
+		da := append([]string(nil), ta.After...)
+		db := append([]string(nil), tb.After...)
+		sort.Strings(da)
+		sort.Strings(db)
+		if len(da) != len(db) {
+			return false
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func feq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-3
+}

@@ -1,0 +1,176 @@
+package llmwf
+
+import (
+	"fmt"
+
+	"hhcw/internal/futures"
+	"hhcw/internal/sim"
+)
+
+// The §2.2 proposal: "The planner, executor, and debugger are all AI agents
+// ... A human operator may also be involved if the debugger cannot resolve
+// the issue." This engine implements that loop on top of the same LLM and
+// futures executor as the §2.1 prototype — the difference is precisely the
+// two things the prototype lacks: outcome validation after every step and a
+// recovery path on failure.
+
+// Issue describes a problem handed to the debugger (and possibly a human).
+type Issue struct {
+	Step    int
+	Call    *Call
+	Problem string
+}
+
+// HumanOperator resolves issues the debugger gives up on. Return true to
+// retry the step once more, false to abort the plan.
+type HumanOperator func(Issue) bool
+
+// AgentEngine is the §2.2 workflow engine.
+type AgentEngine struct {
+	Eng   *sim.Engine
+	Exec  *futures.Executor
+	LLM   LLM
+	Specs []FunctionSpec
+	// TokenLimit caps each request (0 = unlimited).
+	TokenLimit int
+	// MaxDebugAttempts bounds debugger retries per step.
+	MaxDebugAttempts int
+	// Human is consulted when the debugger exhausts its attempts (nil =
+	// nobody available, the plan fails).
+	Human HumanOperator
+}
+
+// ExecReport summarizes an agent-engine run.
+type ExecReport struct {
+	Steps             int
+	FutureIDs         []string
+	DebuggerInvoked   int // issues routed to the debugger
+	Recovered         int // issues the debugger fixed
+	HumanEscalations  int
+	Requests          int
+	SentTokens        int
+	PeakRequestTokens int
+	MakespanSec       float64
+}
+
+// Execute plans and runs the goal, validating each step and recovering from
+// failures.
+func (e *AgentEngine) Execute(goal string) (*ExecReport, error) {
+	if e.MaxDebugAttempts <= 0 {
+		e.MaxDebugAttempts = 2
+	}
+	conv := &Conversation{TokenLimit: e.TokenLimit}
+	conv.Append(RoleSystem, systemContext)
+	conv.Append(RoleUser, goal)
+	rep := &ExecReport{}
+
+	for {
+		// Planner: ask the model for the next step.
+		if err := conv.ChargeRequest(e.Specs); err != nil {
+			return rep, err
+		}
+		resp, err := e.LLM.Complete(e.Specs, conv)
+		if err != nil {
+			return rep, err
+		}
+		if resp.Stop {
+			break
+		}
+
+		// Executor agent: run the step and validate the outcome; on any
+		// problem, invoke the debugger.
+		fut, err := e.runStepValidated(conv, rep, resp.Call)
+		if err != nil {
+			return rep, err
+		}
+		rep.Steps++
+		rep.FutureIDs = append(rep.FutureIDs, fut.ID)
+		conv.Append(RoleAssistant, "call: "+resp.Call.String())
+		conv.Append(RoleUser, "future: "+fut.ID)
+	}
+	rep.Requests = conv.Requests()
+	rep.SentTokens = conv.SentTokens()
+	rep.PeakRequestTokens = conv.PeakRequestTokens()
+	return rep, nil
+}
+
+// runStepValidated executes one planned call to a terminal state, routing
+// problems through the debugger (and human) until the step succeeds or the
+// plan is abandoned.
+func (e *AgentEngine) runStepValidated(conv *Conversation, rep *ExecReport, call *Call) (*futures.AppFuture, error) {
+	attempt := 0
+	for {
+		badCall := false
+		fut, err := executeCall(e.Exec, call)
+		if err != nil {
+			badCall = true // submission rejected: the call itself is wrong
+		}
+		if err == nil {
+			// Drive the workflow forward until this future is terminal —
+			// the §2.2 requirement that "the current step is executed as
+			// expected ... and produces the anticipated outcome" before
+			// the next step is planned.
+			start := e.Eng.Now()
+			e.Eng.Run()
+			rep.MakespanSec += float64(e.Eng.Now() - start)
+			if fut.State() == futures.Done && outputsReady(fut) {
+				return fut, nil
+			}
+			err = fmt.Errorf("step did not produce the anticipated outcome: %v", fut.Err())
+		}
+
+		// Debugger agent.
+		issue := Issue{Step: rep.Steps, Call: call, Problem: err.Error()}
+		rep.DebuggerInvoked++
+		attempt++
+		if attempt <= e.MaxDebugAttempts {
+			fixed, ok := e.debug(conv, issue, badCall)
+			if ok {
+				rep.Recovered++
+				call = fixed
+				continue
+			}
+		}
+		// Human escalation.
+		if e.Human != nil {
+			rep.HumanEscalations++
+			if e.Human(issue) {
+				attempt = 0
+				continue
+			}
+		}
+		return nil, fmt.Errorf("llmwf: step %d abandoned: %s", issue.Step, issue.Problem)
+	}
+}
+
+// debug feeds the error back to the model — "optimally, the error should be
+// forwarded to the API so that it can propose alternatives" — and takes its
+// corrected call. A retryable execution failure keeps the original call.
+func (e *AgentEngine) debug(conv *Conversation, issue Issue, badCall bool) (*Call, bool) {
+	if !badCall {
+		// The call itself was accepted; the app failed at runtime. Retry.
+		return issue.Call, true
+	}
+	// Bad function choice: ask the model again with the error in context.
+	conv.Append(RoleUser, "error: "+issue.Problem+"; choose a valid function")
+	if err := conv.ChargeRequest(e.Specs); err != nil {
+		return nil, false
+	}
+	resp, err := e.LLM.Complete(e.Specs, conv)
+	if err != nil || resp.Stop || resp.Call == nil {
+		return nil, false
+	}
+	if _, _, ok := AppOfFunction(resp.Call.Function); !ok {
+		return nil, false
+	}
+	return resp.Call, true
+}
+
+func outputsReady(f *futures.AppFuture) bool {
+	for _, d := range f.Outputs() {
+		if !d.Ready() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package llmwf
+
+import (
+	"fmt"
+)
+
+// Role identifies a message author.
+type Role string
+
+// Message roles.
+const (
+	RoleSystem    Role = "system"
+	RoleUser      Role = "user"
+	RoleAssistant Role = "assistant"
+)
+
+// Message is one conversation entry.
+type Message struct {
+	Role    Role
+	Content string
+}
+
+// Tokens estimates the message's token cost (≈4 characters per token, the
+// standard heuristic).
+func (m Message) Tokens() int { return (len(m.Content) + 3) / 4 }
+
+// ErrTokenLimit is returned when a request would exceed the model context —
+// the §2.1 limitation: "composing more complex workflows will eventually hit
+// the token limit, for which there is no straightforward solution".
+type ErrTokenLimit struct {
+	Request int
+	Limit   int
+}
+
+// Error implements error.
+func (e *ErrTokenLimit) Error() string {
+	return fmt.Sprintf("llmwf: request of %d tokens exceeds the %d-token context limit", e.Request, e.Limit)
+}
+
+// Conversation accumulates context. Every API request re-sends the full
+// history plus all function specs, so request cost grows linearly with
+// steps and cumulative cost quadratically.
+type Conversation struct {
+	Messages []Message
+	// TokenLimit caps a single request (0 = unlimited).
+	TokenLimit int
+
+	sentTokens  int // cumulative tokens sent across requests
+	peakRequest int
+	requests    int
+}
+
+// Append adds a message to the context.
+func (c *Conversation) Append(role Role, content string) {
+	c.Messages = append(c.Messages, Message{Role: role, Content: content})
+}
+
+// RequestTokens returns the cost of sending the current context plus specs.
+func (c *Conversation) RequestTokens(specs []FunctionSpec) int {
+	t := 0
+	for _, m := range c.Messages {
+		t += m.Tokens()
+	}
+	for _, s := range specs {
+		t += (len(s.JSON()) + 3) / 4
+	}
+	return t
+}
+
+// ChargeRequest validates the next request against the token limit and
+// accounts for it. It returns *ErrTokenLimit when over budget.
+func (c *Conversation) ChargeRequest(specs []FunctionSpec) error {
+	t := c.RequestTokens(specs)
+	if c.TokenLimit > 0 && t > c.TokenLimit {
+		return &ErrTokenLimit{Request: t, Limit: c.TokenLimit}
+	}
+	c.requests++
+	c.sentTokens += t
+	if t > c.peakRequest {
+		c.peakRequest = t
+	}
+	return nil
+}
+
+// SentTokens returns cumulative tokens sent over all requests.
+func (c *Conversation) SentTokens() int { return c.sentTokens }
+
+// PeakRequestTokens returns the largest single request.
+func (c *Conversation) PeakRequestTokens() int { return c.peakRequest }
+
+// Requests returns the number of charged API calls.
+func (c *Conversation) Requests() int { return c.requests }

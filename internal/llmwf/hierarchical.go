@@ -1,0 +1,97 @@
+package llmwf
+
+import (
+	"fmt"
+
+	"hhcw/internal/futures"
+	"hhcw/internal/sim"
+)
+
+// RunHierarchical implements the remedy §2.1 says the flat scheme needs:
+// "we would need to invent a hierarchical schema for task decomposition."
+//
+// The workflow template is split into windows of `window` steps. Each window
+// runs in a *fresh* conversation that carries only the goal and the previous
+// window's final AppFuture ID (a "carry:" message), and is sent only that
+// window's function specs. Request size is therefore bounded by the window,
+// not the total workflow depth — arbitrarily deep workflows fit any fixed
+// context limit that can hold one window.
+//
+// specsFor must return the function specs for the given contiguous step
+// range; llmFor must return a planner for the sub-template (a fresh MockLLM
+// in the offline setting).
+func RunHierarchical(
+	eng *sim.Engine,
+	exec *futures.Executor,
+	tpl WorkflowTemplate,
+	specsFor func(steps []string) []FunctionSpec,
+	llmFor func(sub WorkflowTemplate) LLM,
+	goal string,
+	tokenLimit, window int,
+) (*RunStats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("llmwf: window must be positive")
+	}
+	total := &RunStats{}
+	carry := ""
+	for lo := 0; lo < len(tpl.Steps); lo += window {
+		hi := lo + window
+		if hi > len(tpl.Steps) {
+			hi = len(tpl.Steps)
+		}
+		sub := WorkflowTemplate{
+			Name:  fmt.Sprintf("%s[%d:%d]", tpl.Name, lo, hi),
+			Goal:  tpl.Goal,
+			Steps: tpl.Steps[lo:hi],
+		}
+		specs := specsFor(sub.Steps)
+		llm := llmFor(sub)
+
+		conv := &Conversation{TokenLimit: tokenLimit}
+		conv.Append(RoleSystem, systemContext)
+		conv.Append(RoleUser, goal)
+		if carry != "" {
+			conv.Append(RoleUser, "carry: "+carry)
+		}
+
+		var last *futures.AppFuture
+		for {
+			if err := conv.ChargeRequest(specs); err != nil {
+				return total, err
+			}
+			resp, err := llm.Complete(specs, conv)
+			if err != nil {
+				return total, err
+			}
+			if resp.Stop {
+				break
+			}
+			fut, err := executeCall(exec, resp.Call)
+			if err != nil {
+				return total, fmt.Errorf("llmwf: unrecoverable bad function call %s: %w", resp.Call, err)
+			}
+			last = fut
+			total.Steps++
+			total.FutureIDs = append(total.FutureIDs, fut.ID)
+			conv.Append(RoleAssistant, "call: "+resp.Call.String())
+			conv.Append(RoleUser, "future: "+fut.ID)
+		}
+		total.Requests += conv.Requests()
+		total.SentTokens += conv.SentTokens()
+		if conv.PeakRequestTokens() > total.PeakRequestTokens {
+			total.PeakRequestTokens = conv.PeakRequestTokens()
+		}
+		if last != nil {
+			carry = last.ID
+		}
+	}
+	start := eng.Now()
+	eng.Run()
+	total.MakespanSec = float64(eng.Now() - start)
+	if carry != "" {
+		if f, ok := exec.Lookup(carry); ok && f.State() == futures.Failed {
+			return total, fmt.Errorf("llmwf: workflow failed: %w", f.Err())
+		}
+	}
+	return total, nil
+}

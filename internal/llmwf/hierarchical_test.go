@@ -1,0 +1,125 @@
+package llmwf
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hhcw/internal/futures"
+	"hhcw/internal/sim"
+)
+
+// deepSetup registers a depth-step linear pipeline and returns the template
+// plus a spec lookup.
+func deepSetup(eng *sim.Engine, depth int) (*futures.Executor, WorkflowTemplate, func([]string) []FunctionSpec) {
+	exec := futures.NewExecutor(eng)
+	steps := make([]string, depth)
+	all := map[string][]FunctionSpec{}
+	for i := range steps {
+		name := fmt.Sprintf("step%02d", i)
+		steps[i] = name
+		exec.RegisterApp(futures.App{Name: name, DurationSec: 10, Outputs: []string{name + ".out"}})
+		all[name] = AdaptersForApp(name, "pipeline step")
+	}
+	tpl := WorkflowTemplate{Name: "deep", Goal: "deep", Steps: steps}
+	specsFor := func(sub []string) []FunctionSpec {
+		var out []FunctionSpec
+		for _, s := range sub {
+			out = append(out, all[s]...)
+		}
+		return out
+	}
+	return exec, tpl, specsFor
+}
+
+func TestHierarchicalBeatsFlatUnderTokenLimit(t *testing.T) {
+	const depth, limit = 24, 2000
+
+	// Flat scheme: fails on the token limit.
+	engFlat := sim.NewEngine()
+	execFlat, tplFlat, specsForFlat := deepSetup(engFlat, depth)
+	flatLLM := NewMockLLM(tplFlat)
+	_, err := RunFunctionCalling(engFlat, execFlat, flatLLM, specsForFlat(tplFlat.Steps),
+		"run the deep pipeline on data.bin", limit)
+	var tl *ErrTokenLimit
+	if !errors.As(err, &tl) {
+		t.Fatalf("flat scheme err = %v, want token limit", err)
+	}
+
+	// Hierarchical scheme: same limit, same depth, succeeds.
+	eng := sim.NewEngine()
+	exec, tpl, specsFor := deepSetup(eng, depth)
+	stats, err := RunHierarchical(eng, exec, tpl, specsFor,
+		func(sub WorkflowTemplate) LLM { return NewMockLLM(sub) },
+		"run the deep pipeline on data.bin", limit, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != depth {
+		t.Fatalf("steps = %d, want %d", stats.Steps, depth)
+	}
+	if stats.PeakRequestTokens > limit {
+		t.Fatalf("peak request %d exceeds limit %d", stats.PeakRequestTokens, limit)
+	}
+	// All futures resolved; the chain executed end to end.
+	if stats.MakespanSec != float64(depth*10) {
+		t.Fatalf("makespan = %v, want %d (sequential chain)", stats.MakespanSec, depth*10)
+	}
+	for _, id := range stats.FutureIDs {
+		f, ok := exec.Lookup(id)
+		if !ok || f.State() != futures.Done {
+			t.Fatalf("future %s not done", id)
+		}
+	}
+}
+
+func TestHierarchicalPeakBoundedByWindow(t *testing.T) {
+	// Peak request tokens must not grow with depth for a fixed window.
+	peak := func(depth int) int {
+		eng := sim.NewEngine()
+		exec, tpl, specsFor := deepSetup(eng, depth)
+		stats, err := RunHierarchical(eng, exec, tpl, specsFor,
+			func(sub WorkflowTemplate) LLM { return NewMockLLM(sub) },
+			"run the deep pipeline on data.bin", 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.PeakRequestTokens
+	}
+	p8, p32 := peak(8), peak(32)
+	if p32 > p8+40 { // carry message adds a few tokens, nothing more
+		t.Fatalf("peak grew with depth: %d → %d", p8, p32)
+	}
+}
+
+func TestHierarchicalWindowValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	exec, tpl, specsFor := deepSetup(eng, 4)
+	if _, err := RunHierarchical(eng, exec, tpl, specsFor,
+		func(sub WorkflowTemplate) LLM { return NewMockLLM(sub) },
+		"run the deep pipeline on data.bin", 0, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestHierarchicalSingleWindowEqualsFlat(t *testing.T) {
+	const depth = 4
+	engA := sim.NewEngine()
+	execA, tplA, specsForA := deepSetup(engA, depth)
+	flat, err := RunFunctionCalling(engA, execA, NewMockLLM(tplA), specsForA(tplA.Steps),
+		"run the deep pipeline on data.bin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := sim.NewEngine()
+	execB, tplB, specsForB := deepSetup(engB, depth)
+	hier, err := RunHierarchical(engB, execB, tplB, specsForB,
+		func(sub WorkflowTemplate) LLM { return NewMockLLM(sub) },
+		"run the deep pipeline on data.bin", 0, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Steps != hier.Steps || flat.MakespanSec != hier.MakespanSec {
+		t.Fatalf("single-window hierarchical diverges: %+v vs %+v", flat, hier)
+	}
+}

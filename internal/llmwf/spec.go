@@ -1,0 +1,91 @@
+// Package llmwf implements §2's LLM-driven workflow composition. An offline,
+// deterministic mock LLM stands in for OpenAI's function-calling API: the
+// protocol — JSON function specs, context accumulation, future-ID chaining,
+// token limits, the stop flag — is modelled exactly, so the paper's two
+// published limitations (no exception recovery; token-limit exhaustion on
+// deep workflows) and the §2.2 planner/executor/debugger remedy are all
+// reproducible.
+package llmwf
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Param is one function parameter in the OpenAI-style JSON description.
+type Param struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Description string `json:"description"`
+	Required    bool   `json:"required"`
+}
+
+// FunctionSpec is a function description sent with every API request.
+type FunctionSpec struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Params      []Param `json:"parameters"`
+}
+
+// JSON serializes the spec (its token cost is charged on every request).
+func (f FunctionSpec) JSON() string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// Call is the model's chosen function invocation.
+type Call struct {
+	Function string
+	Args     map[string]string
+}
+
+// String renders the call for context messages.
+func (c Call) String() string {
+	parts := make([]string, 0, len(c.Args))
+	for k, v := range c.Args {
+		parts = append(parts, k+"="+v)
+	}
+	// Sort for determinism.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return fmt.Sprintf("%s(%s)", c.Function, strings.Join(parts, ", "))
+}
+
+// AdaptersForApp generates the two adapter specs §2.1 wraps each Parsl app
+// in: `<app>_from_file` taking physical paths and `<app>_from_futures`
+// taking AppFuture IDs.
+func AdaptersForApp(app, description string) []FunctionSpec {
+	return []FunctionSpec{
+		{
+			Name:        app + "_from_file",
+			Description: description + " (inputs are physical file paths)",
+			Params: []Param{
+				{Name: "files", Type: "string", Description: "comma-separated input file paths", Required: true},
+			},
+		},
+		{
+			Name:        app + "_from_futures",
+			Description: description + " (inputs are AppFuture IDs of prior steps)",
+			Params: []Param{
+				{Name: "future_ids", Type: "string", Description: "comma-separated AppFuture IDs", Required: true},
+			},
+		},
+	}
+}
+
+// AppOfFunction extracts the app name and adapter kind from a generated
+// function name. ok=false for non-adapter names.
+func AppOfFunction(fn string) (app string, fromFutures bool, ok bool) {
+	switch {
+	case strings.HasSuffix(fn, "_from_file"):
+		return strings.TrimSuffix(fn, "_from_file"), false, true
+	case strings.HasSuffix(fn, "_from_futures"):
+		return strings.TrimSuffix(fn, "_from_futures"), true, true
+	default:
+		return "", false, false
+	}
+}

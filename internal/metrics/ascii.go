@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"hhcw/internal/sim"
+)
+
+// ASCIIPlot renders a step-interpolated series as a fixed-size terminal
+// chart — enough to eyeball the Fig 4/5 shapes without leaving the shell.
+// width is the number of time buckets; height the number of value rows.
+func ASCIIPlot(s *Series, width, height int, title string) string {
+	if width <= 0 || height <= 0 || s.Len() == 0 {
+		return title + ": (no data)\n"
+	}
+	pts := s.Points()
+	t0 := pts[0].T
+	t1 := pts[len(pts)-1].T
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	// Sample the series into buckets (time-weighted means per bucket keep
+	// spikes honest).
+	samples := make([]float64, width)
+	maxV := 0.0
+	for i := 0; i < width; i++ {
+		lo := t0 + sim.Time(float64(i)*float64(t1-t0)/float64(width))
+		hi := t0 + sim.Time(float64(i+1)*float64(t1-t0)/float64(width))
+		samples[i] = s.TimeWeightedMean(lo, hi)
+		if samples[i] > maxV {
+			maxV = samples[i]
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.0f)\n", title, maxV)
+	for row := height; row >= 1; row-- {
+		threshold := maxV * (float64(row) - 0.5) / float64(height)
+		b.WriteString("  |")
+		for _, v := range samples {
+			if v >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %-8s%*s\n", fmt.Sprintf("%.0fs", float64(t0)), width-8, fmt.Sprintf("%.0fs", float64(t1)))
+	return b.String()
+}

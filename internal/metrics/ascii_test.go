@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hhcw/internal/sim"
+)
+
+func TestASCIIPlotShape(t *testing.T) {
+	s := NewSeries("ramp")
+	for i := 0; i <= 10; i++ {
+		s.Add(sim.Time(i), float64(i*10))
+	}
+	out := ASCIIPlot(s, 20, 5, "ramp")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + labels
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "ramp") || !strings.Contains(lines[0], "max") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Top row should have marks only near the right (ramp rises).
+	top := lines[1]
+	if strings.Count(top, "#") == 0 {
+		t.Fatal("top row empty for a ramp reaching max")
+	}
+	if idx := strings.IndexByte(top, '#'); idx < len(top)/2 {
+		t.Fatalf("ramp top marks start too early: %q", top)
+	}
+	// Bottom row should be mostly filled.
+	bottom := lines[5]
+	if strings.Count(bottom, "#") < 15 {
+		t.Fatalf("bottom row too sparse: %q", bottom)
+	}
+}
+
+func TestASCIIPlotDegenerate(t *testing.T) {
+	if out := ASCIIPlot(NewSeries("x"), 10, 3, "empty"); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	s := NewSeries("one")
+	s.Add(5, 42)
+	out := ASCIIPlot(s, 10, 3, "one")
+	if !strings.Contains(out, "max 42") {
+		t.Fatalf("single-point plot = %q", out)
+	}
+	if out := ASCIIPlot(s, 0, 3, "zw"); !strings.Contains(out, "no data") {
+		t.Fatalf("zero width = %q", out)
+	}
+}

@@ -1,0 +1,92 @@
+package pilot
+
+import (
+	"testing"
+)
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Pending: "pending", Bootstrapping: "bootstrapping", Active: "active", Done: "done",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
+
+func TestOnActiveAfterActive(t *testing.T) {
+	eng, cl, bm := setup(2)
+	p, _ := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6})
+	eng.RunUntil(1) // pilot granted and active (no bootstrap)
+	fired := false
+	p.OnActive(func() { fired = true })
+	if !fired {
+		t.Fatal("OnActive on an active pilot should fire immediately")
+	}
+}
+
+func TestStartedAtAndSeries(t *testing.T) {
+	eng, cl, bm := setup(2)
+	p, _ := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6, BootstrapSec: 5})
+	p.SubmitTask(&Task{ID: "t", Nodes: 1, DurationSec: 10})
+	eng.Run()
+	if p.StartedAt() != 0 {
+		t.Fatalf("StartedAt = %v", p.StartedAt())
+	}
+	if p.LaunchedSeries().Value() != 1 {
+		t.Fatalf("launched = %v", p.LaunchedSeries().Value())
+	}
+	if p.TTX() != 10 {
+		t.Fatalf("TTX = %v", p.TTX())
+	}
+}
+
+func TestTTXBeforeAnyTask(t *testing.T) {
+	eng, cl, bm := setup(2)
+	p, _ := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6})
+	eng.Run()
+	if p.TTX() != 0 {
+		t.Fatalf("idle TTX = %v, want 0", p.TTX())
+	}
+}
+
+func TestReleaseIdempotentAndBlocksSubmit(t *testing.T) {
+	eng, cl, bm := setup(2)
+	p, _ := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6})
+	eng.RunUntil(1)
+	p.Release()
+	p.Release() // idempotent
+	if p.State() != Done {
+		t.Fatal("not done after release")
+	}
+	if err := p.SubmitTask(&Task{ID: "x", Nodes: 1, DurationSec: 1}); err == nil {
+		t.Fatal("submit after release accepted")
+	}
+	// Nodes returned to the batch pool: a new pilot can start.
+	p2, err := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	p2.SubmitTask(&Task{ID: "y", Nodes: 1, DurationSec: 1, Done: func(TaskResult) { done = true }})
+	eng.Run()
+	if !done {
+		t.Fatal("second pilot did not run")
+	}
+}
+
+func TestPilotFailedTaskWithFailFlag(t *testing.T) {
+	eng, cl, bm := setup(2)
+	p, _ := Submit(bm, cl, Config{Nodes: 2, Walltime: 1e6})
+	var res TaskResult
+	p.SubmitTask(&Task{ID: "bad", Nodes: 1, DurationSec: 100, Fail: true, FailAfterSec: 30,
+		Done: func(r TaskResult) { res = r }})
+	eng.Run()
+	if !res.Failed || res.FinishedAt != 30 {
+		t.Fatalf("failed=%v at %v, want failure at 30", res.Failed, res.FinishedAt)
+	}
+	if p.FailedTasks() != 1 {
+		t.Fatalf("FailedTasks = %d", p.FailedTasks())
+	}
+}

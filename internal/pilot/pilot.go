@@ -1,0 +1,470 @@
+// Package pilot implements a RADICAL-Pilot-style pilot-job runtime (§4.1):
+// a placeholder batch job acquires a block of nodes; an agent bootstraps on
+// the allocation and then schedules and launches many small tasks inside it
+// without further round-trips to the batch system.
+//
+// The agent models the two throughput limits the paper measures on Frontier
+// (§4.3, Fig 5): a scheduling rate (tasks assigned to resources, ~269/s) and
+// a launching rate (tasks started on nodes, ~51/s), plus a fixed bootstrap
+// overhead (Fig 4's OVH, ~85 s). Node failures inside the allocation kill
+// the tasks running there; the pool shrinks accordingly.
+package pilot
+
+import (
+	"fmt"
+	"sort"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/metrics"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// Config shapes a pilot.
+type Config struct {
+	Nodes    int
+	Walltime sim.Time
+	Account  string
+
+	// BootstrapSec is the agent startup overhead after the allocation is
+	// granted (Fig 4 OVH).
+	BootstrapSec float64
+	// SchedRate is the agent scheduler throughput in tasks/second
+	// (0 = unlimited).
+	SchedRate float64
+	// LaunchRate is the task launcher throughput in tasks/second
+	// (0 = unlimited).
+	LaunchRate float64
+}
+
+// Task is a node-granular pilot task (the paper's EnTK tasks request whole
+// nodes: 4 for AdditiveFOAM, 1 for ExaCA, 8 for ExaConstit).
+type Task struct {
+	ID    string
+	Nodes int
+	// DurationSec is the task's execution time once launched.
+	DurationSec float64
+	// Fail simulates an application-level failure: the task terminates
+	// unsuccessfully after FailAfterSec (or DurationSec when zero).
+	Fail         bool
+	FailAfterSec float64
+	// Done receives the terminal result exactly once.
+	Done func(TaskResult)
+}
+
+// TaskResult is a pilot task's terminal record.
+type TaskResult struct {
+	Task        *Task
+	SubmittedAt sim.Time
+	ScheduledAt sim.Time
+	LaunchedAt  sim.Time
+	FinishedAt  sim.Time
+	Nodes       []*cluster.Node
+	Failed      bool
+	Err         error
+}
+
+// State is the pilot lifecycle state.
+type State int
+
+// Pilot lifecycle states.
+const (
+	Pending State = iota // submitted to the batch system
+	Bootstrapping
+	Active
+	Done
+)
+
+// String returns the lifecycle state name.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Bootstrapping:
+		return "bootstrapping"
+	case Active:
+		return "active"
+	default:
+		return "done"
+	}
+}
+
+// Pilot is an acquired allocation plus the agent running inside it.
+type Pilot struct {
+	cfg   Config
+	cl    *cluster.Cluster
+	eng   *sim.Engine
+	state State
+
+	alloc     *rm.BatchAlloc
+	freeNodes []*cluster.Node
+	dead      map[int]bool // node ID → failed
+
+	queue     []*pending // submitted, not yet scheduled
+	scheduled []*pending // assigned resources conceptually, awaiting launch
+	running   map[string]*pending
+
+	nextSchedFree  sim.Time // earliest time the scheduler can process the next task
+	nextLaunchFree sim.Time
+	schedPumping   bool
+	launchPumping  bool
+
+	startedAt    sim.Time // allocation granted
+	activeAt     sim.Time // agent ready
+	firstTaskAt  sim.Time
+	sawFirstTask bool
+	lastDoneAt   sim.Time
+
+	schedCount  *metrics.Counter
+	launchCount *metrics.Counter
+	runningN    *metrics.Gauge
+	busyNodes   *metrics.Gauge
+	doneCount   int
+	failCount   int
+
+	onActive []func()
+}
+
+type pending struct {
+	task        *Task
+	submittedAt sim.Time
+	scheduledAt sim.Time
+	nodes       []*cluster.Node
+	endEv       *sim.Event
+	launchedAt  sim.Time
+}
+
+// Submit requests a pilot through the batch manager; the returned Pilot
+// becomes Active after the allocation is granted and the agent bootstraps.
+func Submit(bm *rm.BatchManager, cl *cluster.Cluster, cfg Config) (*Pilot, error) {
+	p := &Pilot{
+		cfg:         cfg,
+		cl:          cl,
+		eng:         cl.Engine(),
+		state:       Pending,
+		dead:        map[int]bool{},
+		running:     map[string]*pending{},
+		schedCount:  metrics.NewCounter("pilot.scheduled"),
+		launchCount: metrics.NewCounter("pilot.launched"),
+		runningN:    metrics.NewGauge("pilot.running"),
+		busyNodes:   metrics.NewGauge("pilot.busy_nodes"),
+	}
+	job := &rm.BatchJob{
+		ID:       fmt.Sprintf("pilot-%d-nodes", cfg.Nodes),
+		Account:  cfg.Account,
+		Nodes:    cfg.Nodes,
+		Walltime: cfg.Walltime,
+		OnStart:  p.onGranted,
+		OnExpire: p.onExpire,
+	}
+	if err := bm.Submit(job); err != nil {
+		return nil, err
+	}
+	cl.OnNodeDown(p.onNodeDown)
+	return p, nil
+}
+
+// State returns the pilot lifecycle state.
+func (p *Pilot) State() State { return p.state }
+
+// OnActive registers a callback for when the agent finishes bootstrapping.
+func (p *Pilot) OnActive(fn func()) {
+	if p.state == Active {
+		fn()
+		return
+	}
+	p.onActive = append(p.onActive, fn)
+}
+
+// Overhead returns the Fig-4 OVH: time from allocation grant to agent ready.
+func (p *Pilot) Overhead() sim.Time { return p.activeAt - p.startedAt }
+
+// TTX returns total execution span: first task launch to last completion.
+func (p *Pilot) TTX() sim.Time {
+	if p.lastDoneAt < p.firstTaskAt {
+		return 0
+	}
+	return p.lastDoneAt - p.firstTaskAt
+}
+
+// StartedAt returns when the allocation was granted.
+func (p *Pilot) StartedAt() sim.Time { return p.startedAt }
+
+// CompletedTasks returns the number of successfully finished tasks.
+func (p *Pilot) CompletedTasks() int { return p.doneCount }
+
+// FailedTasks returns the number of failed tasks.
+func (p *Pilot) FailedTasks() int { return p.failCount }
+
+// RunningSeries exposes the running-task trajectory (Fig 5 orange line).
+func (p *Pilot) RunningSeries() *metrics.Gauge { return p.runningN }
+
+// ScheduledSeries exposes the cumulative scheduling trajectory (Fig 5 blue
+// line's integral).
+func (p *Pilot) ScheduledSeries() *metrics.Counter { return p.schedCount }
+
+// LaunchedSeries exposes the cumulative launch trajectory.
+func (p *Pilot) LaunchedSeries() *metrics.Counter { return p.launchCount }
+
+// BusyNodesSeries exposes the busy-node trajectory for utilization plots.
+func (p *Pilot) BusyNodesSeries() *metrics.Gauge { return p.busyNodes }
+
+// FreeNodes returns the number of idle, healthy nodes in the allocation.
+func (p *Pilot) FreeNodes() int { return len(p.freeNodes) }
+
+// Release ends the pilot and returns the allocation.
+func (p *Pilot) Release() {
+	if p.state == Done {
+		return
+	}
+	p.state = Done
+	if p.alloc != nil {
+		p.alloc.Release()
+	}
+}
+
+func (p *Pilot) onGranted(a *rm.BatchAlloc) {
+	p.alloc = a
+	p.startedAt = p.eng.Now()
+	p.state = Bootstrapping
+	p.freeNodes = append([]*cluster.Node(nil), a.Nodes...)
+	p.eng.After(sim.Time(p.cfg.BootstrapSec), func() {
+		p.state = Active
+		p.activeAt = p.eng.Now()
+		for _, fn := range p.onActive {
+			fn()
+		}
+		p.onActive = nil
+		p.pumpScheduler()
+	})
+}
+
+func (p *Pilot) onExpire() {
+	p.state = Done
+	// Kill everything still running; pending tasks fail too.
+	ids := make([]string, 0, len(p.running))
+	for id := range p.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := p.running[id]
+		r.endEv.Cancel()
+		p.finish(r, true, fmt.Errorf("pilot: walltime expired"))
+	}
+	for _, q := range append(p.queue, p.scheduled...) {
+		p.fail(q, fmt.Errorf("pilot: walltime expired before task ran"))
+	}
+	p.queue, p.scheduled = nil, nil
+}
+
+// SubmitTask hands a task to the agent. Tasks submitted before the agent is
+// active queue up and flow once bootstrapping completes.
+func (p *Pilot) SubmitTask(t *Task) error {
+	if p.state == Done {
+		return fmt.Errorf("pilot: submit on finished pilot")
+	}
+	if t.Nodes <= 0 {
+		return fmt.Errorf("pilot: task %s requests %d nodes", t.ID, t.Nodes)
+	}
+	if t.Nodes > p.cfg.Nodes {
+		return fmt.Errorf("pilot: task %s requests %d nodes, pilot has %d", t.ID, t.Nodes, p.cfg.Nodes)
+	}
+	p.queue = append(p.queue, &pending{task: t, submittedAt: p.eng.Now()})
+	if p.state == Active {
+		p.pumpScheduler()
+	}
+	return nil
+}
+
+// pumpScheduler moves tasks from queue to scheduled at SchedRate.
+func (p *Pilot) pumpScheduler() {
+	if p.schedPumping || p.state != Active || len(p.queue) == 0 {
+		return
+	}
+	p.schedPumping = true
+	now := p.eng.Now()
+	at := p.nextSchedFree
+	if at < now {
+		at = now
+	}
+	p.eng.At(at, func() {
+		p.schedPumping = false
+		if p.state != Active || len(p.queue) == 0 {
+			return
+		}
+		q := p.queue[0]
+		p.queue = p.queue[1:]
+		q.scheduledAt = p.eng.Now()
+		p.scheduled = append(p.scheduled, q)
+		p.schedCount.Inc(p.eng.Now(), 1)
+		if p.cfg.SchedRate > 0 {
+			p.nextSchedFree = p.eng.Now() + sim.Time(1/p.cfg.SchedRate)
+		}
+		p.pumpScheduler()
+		p.pumpLauncher()
+	})
+}
+
+// pumpLauncher moves scheduled tasks onto free nodes at LaunchRate.
+func (p *Pilot) pumpLauncher() {
+	if p.launchPumping || p.state != Active || len(p.scheduled) == 0 {
+		return
+	}
+	// Find the first scheduled task that fits the free pool (FIFO with
+	// skip-over, like the agent's continuous scheduler).
+	fitIdx := -1
+	for i, q := range p.scheduled {
+		if q.task.Nodes <= len(p.freeNodes) {
+			fitIdx = i
+			break
+		}
+	}
+	if fitIdx < 0 {
+		return
+	}
+	p.launchPumping = true
+	now := p.eng.Now()
+	at := p.nextLaunchFree
+	if at < now {
+		at = now
+	}
+	p.eng.At(at, func() {
+		p.launchPumping = false
+		if p.state != Active {
+			return
+		}
+		// Re-find a fitting task; the pool may have changed.
+		idx := -1
+		for i, q := range p.scheduled {
+			if q.task.Nodes <= len(p.freeNodes) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		q := p.scheduled[idx]
+		p.scheduled = append(p.scheduled[:idx], p.scheduled[idx+1:]...)
+		q.nodes = p.freeNodes[:q.task.Nodes]
+		p.freeNodes = p.freeNodes[q.task.Nodes:]
+		p.launch(q)
+		if p.cfg.LaunchRate > 0 {
+			p.nextLaunchFree = p.eng.Now() + sim.Time(1/p.cfg.LaunchRate)
+		}
+		p.pumpLauncher()
+	})
+}
+
+func (p *Pilot) launch(q *pending) {
+	now := p.eng.Now()
+	q.launchedAt = now
+	if !p.sawFirstTask {
+		p.sawFirstTask = true
+		p.firstTaskAt = now
+	}
+	p.running[q.task.ID] = q
+	p.runningN.AddDelta(now, 1)
+	p.busyNodes.AddDelta(now, float64(q.task.Nodes))
+	p.launchCount.Inc(now, 1)
+	dur := q.task.DurationSec
+	if q.task.Fail && q.task.FailAfterSec > 0 {
+		dur = q.task.FailAfterSec
+	}
+	q.endEv = p.eng.After(sim.Time(dur), func() {
+		if q.task.Fail {
+			p.finish(q, true, fmt.Errorf("pilot: task %s failed (application error)", q.task.ID))
+			return
+		}
+		p.finish(q, false, nil)
+	})
+}
+
+func (p *Pilot) finish(q *pending, failed bool, err error) {
+	now := p.eng.Now()
+	delete(p.running, q.task.ID)
+	p.runningN.AddDelta(now, -1)
+	p.busyNodes.AddDelta(now, -float64(q.task.Nodes))
+	// Return healthy nodes to the pool.
+	for _, n := range q.nodes {
+		if !p.dead[n.ID] {
+			p.freeNodes = append(p.freeNodes, n)
+		}
+	}
+	if failed {
+		p.failCount++
+	} else {
+		p.doneCount++
+	}
+	p.lastDoneAt = now
+	res := TaskResult{
+		Task:        q.task,
+		SubmittedAt: q.submittedAt,
+		ScheduledAt: q.scheduledAt,
+		LaunchedAt:  q.launchedAt,
+		FinishedAt:  now,
+		Nodes:       q.nodes,
+		Failed:      failed,
+		Err:         err,
+	}
+	if q.task.Done != nil {
+		q.task.Done(res)
+	}
+	p.pumpLauncher()
+	p.pumpScheduler()
+}
+
+func (p *Pilot) fail(q *pending, err error) {
+	res := TaskResult{
+		Task:        q.task,
+		SubmittedAt: q.submittedAt,
+		ScheduledAt: q.scheduledAt,
+		FinishedAt:  p.eng.Now(),
+		Failed:      true,
+		Err:         err,
+	}
+	p.failCount++
+	if q.task.Done != nil {
+		q.task.Done(res)
+	}
+}
+
+func (p *Pilot) onNodeDown(n *cluster.Node) {
+	if p.alloc == nil {
+		return
+	}
+	mine := false
+	for _, an := range p.alloc.Nodes {
+		if an == n {
+			mine = true
+			break
+		}
+	}
+	if !mine {
+		return
+	}
+	p.dead[n.ID] = true
+	// Remove from the free pool if idle.
+	for i, fn := range p.freeNodes {
+		if fn == n {
+			p.freeNodes = append(p.freeNodes[:i], p.freeNodes[i+1:]...)
+			break
+		}
+	}
+	// Kill tasks using this node (deterministic order).
+	var victims []*pending
+	for _, q := range p.running {
+		for _, qn := range q.nodes {
+			if qn == n {
+				victims = append(victims, q)
+				break
+			}
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].task.ID < victims[j].task.ID })
+	for _, q := range victims {
+		q.endEv.Cancel()
+		p.finish(q, true, fmt.Errorf("pilot: node %s failed", n.Name()))
+	}
+}

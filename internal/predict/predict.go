@@ -1,0 +1,277 @@
+// Package predict implements the task runtime and resource prediction
+// methods §3.4 plans to plug into the CWSI: online per-task-name means,
+// least-squares regression on input size, and a Lotaru-style predictor that
+// scales locally profiled runtimes by machine speed factors to handle
+// heterogeneous infrastructures and unseen (workflow, machine) pairs.
+//
+// All predictors are trained online from provenance observations ("as these
+// metrics are constantly gathered and updated, also online learning
+// approaches are applicable").
+package predict
+
+import (
+	"math"
+)
+
+// Observation is one completed task execution, as recorded by the CWS
+// provenance store.
+type Observation struct {
+	TaskName    string  // process/tool name
+	InputBytes  float64 // total input size
+	RuntimeSec  float64 // measured wall time
+	PeakMem     float64 // measured peak RSS
+	MachineName string  // node type the task ran on
+	SpeedFactor float64 // that node type's speed factor (1 = reference)
+}
+
+// RuntimePredictor estimates a task's runtime on a target machine.
+type RuntimePredictor interface {
+	Name() string
+	// Observe folds a completed execution into the model.
+	Observe(Observation)
+	// Predict estimates runtime in seconds for a task of the given name
+	// and input size on a machine with the given speed factor. ok=false
+	// means the model has no basis for a prediction (cold start).
+	Predict(taskName string, inputBytes, speedFactor float64) (sec float64, ok bool)
+}
+
+// MeanPredictor predicts the historical mean runtime per task name,
+// normalized to the reference machine. This is the simplest online baseline.
+type MeanPredictor struct {
+	sums   map[string]float64
+	counts map[string]int
+}
+
+// NewMean returns an empty mean predictor.
+func NewMean() *MeanPredictor {
+	return &MeanPredictor{sums: map[string]float64{}, counts: map[string]int{}}
+}
+
+// Name implements RuntimePredictor.
+func (p *MeanPredictor) Name() string { return "mean" }
+
+// Observe implements RuntimePredictor. Runtimes are normalized to the
+// reference machine by multiplying with the observed speed factor.
+func (p *MeanPredictor) Observe(o Observation) {
+	sf := o.SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	p.sums[o.TaskName] += o.RuntimeSec * sf
+	p.counts[o.TaskName]++
+}
+
+// Predict implements RuntimePredictor.
+func (p *MeanPredictor) Predict(taskName string, _, speedFactor float64) (float64, bool) {
+	n := p.counts[taskName]
+	if n == 0 {
+		return 0, false
+	}
+	if speedFactor <= 0 {
+		speedFactor = 1
+	}
+	return p.sums[taskName] / float64(n) / speedFactor, true
+}
+
+// RegressionPredictor fits, per task name, an online simple linear
+// regression runtime = a + b·inputBytes on reference-normalized runtimes —
+// the "number of file inputs, input sizes" features §3.4 names.
+type RegressionPredictor struct {
+	models map[string]*olsModel
+}
+
+type olsModel struct {
+	n                      float64
+	sumX, sumY, sumXY, sXX float64
+}
+
+func (m *olsModel) observe(x, y float64) {
+	m.n++
+	m.sumX += x
+	m.sumY += y
+	m.sumXY += x * y
+	m.sXX += x * x
+}
+
+func (m *olsModel) predict(x float64) (float64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	meanY := m.sumY / m.n
+	if m.n < 2 {
+		return meanY, true
+	}
+	den := m.n*m.sXX - m.sumX*m.sumX
+	if math.Abs(den) < 1e-12 {
+		return meanY, true // all inputs identical: fall back to mean
+	}
+	b := (m.n*m.sumXY - m.sumX*m.sumY) / den
+	a := meanY - b*m.sumX/m.n
+	y := a + b*x
+	if y < 0 {
+		y = 0
+	}
+	return y, true
+}
+
+// NewRegression returns an empty regression predictor.
+func NewRegression() *RegressionPredictor {
+	return &RegressionPredictor{models: map[string]*olsModel{}}
+}
+
+// Name implements RuntimePredictor.
+func (p *RegressionPredictor) Name() string { return "regression" }
+
+// Observe implements RuntimePredictor.
+func (p *RegressionPredictor) Observe(o Observation) {
+	m := p.models[o.TaskName]
+	if m == nil {
+		m = &olsModel{}
+		p.models[o.TaskName] = m
+	}
+	sf := o.SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	m.observe(o.InputBytes, o.RuntimeSec*sf)
+}
+
+// Predict implements RuntimePredictor.
+func (p *RegressionPredictor) Predict(taskName string, inputBytes, speedFactor float64) (float64, bool) {
+	m := p.models[taskName]
+	if m == nil {
+		return 0, false
+	}
+	y, ok := m.predict(inputBytes)
+	if !ok {
+		return 0, false
+	}
+	if speedFactor <= 0 {
+		speedFactor = 1
+	}
+	return y / speedFactor, true
+}
+
+// LotaruPredictor mirrors Lotaru's idea (§3.4, [18]): profile each task once
+// on a local/reference machine with downsampled inputs, derive a
+// bytes-per-second processing rate, then extrapolate to full inputs on any
+// machine via its speed factor. Unlike the online predictors it can predict
+// *before* any cluster execution — the paper's motivation of "unknown
+// workflows or workflows with a lack of historical data". Observations
+// refine the rate online.
+type LotaruPredictor struct {
+	rates  map[string]float64 // bytes/sec on reference machine
+	weight map[string]float64
+}
+
+// NewLotaru returns an empty Lotaru-style predictor.
+func NewLotaru() *LotaruPredictor {
+	return &LotaruPredictor{rates: map[string]float64{}, weight: map[string]float64{}}
+}
+
+// Name implements RuntimePredictor.
+func (p *LotaruPredictor) Name() string { return "lotaru" }
+
+// Profile seeds the model from a local microbenchmark: a task of the given
+// name processed sampleBytes in sampleSec on a machine with speedFactor.
+func (p *LotaruPredictor) Profile(taskName string, sampleBytes, sampleSec, speedFactor float64) {
+	if sampleSec <= 0 || sampleBytes <= 0 {
+		return
+	}
+	if speedFactor <= 0 {
+		speedFactor = 1
+	}
+	// Rate on the reference machine.
+	p.fold(taskName, sampleBytes/(sampleSec*speedFactor), 1)
+}
+
+func (p *LotaruPredictor) fold(name string, rate, w float64) {
+	total := p.weight[name] + w
+	p.rates[name] = (p.rates[name]*p.weight[name] + rate*w) / total
+	p.weight[name] = total
+}
+
+// Observe implements RuntimePredictor, refining the rate online.
+func (p *LotaruPredictor) Observe(o Observation) {
+	if o.RuntimeSec <= 0 || o.InputBytes <= 0 {
+		return
+	}
+	sf := o.SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	p.fold(o.TaskName, o.InputBytes/(o.RuntimeSec*sf), 1)
+}
+
+// Predict implements RuntimePredictor.
+func (p *LotaruPredictor) Predict(taskName string, inputBytes, speedFactor float64) (float64, bool) {
+	rate, ok := p.rates[taskName]
+	if !ok || rate <= 0 {
+		return 0, false
+	}
+	if speedFactor <= 0 {
+		speedFactor = 1
+	}
+	return inputBytes / (rate * speedFactor), true
+}
+
+// MemPredictor estimates peak memory per task name as max-so-far plus a
+// safety margin — the conservative policy real WMSs use to avoid OOM kills.
+type MemPredictor struct {
+	peak   map[string]float64
+	Margin float64 // fractional head-room, e.g. 0.2 = +20 %
+}
+
+// NewMem returns a memory predictor with the given safety margin.
+func NewMem(margin float64) *MemPredictor {
+	return &MemPredictor{peak: map[string]float64{}, Margin: margin}
+}
+
+// Observe folds a completed execution.
+func (p *MemPredictor) Observe(o Observation) {
+	if o.PeakMem > p.peak[o.TaskName] {
+		p.peak[o.TaskName] = o.PeakMem
+	}
+}
+
+// Predict returns the padded peak, or ok=false before any observation.
+func (p *MemPredictor) Predict(taskName string) (float64, bool) {
+	v, ok := p.peak[taskName]
+	if !ok {
+		return 0, false
+	}
+	return v * (1 + p.Margin), true
+}
+
+// Errors quantifies predictor accuracy for the ablation benches.
+type Errors struct {
+	N   int
+	mae float64 // sum of |err|
+	mre float64 // sum of |err|/actual
+}
+
+// Observe folds one (predicted, actual) pair.
+func (e *Errors) Observe(predicted, actual float64) {
+	e.N++
+	d := math.Abs(predicted - actual)
+	e.mae += d
+	if actual > 0 {
+		e.mre += d / actual
+	}
+}
+
+// MAE returns mean absolute error.
+func (e *Errors) MAE() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return e.mae / float64(e.N)
+}
+
+// MRE returns mean relative error.
+func (e *Errors) MRE() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return e.mre / float64(e.N)
+}

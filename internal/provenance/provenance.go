@@ -1,0 +1,270 @@
+// Package provenance implements the centralized provenance store §3.3
+// argues the CWS should be: because the CWSI sits between every WMS and the
+// resource manager, it sees both the workflow structure (from the WMS) and
+// the node-level traces (from the resource manager), and can persist them
+// uniformly across engines. Records feed the predictors (internal/predict)
+// and export to a W3C-PROV-flavoured JSON document.
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hhcw/internal/dag"
+	"hhcw/internal/predict"
+	"hhcw/internal/sim"
+)
+
+// TaskRecord is one task execution attempt as seen by the CWS.
+type TaskRecord struct {
+	WorkflowID string
+	TaskID     dag.TaskID
+	Name       string // process/tool name
+	Attempt    int
+
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	FinishedAt  sim.Time
+
+	Node        string
+	MachineType string
+	SpeedFactor float64
+
+	Cores       int
+	MemRequest  float64
+	PeakMem     float64
+	InputBytes  float64
+	OutputBytes float64
+
+	Failed bool
+	Error  string
+
+	Params map[string]string
+}
+
+// Runtime returns the execution wall time.
+func (r TaskRecord) Runtime() sim.Time { return r.FinishedAt - r.StartedAt }
+
+// NodeEvent is a resource-manager-side trace entry (node up/down), the data
+// "the resource manager traces" that a WMS alone cannot see (§3.3).
+type NodeEvent struct {
+	At   sim.Time
+	Node string
+	Kind string // "down" | "up"
+}
+
+// Store is the central provenance store.
+type Store struct {
+	records    []TaskRecord
+	byWorkflow map[string][]int
+	byName     map[string][]int
+	nodeEvents []NodeEvent
+	workflows  map[string]*dag.Workflow
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byWorkflow: map[string][]int{},
+		byName:     map[string][]int{},
+		workflows:  map[string]*dag.Workflow{},
+	}
+}
+
+// RegisterWorkflow stores workflow structure for lineage queries.
+func (s *Store) RegisterWorkflow(id string, w *dag.Workflow) {
+	s.workflows[id] = w
+}
+
+// AddTask appends a task execution record.
+func (s *Store) AddTask(r TaskRecord) {
+	idx := len(s.records)
+	s.records = append(s.records, r)
+	s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
+	s.byName[r.Name] = append(s.byName[r.Name], idx)
+}
+
+// AddNodeEvent appends a node trace entry.
+func (s *Store) AddNodeEvent(e NodeEvent) { s.nodeEvents = append(s.nodeEvents, e) }
+
+// Len returns the number of task records.
+func (s *Store) Len() int { return len(s.records) }
+
+// All returns a copy of all task records.
+func (s *Store) All() []TaskRecord { return append([]TaskRecord(nil), s.records...) }
+
+// ByWorkflow returns records for a workflow in insertion order.
+func (s *Store) ByWorkflow(id string) []TaskRecord {
+	return s.collect(s.byWorkflow[id])
+}
+
+// ByTaskName returns records for a process name in insertion order.
+func (s *Store) ByTaskName(name string) []TaskRecord {
+	return s.collect(s.byName[name])
+}
+
+func (s *Store) collect(idx []int) []TaskRecord {
+	out := make([]TaskRecord, len(idx))
+	for i, j := range idx {
+		out[i] = s.records[j]
+	}
+	return out
+}
+
+// NodeEvents returns all node trace entries.
+func (s *Store) NodeEvents() []NodeEvent { return append([]NodeEvent(nil), s.nodeEvents...) }
+
+// Observations converts successful records into predictor training data —
+// the §3.4 pipeline from provenance to runtime prediction.
+func (s *Store) Observations() []predict.Observation {
+	var out []predict.Observation
+	for _, r := range s.records {
+		if r.Failed {
+			continue
+		}
+		out = append(out, predict.Observation{
+			TaskName:    r.Name,
+			InputBytes:  r.InputBytes,
+			RuntimeSec:  float64(r.Runtime()),
+			PeakMem:     r.PeakMem,
+			MachineName: r.MachineType,
+			SpeedFactor: r.SpeedFactor,
+		})
+	}
+	return out
+}
+
+// Lineage returns the upstream task records that produced inputs for taskID
+// in workflow wfID (direct dependencies only), using the registered
+// workflow structure.
+func (s *Store) Lineage(wfID string, taskID dag.TaskID) ([]TaskRecord, error) {
+	w := s.workflows[wfID]
+	if w == nil {
+		return nil, fmt.Errorf("provenance: workflow %q not registered", wfID)
+	}
+	t := w.Task(taskID)
+	if t == nil {
+		return nil, fmt.Errorf("provenance: task %q not in workflow %q", taskID, wfID)
+	}
+	deps := map[dag.TaskID]bool{}
+	for _, d := range t.Deps {
+		deps[d] = true
+	}
+	var out []TaskRecord
+	for _, r := range s.ByWorkflow(wfID) {
+		if deps[r.TaskID] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes one process name across executions.
+type Stats struct {
+	Name        string
+	Executions  int
+	Failures    int
+	MeanRuntime float64
+	MaxRuntime  float64
+	MeanPeakMem float64
+}
+
+// StatsByName returns per-process summaries sorted by name.
+func (s *Store) StatsByName() []Stats {
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Stats, 0, len(names))
+	for _, n := range names {
+		st := Stats{Name: n}
+		sumRT, sumMem := 0.0, 0.0
+		ok := 0
+		for _, r := range s.ByTaskName(n) {
+			st.Executions++
+			if r.Failed {
+				st.Failures++
+				continue
+			}
+			ok++
+			rt := float64(r.Runtime())
+			sumRT += rt
+			sumMem += r.PeakMem
+			if rt > st.MaxRuntime {
+				st.MaxRuntime = rt
+			}
+		}
+		if ok > 0 {
+			st.MeanRuntime = sumRT / float64(ok)
+			st.MeanPeakMem = sumMem / float64(ok)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// provDoc is the W3C-PROV-flavoured export schema.
+type provDoc struct {
+	Prefix     map[string]string    `json:"prefix"`
+	Activity   map[string]provItem  `json:"activity"`
+	Entity     map[string]provItem  `json:"entity"`
+	WasGenBy   map[string]provRel   `json:"wasGeneratedBy"`
+	Used       map[string]provRel   `json:"used"`
+	NodeTraces []map[string]any     `json:"nodeTraces"`
+	Workflows  map[string][]provDep `json:"workflows"`
+}
+
+type provItem map[string]any
+
+type provRel struct {
+	Activity string `json:"prov:activity"`
+	Entity   string `json:"prov:entity"`
+}
+
+type provDep struct {
+	Task string   `json:"task"`
+	Deps []string `json:"deps"`
+}
+
+// ExportPROV serializes the store to a W3C-PROV-flavoured JSON document so
+// provenance "will be available across different WMS" (§3.3).
+func (s *Store) ExportPROV() ([]byte, error) {
+	doc := provDoc{
+		Prefix:    map[string]string{"cws": "https://example.org/cws#"},
+		Activity:  map[string]provItem{},
+		Entity:    map[string]provItem{},
+		WasGenBy:  map[string]provRel{},
+		Used:      map[string]provRel{},
+		Workflows: map[string][]provDep{},
+	}
+	for i, r := range s.records {
+		aid := fmt.Sprintf("cws:%s/%s#%d", r.WorkflowID, r.TaskID, r.Attempt)
+		doc.Activity[aid] = provItem{
+			"cws:name":       r.Name,
+			"prov:startTime": float64(r.StartedAt),
+			"prov:endTime":   float64(r.FinishedAt),
+			"cws:node":       r.Node,
+			"cws:failed":     r.Failed,
+		}
+		eid := fmt.Sprintf("cws:data/%s/%s", r.WorkflowID, r.TaskID)
+		doc.Entity[eid] = provItem{"cws:bytes": r.OutputBytes}
+		doc.WasGenBy[fmt.Sprintf("g%d", i)] = provRel{Activity: aid, Entity: eid}
+	}
+	for _, e := range s.nodeEvents {
+		doc.NodeTraces = append(doc.NodeTraces, map[string]any{
+			"at": float64(e.At), "node": e.Node, "kind": e.Kind,
+		})
+	}
+	for id, w := range s.workflows {
+		for _, t := range w.Tasks() {
+			deps := make([]string, len(t.Deps))
+			for i, d := range t.Deps {
+				deps[i] = string(d)
+			}
+			doc.Workflows[id] = append(doc.Workflows[id], provDep{Task: string(t.ID), Deps: deps})
+		}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

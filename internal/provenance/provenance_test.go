@@ -1,0 +1,157 @@
+package provenance
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hhcw/internal/dag"
+	"hhcw/internal/sim"
+)
+
+func rec(wf string, task dag.TaskID, name string, start, end sim.Time, failed bool) TaskRecord {
+	return TaskRecord{
+		WorkflowID: wf, TaskID: task, Name: name,
+		StartedAt: start, FinishedAt: end,
+		Node: "n-0001", MachineType: "a", SpeedFactor: 1,
+		InputBytes: 1e6, OutputBytes: 2e6, PeakMem: 1e9,
+		Failed: failed,
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	s := NewStore()
+	s.AddTask(rec("wf1", "a", "salmon", 0, 10, false))
+	s.AddTask(rec("wf1", "b", "salmon", 10, 30, false))
+	s.AddTask(rec("wf2", "a", "prefetch", 0, 5, true))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := len(s.ByWorkflow("wf1")); got != 2 {
+		t.Fatalf("ByWorkflow(wf1) = %d", got)
+	}
+	if got := len(s.ByTaskName("salmon")); got != 2 {
+		t.Fatalf("ByTaskName(salmon) = %d", got)
+	}
+	if got := len(s.ByWorkflow("missing")); got != 0 {
+		t.Fatalf("ByWorkflow(missing) = %d", got)
+	}
+}
+
+func TestRuntime(t *testing.T) {
+	r := rec("w", "a", "x", 5, 17, false)
+	if r.Runtime() != 12 {
+		t.Fatalf("Runtime = %v", r.Runtime())
+	}
+}
+
+func TestObservationsSkipFailures(t *testing.T) {
+	s := NewStore()
+	s.AddTask(rec("w", "a", "x", 0, 10, false))
+	s.AddTask(rec("w", "b", "x", 0, 10, true))
+	obs := s.Observations()
+	if len(obs) != 1 {
+		t.Fatalf("Observations = %d, want 1 (failures excluded)", len(obs))
+	}
+	if obs[0].RuntimeSec != 10 || obs[0].TaskName != "x" {
+		t.Fatalf("obs = %+v", obs[0])
+	}
+}
+
+func TestLineage(t *testing.T) {
+	w := dag.New("w")
+	w.Add(&dag.Task{ID: "a"})
+	w.Add(&dag.Task{ID: "b", Deps: []dag.TaskID{"a"}})
+	s := NewStore()
+	s.RegisterWorkflow("w", w)
+	s.AddTask(rec("w", "a", "x", 0, 10, false))
+	s.AddTask(rec("w", "b", "y", 10, 20, false))
+
+	up, err := s.Lineage("w", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 1 || up[0].TaskID != "a" {
+		t.Fatalf("lineage = %+v", up)
+	}
+	if _, err := s.Lineage("ghost", "a"); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+	if _, err := s.Lineage("w", "ghost"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestStatsByName(t *testing.T) {
+	s := NewStore()
+	s.AddTask(rec("w", "a", "salmon", 0, 10, false))
+	s.AddTask(rec("w", "b", "salmon", 0, 30, false))
+	s.AddTask(rec("w", "c", "salmon", 0, 5, true))
+	s.AddTask(rec("w", "d", "deseq2", 0, 2, false))
+	stats := s.StatsByName()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d names", len(stats))
+	}
+	// Sorted: deseq2 then salmon.
+	if stats[0].Name != "deseq2" || stats[1].Name != "salmon" {
+		t.Fatalf("order = %v, %v", stats[0].Name, stats[1].Name)
+	}
+	sal := stats[1]
+	if sal.Executions != 3 || sal.Failures != 1 {
+		t.Fatalf("salmon executions=%d failures=%d", sal.Executions, sal.Failures)
+	}
+	if sal.MeanRuntime != 20 || sal.MaxRuntime != 30 {
+		t.Fatalf("salmon mean=%v max=%v", sal.MeanRuntime, sal.MaxRuntime)
+	}
+}
+
+func TestNodeEvents(t *testing.T) {
+	s := NewStore()
+	s.AddNodeEvent(NodeEvent{At: 5, Node: "n1", Kind: "down"})
+	s.AddNodeEvent(NodeEvent{At: 9, Node: "n1", Kind: "up"})
+	ev := s.NodeEvents()
+	if len(ev) != 2 || ev[0].Kind != "down" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestExportPROV(t *testing.T) {
+	w := dag.New("w")
+	w.Add(&dag.Task{ID: "a"})
+	w.Add(&dag.Task{ID: "b", Deps: []dag.TaskID{"a"}})
+	s := NewStore()
+	s.RegisterWorkflow("w", w)
+	s.AddTask(rec("w", "a", "x", 0, 10, false))
+	s.AddTask(rec("w", "b", "y", 10, 20, false))
+	s.AddNodeEvent(NodeEvent{At: 3, Node: "n1", Kind: "down"})
+
+	raw, err := s.ExportPROV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"activity", "entity", "wasGeneratedBy", "nodeTraces", "workflows"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("export missing %q section", key)
+		}
+	}
+	var acts map[string]any
+	if err := json.Unmarshal(doc["activity"], &acts); err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 {
+		t.Fatalf("activities = %d, want 2", len(acts))
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.AddTask(rec("w", "a", "x", 0, 10, false))
+	all := s.All()
+	all[0].WorkflowID = "mutated"
+	if s.All()[0].WorkflowID != "w" {
+		t.Fatal("All exposed internal storage")
+	}
+}

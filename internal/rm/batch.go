@@ -1,0 +1,224 @@
+package rm
+
+import (
+	"fmt"
+	"sort"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/metrics"
+	"hhcw/internal/sim"
+)
+
+// BatchJob is a whole-node batch request, as submitted to SLURM/LSF/Flux.
+// The paper's EnTK runs acquire resources this way (one large batch job for
+// the whole ensemble, §4), and Frontier's scheduling policy ties walltime
+// limits to node counts (§4.2).
+type BatchJob struct {
+	ID       string
+	Account  string
+	Nodes    int
+	Walltime sim.Time
+
+	// OnStart receives the allocation when the job begins.
+	OnStart func(*BatchAlloc)
+	// OnExpire is invoked if the walltime limit force-ends the job.
+	OnExpire func()
+
+	submittedAt sim.Time
+}
+
+// BatchAlloc is a granted set of whole nodes.
+type BatchAlloc struct {
+	Job       *BatchJob
+	Nodes     []*cluster.Node
+	StartedAt sim.Time
+
+	mgr      *BatchManager
+	allocs   []*cluster.Alloc
+	expireEv *sim.Event
+	released bool
+}
+
+// Release ends the job early and returns its nodes. Safe to call twice.
+func (a *BatchAlloc) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	if a.expireEv != nil {
+		a.expireEv.Cancel()
+	}
+	now := a.mgr.eng.Now()
+	for _, al := range a.allocs {
+		a.mgr.cl.Release(al)
+	}
+	a.mgr.usage[a.Job.Account] += float64(len(a.Nodes)) * float64(now-a.StartedAt)
+	a.mgr.runningJobs--
+	a.mgr.kick()
+}
+
+// WalltimePolicy caps job walltime as a function of requested nodes,
+// mirroring leadership-facility queue policies ("each ensemble respects
+// Frontier's job scheduling policy in terms of walltime limits per amount of
+// requested compute nodes", §4.2).
+type WalltimePolicy func(nodes int) sim.Time
+
+// FrontierPolicy approximates OLCF's Frontier batch bins: bigger jobs may
+// run longer (bin 5: ≤91 nodes / 2 h, bin 4: ≤183 / 6 h, bin 3: ≤5644 /
+// 12 h, bins 1–2: 24 h).
+func FrontierPolicy(nodes int) sim.Time {
+	switch {
+	case nodes >= 5645:
+		return 24 * 3600
+	case nodes >= 184:
+		return 12 * 3600
+	case nodes >= 92:
+		return 6 * 3600
+	default:
+		return 2 * 3600
+	}
+}
+
+// BatchManager is a SLURM-like whole-node scheduler with fair-share ordering
+// and first-fit backfill.
+type BatchManager struct {
+	eng    *sim.Engine
+	cl     *cluster.Cluster
+	policy WalltimePolicy
+
+	queue       []*BatchJob
+	usage       map[string]float64 // account → node-seconds consumed
+	runningJobs int
+
+	queueLen        *metrics.Gauge
+	started         *metrics.Counter
+	expired         *metrics.Counter
+	schedulePending bool
+}
+
+// NewBatchManager builds a batch manager over cl. policy may be nil (no
+// walltime caps beyond what jobs request).
+func NewBatchManager(cl *cluster.Cluster, policy WalltimePolicy) *BatchManager {
+	return &BatchManager{
+		eng:      cl.Engine(),
+		cl:       cl,
+		policy:   policy,
+		usage:    make(map[string]float64),
+		queueLen: metrics.NewGauge("batch.queue"),
+		started:  metrics.NewCounter("batch.started"),
+		expired:  metrics.NewCounter("batch.expired"),
+	}
+}
+
+// Submit queues a batch job. Jobs requesting more nodes than the cluster has
+// are rejected immediately with an error.
+func (m *BatchManager) Submit(j *BatchJob) error {
+	if j.Nodes <= 0 {
+		return fmt.Errorf("rm: batch job %s requests %d nodes", j.ID, j.Nodes)
+	}
+	if j.Nodes > m.cl.NodeCount() {
+		return fmt.Errorf("rm: batch job %s requests %d nodes, cluster has %d", j.ID, j.Nodes, m.cl.NodeCount())
+	}
+	if m.policy != nil {
+		if cap := m.policy(j.Nodes); j.Walltime > cap {
+			return fmt.Errorf("rm: batch job %s walltime %v exceeds policy cap %v for %d nodes",
+				j.ID, j.Walltime, cap, j.Nodes)
+		}
+	}
+	j.submittedAt = m.eng.Now()
+	m.queue = append(m.queue, j)
+	m.queueLen.Set(m.eng.Now(), float64(len(m.queue)))
+	m.kick()
+	return nil
+}
+
+// QueueLen returns the number of queued jobs.
+func (m *BatchManager) QueueLen() int { return len(m.queue) }
+
+// RunningJobs returns the number of active allocations.
+func (m *BatchManager) RunningJobs() int { return m.runningJobs }
+
+// Started returns the number of jobs that began execution.
+func (m *BatchManager) Started() int { return int(m.started.Value()) }
+
+// Expired returns the number of jobs killed by walltime.
+func (m *BatchManager) Expired() int { return int(m.expired.Value()) }
+
+// AccountUsage returns node-seconds consumed by completed jobs of account.
+func (m *BatchManager) AccountUsage(account string) float64 { return m.usage[account] }
+
+func (m *BatchManager) kick() {
+	if m.schedulePending {
+		return
+	}
+	m.schedulePending = true
+	m.eng.After(0, func() {
+		m.schedulePending = false
+		m.schedule()
+	})
+}
+
+// schedule orders the queue by fair share (ascending historical usage, FIFO
+// within an account) then first-fit backfills: any job whose node count fits
+// the currently idle nodes starts.
+func (m *BatchManager) schedule() {
+	if len(m.queue) == 0 {
+		return
+	}
+	sort.SliceStable(m.queue, func(i, j int) bool {
+		ui, uj := m.usage[m.queue[i].Account], m.usage[m.queue[j].Account]
+		if ui != uj {
+			return ui < uj
+		}
+		return m.queue[i].submittedAt < m.queue[j].submittedAt
+	})
+	var free []*cluster.Node
+	for _, n := range m.cl.Nodes() {
+		if !n.Down() && n.FreeCores() == n.Type.Cores {
+			free = append(free, n)
+		}
+	}
+	var rest []*BatchJob
+	for _, j := range m.queue {
+		if j.Nodes > len(free) {
+			rest = append(rest, j)
+			continue
+		}
+		granted := free[:j.Nodes]
+		free = free[j.Nodes:]
+		m.start(j, granted)
+	}
+	m.queue = rest
+	m.queueLen.Set(m.eng.Now(), float64(len(m.queue)))
+}
+
+func (m *BatchManager) start(j *BatchJob, nodes []*cluster.Node) {
+	now := m.eng.Now()
+	alloc := &BatchAlloc{Job: j, Nodes: nodes, StartedAt: now, mgr: m}
+	for _, n := range nodes {
+		a, err := m.cl.Allocate(n, n.Type.Cores, n.Type.GPUs, n.Type.MemBytes)
+		if err != nil {
+			// Roll back: a node raced to down state. Requeue the job.
+			for _, got := range alloc.allocs {
+				m.cl.Release(got)
+			}
+			m.queue = append(m.queue, j)
+			return
+		}
+		alloc.allocs = append(alloc.allocs, a)
+	}
+	m.runningJobs++
+	m.started.Inc(now, 1)
+	if j.Walltime > 0 {
+		alloc.expireEv = m.eng.After(j.Walltime, func() {
+			m.expired.Inc(m.eng.Now(), 1)
+			alloc.Release()
+			if j.OnExpire != nil {
+				j.OnExpire()
+			}
+		})
+	}
+	if j.OnStart != nil {
+		j.OnStart(alloc)
+	}
+}

@@ -1,0 +1,411 @@
+// Package rm simulates the resource managers the paper's workflow systems
+// talk to (§3: "such as SLURM, Kubernetes, or OpenPBS").
+//
+// Two managers are provided:
+//
+//   - TaskManager ("KubeSim"): a Kubernetes-like, task-granular manager that
+//     places individual task submissions onto nodes. Its scheduling policy is
+//     pluggable via Strategy — this is exactly where the Common Workflow
+//     Scheduler (internal/cwsi) attaches workflow awareness.
+//   - BatchManager: a SLURM-like, node-granular manager with whole-node
+//     jobs, walltime limits and fair-share ordering, used by pilots (§4) and
+//     the Atlas HPC runs (§5).
+//
+// Both run entirely in virtual time on a sim.Engine.
+package rm
+
+import (
+	"fmt"
+	"sort"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/dag"
+	"hhcw/internal/metrics"
+	"hhcw/internal/sim"
+)
+
+// Submission is one task handed to a TaskManager, carrying the resource
+// requests and (via CWSI) workflow identity the scheduler may exploit.
+type Submission struct {
+	ID         string
+	WorkflowID string
+	TaskID     dag.TaskID
+	Name       string // process/tool name
+
+	Cores int
+	GPUs  int
+	Mem   float64
+
+	// InputBytes is visible to size-aware strategies (§3.5's "file size"
+	// strategy).
+	InputBytes float64
+
+	// Runtime returns the task's execution time on the given node; the
+	// manager calls it once at placement.
+	Runtime func(n *cluster.Node) float64
+
+	// Validate, when non-nil, is consulted at completion; a non-nil error
+	// turns the execution into a failure (e.g. an OOM kill when the
+	// granted memory was below the task's true peak).
+	Validate func(n *cluster.Node) error
+
+	// Done is invoked exactly once with the terminal result.
+	Done func(Result)
+
+	submittedAt sim.Time
+	cancelled   bool
+}
+
+// Result is the terminal record for a submission.
+type Result struct {
+	Submission  *Submission
+	Node        *cluster.Node
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	FinishedAt  sim.Time
+	Failed      bool
+	Err         error
+}
+
+// QueueWait returns time spent pending.
+func (r Result) QueueWait() sim.Time { return r.StartedAt - r.SubmittedAt }
+
+// Strategy orders the pending queue and picks nodes — the policy surface the
+// CWS replaces (§3.1: "workflow engines with CWSI support do not need their
+// own scheduler component ... the scheduling happens there").
+type Strategy interface {
+	Name() string
+	// Prioritize returns the pending submissions in scheduling order. It
+	// must return a permutation of pending (same elements).
+	Prioritize(pending []*Submission) []*Submission
+	// PickNode chooses among nodes that can currently fit s. Returning nil
+	// skips s this pass.
+	PickNode(s *Submission, candidates []*cluster.Node) *cluster.Node
+}
+
+// FIFO is the baseline workflow-oblivious strategy: submission order,
+// first-fit placement. This is how plain Kubernetes/SLURM treat workflow
+// tasks (§3.2: "Kubernetes then schedules them in a FIFO manner").
+type FIFO struct{}
+
+// Name implements Strategy.
+func (FIFO) Name() string { return "fifo" }
+
+// Prioritize implements Strategy: submission order.
+func (FIFO) Prioritize(p []*Submission) []*Submission { return p }
+
+// PickNode implements Strategy: first fit.
+func (FIFO) PickNode(s *Submission, candidates []*cluster.Node) *cluster.Node {
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[0]
+}
+
+// TaskManager is the Kubernetes-like task-granular resource manager.
+type TaskManager struct {
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	strategy Strategy
+
+	pending []*Submission
+	running map[string]*running
+
+	queueLen  *metrics.Gauge
+	runningN  *metrics.Gauge
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	waits     []float64
+
+	schedulePending bool
+}
+
+type running struct {
+	sub   *Submission
+	alloc *cluster.Alloc
+	endEv *sim.Event
+	start sim.Time
+}
+
+// NewTaskManager builds a manager over cl using the given strategy (FIFO if
+// nil). It subscribes to node failures and fails affected submissions.
+func NewTaskManager(cl *cluster.Cluster, strategy Strategy) *TaskManager {
+	if strategy == nil {
+		strategy = FIFO{}
+	}
+	m := &TaskManager{
+		eng:       cl.Engine(),
+		cl:        cl,
+		strategy:  strategy,
+		running:   make(map[string]*running),
+		queueLen:  metrics.NewGauge("rm.queue"),
+		runningN:  metrics.NewGauge("rm.running"),
+		completed: metrics.NewCounter("rm.completed"),
+		failed:    metrics.NewCounter("rm.failed"),
+	}
+	cl.OnNodeDown(m.handleNodeDown)
+	return m
+}
+
+// Strategy returns the active scheduling strategy.
+func (m *TaskManager) Strategy() Strategy { return m.strategy }
+
+// SetStrategy replaces the scheduling strategy (takes effect next pass).
+func (m *TaskManager) SetStrategy(s Strategy) { m.strategy = s }
+
+// Cluster returns the underlying cluster.
+func (m *TaskManager) Cluster() *cluster.Cluster { return m.cl }
+
+// QueueLen returns the number of pending submissions.
+func (m *TaskManager) QueueLen() int { return len(m.pending) }
+
+// RunningCount returns the number of executing submissions.
+func (m *TaskManager) RunningCount() int { return len(m.running) }
+
+// Completed returns the count of successful completions.
+func (m *TaskManager) Completed() int { return int(m.completed.Value()) }
+
+// Failed returns the count of failed submissions.
+func (m *TaskManager) Failed() int { return int(m.failed.Value()) }
+
+// QueueWaits returns observed queue waits (seconds) of started submissions.
+func (m *TaskManager) QueueWaits() []float64 { return m.waits }
+
+// RunningSeries exposes the running-task gauge for concurrency plots.
+func (m *TaskManager) RunningSeries() *metrics.Gauge { return m.runningN }
+
+// QueueSeries exposes the pending-queue gauge.
+func (m *TaskManager) QueueSeries() *metrics.Gauge { return m.queueLen }
+
+// Submit queues a submission for scheduling.
+func (m *TaskManager) Submit(s *Submission) {
+	if s.ID == "" {
+		panic("rm: submission with empty ID")
+	}
+	if s.Runtime == nil {
+		panic(fmt.Sprintf("rm: submission %s without Runtime", s.ID))
+	}
+	if s.Cores <= 0 {
+		s.Cores = 1
+	}
+	s.submittedAt = m.eng.Now()
+	m.pending = append(m.pending, s)
+	m.queueLen.Set(m.eng.Now(), float64(len(m.pending)))
+	m.kick()
+}
+
+// Cancel removes a pending submission (running ones are not preempted). It
+// reports whether the submission was found pending.
+func (m *TaskManager) Cancel(id string) bool {
+	for _, s := range m.pending {
+		if s.ID == id && !s.cancelled {
+			s.cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
+// kick coalesces schedule passes into one per event timestamp.
+func (m *TaskManager) kick() {
+	if m.schedulePending {
+		return
+	}
+	m.schedulePending = true
+	m.eng.After(0, func() {
+		m.schedulePending = false
+		m.schedule()
+	})
+}
+
+func (m *TaskManager) schedule() {
+	// Drop cancelled entries first.
+	live := m.pending[:0]
+	for _, s := range m.pending {
+		if !s.cancelled {
+			live = append(live, s)
+		}
+	}
+	m.pending = live
+
+	ordered := m.strategy.Prioritize(append([]*Submission(nil), m.pending...))
+	placed := make(map[*Submission]bool)
+	for _, s := range ordered {
+		var candidates []*cluster.Node
+		for _, n := range m.cl.Nodes() {
+			if n.Down() {
+				continue
+			}
+			if n.FreeCores() >= s.Cores && n.FreeGPUs() >= s.GPUs && n.FreeMem() >= s.Mem {
+				candidates = append(candidates, n)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		node := m.strategy.PickNode(s, candidates)
+		if node == nil {
+			continue
+		}
+		alloc, err := m.cl.Allocate(node, s.Cores, s.GPUs, s.Mem)
+		if err != nil {
+			continue // raced with nothing (single-threaded), but be safe
+		}
+		placed[s] = true
+		m.start(s, alloc)
+	}
+	if len(placed) > 0 {
+		rest := m.pending[:0]
+		for _, s := range m.pending {
+			if !placed[s] {
+				rest = append(rest, s)
+			}
+		}
+		m.pending = rest
+		m.queueLen.Set(m.eng.Now(), float64(len(m.pending)))
+	}
+}
+
+func (m *TaskManager) start(s *Submission, alloc *cluster.Alloc) {
+	now := m.eng.Now()
+	dur := s.Runtime(alloc.Node)
+	if dur < 0 {
+		dur = 0
+	}
+	r := &running{sub: s, alloc: alloc, start: now}
+	m.running[s.ID] = r
+	m.runningN.AddDelta(now, 1)
+	m.waits = append(m.waits, float64(now-s.submittedAt))
+	r.endEv = m.eng.After(sim.Time(dur), func() {
+		if s.Validate != nil {
+			if err := s.Validate(alloc.Node); err != nil {
+				m.finish(r, true, err)
+				return
+			}
+		}
+		m.finish(r, false, nil)
+	})
+}
+
+func (m *TaskManager) finish(r *running, failed bool, err error) {
+	now := m.eng.Now()
+	delete(m.running, r.sub.ID)
+	m.cl.Release(r.alloc)
+	m.runningN.AddDelta(now, -1)
+	if failed {
+		m.failed.Inc(now, 1)
+	} else {
+		m.completed.Inc(now, 1)
+	}
+	res := Result{
+		Submission:  r.sub,
+		Node:        r.alloc.Node,
+		SubmittedAt: r.sub.submittedAt,
+		StartedAt:   r.start,
+		FinishedAt:  now,
+		Failed:      failed,
+		Err:         err,
+	}
+	if r.sub.Done != nil {
+		r.sub.Done(res)
+	}
+	m.kick()
+}
+
+func (m *TaskManager) handleNodeDown(n *cluster.Node) {
+	var victims []*running
+	for _, r := range m.running {
+		if r.alloc.Node == n {
+			victims = append(victims, r)
+		}
+	}
+	// Deterministic order.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].sub.ID < victims[j].sub.ID })
+	for _, r := range victims {
+		r.endEv.Cancel()
+		m.finish(r, true, fmt.Errorf("rm: node %s failed", n.Name()))
+	}
+	m.kick()
+}
+
+// MakespanRunner drives a whole dag.Workflow through a TaskManager,
+// submitting tasks as their dependencies complete, and reports the makespan.
+// This is the common harness for the §3 scheduling studies.
+type MakespanRunner struct {
+	Manager  *TaskManager
+	Workflow *dag.Workflow
+	// Runtime maps a task and node to an execution time. If nil, nominal
+	// duration scaled by node speed is used.
+	Runtime func(t *dag.Task, n *cluster.Node) float64
+	// WorkflowID labels submissions for CWSI-aware strategies.
+	WorkflowID string
+
+	doneCount int
+	results   map[dag.TaskID]Result
+	finishAt  sim.Time
+}
+
+// DefaultRuntime scales nominal duration by the node's speed/IO factors.
+func DefaultRuntime(t *dag.Task, n *cluster.Node) float64 {
+	cpu := t.NominalDur * (1 - t.IOFrac) / n.Type.SpeedFactor
+	io := t.NominalDur * t.IOFrac / n.Type.IOFactor
+	return cpu + io
+}
+
+// Run submits the workflow respecting dependencies and runs the engine until
+// the workflow drains. It returns the makespan in virtual seconds.
+func (mr *MakespanRunner) Run() sim.Time {
+	if err := mr.Workflow.Validate(); err != nil {
+		panic(err)
+	}
+	if mr.Runtime == nil {
+		mr.Runtime = DefaultRuntime
+	}
+	mr.results = make(map[dag.TaskID]Result, mr.Workflow.Len())
+	startAt := mr.Manager.eng.Now()
+
+	remainingDeps := make(map[dag.TaskID]int, mr.Workflow.Len())
+	var submit func(t *dag.Task)
+	submit = func(t *dag.Task) {
+		task := t
+		mr.Manager.Submit(&Submission{
+			ID:         mr.WorkflowID + "/" + string(task.ID),
+			WorkflowID: mr.WorkflowID,
+			TaskID:     task.ID,
+			Name:       task.Name,
+			Cores:      task.Cores,
+			GPUs:       task.GPUs,
+			Mem:        task.MemBytes,
+			InputBytes: task.InputBytes,
+			Runtime:    func(n *cluster.Node) float64 { return mr.Runtime(task, n) },
+			Done: func(r Result) {
+				mr.results[task.ID] = r
+				mr.doneCount++
+				if mr.doneCount == mr.Workflow.Len() {
+					mr.finishAt = mr.Manager.eng.Now()
+				}
+				for _, c := range mr.Workflow.Children(task.ID) {
+					remainingDeps[c.ID]--
+					if remainingDeps[c.ID] == 0 {
+						submit(c)
+					}
+				}
+			},
+		})
+	}
+	for _, t := range mr.Workflow.Tasks() {
+		remainingDeps[t.ID] = len(t.Deps)
+	}
+	for _, t := range mr.Workflow.Roots() {
+		submit(t)
+	}
+	mr.Manager.eng.Run()
+	if mr.doneCount != mr.Workflow.Len() {
+		panic(fmt.Sprintf("rm: workflow %s stalled: %d/%d tasks done (cluster too small for some request?)",
+			mr.Workflow.Name, mr.doneCount, mr.Workflow.Len()))
+	}
+	return mr.finishAt - startAt
+}
+
+// Results returns per-task results after Run.
+func (mr *MakespanRunner) Results() map[dag.TaskID]Result { return mr.results }

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event dispatch rate — the
+// simulator's core cost, which bounds how large a virtual system we can
+// replay per wall-second.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineDeepQueue measures scheduling cost with a large pending
+// queue (heap depth ~16k).
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 16384; i++ {
+		e.At(Time(1e9+float64(i)), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(Time(float64(i)+1), func() {})
+		_ = ev
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures event cancellation (used heavily by the
+// task managers on node failures).
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(Time(i)+1, func() {})
+		ev.Cancel()
+		e.Step()
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(5, func() { got = append(got, 2) })
+	e.At(1, func() { got = append(got, 0) })
+	e.At(3, func() { got = append(got, 1) })
+	e.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(2, func() {
+		times = append(times, e.Now())
+		e.After(3, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 2 || times[1] != 5 {
+		t.Fatalf("times = %v, want [2 5]", times)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=5, want 3", len(fired))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v after RunUntil(5), want 5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining event not fired: %v", fired)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 2 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Halt, want 2", count)
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d after resume, want 5", count)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-3, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("negative After: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing time
+// order and the engine's clock equals the max time.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		if len(raw) > 0 {
+			max := Time(0)
+			for _, r := range raw {
+				if Time(r) > max {
+					max = Time(r)
+				}
+			}
+			if e.Now() != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved scheduling from inside events preserves determinism —
+// two identical runs fire identical sequences.
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			fired = append(fired, e.Now())
+			if depth <= 0 {
+				return
+			}
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				e.After(Time(rng.Float64()*10), func() { spawn(depth - 1) })
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.At(Time(rng.Float64()*5), func() { spawn(4) })
+		}
+		e.Run()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 || e.Fired() != 0 {
+		t.Fatal("fresh engine counters")
+	}
+	ev := e.At(2, func() {})
+	if e.Pending() != 1 || ev.Time() != 2 {
+		t.Fatalf("pending=%d time=%v", e.Pending(), ev.Time())
+	}
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+	if Time(1.5).Duration().Seconds() != 1.5 {
+		t.Fatal("Duration conversion")
+	}
+	if Time(2).String() != "2.000s" {
+		t.Fatalf("String = %q", Time(2).String())
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/provenance"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+func TestFromProvenanceBasic(t *testing.T) {
+	s := provenance.NewStore()
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "a", Name: "proc", Attempt: 1,
+		StartedAt: 10, FinishedAt: 25, Node: "n-0001", MachineType: "x",
+	})
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "b", Name: "proc", Attempt: 1,
+		StartedAt: 25, FinishedAt: 60, Node: "n-0002", Failed: true,
+	})
+	doc := FromProvenance(s)
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].TS != 10e6 || doc.TraceEvents[0].Dur != 15e6 {
+		t.Fatalf("event timing: %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Cat != "failed" {
+		t.Fatal("failed attempt not categorized")
+	}
+	if doc.Lanes() != 2 {
+		t.Fatalf("lanes = %d", doc.Lanes())
+	}
+	if doc.Span() != 50 {
+		t.Fatalf("span = %v, want 50", doc.Span())
+	}
+}
+
+func TestJSONValid(t *testing.T) {
+	s := provenance.NewStore()
+	s.AddTask(provenance.TaskRecord{WorkflowID: "w", TaskID: "a", StartedAt: 0, FinishedAt: 1, Node: "n"})
+	raw, err := FromProvenance(s).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents")
+	}
+}
+
+func TestEndToEndFromCWSRun(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "k", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 64e9},
+		Count: 2,
+	})
+	cws := cwsi.New(rm.NewTaskManager(cl, nil), cwsi.Rank{}, nil)
+	w := dag.ForkJoin(randx.New(5), 2, 4, dag.GenOpts{MeanDur: 60})
+	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := cws.RunWorkflow(w.Name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromProvenance(cws.Provenance())
+	if len(doc.TraceEvents) != w.Len() {
+		t.Fatalf("events = %d, want %d", len(doc.TraceEvents), w.Len())
+	}
+	// The trace span equals the makespan.
+	if got := doc.Span(); got != float64(ms) {
+		t.Fatalf("span = %v, makespan = %v", got, ms)
+	}
+	// At most 2 lanes (2 nodes).
+	if doc.Lanes() > 2 {
+		t.Fatalf("lanes = %d", doc.Lanes())
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	doc := FromProvenance(provenance.NewStore())
+	if len(doc.TraceEvents) != 0 || doc.Span() != 0 || doc.Lanes() != 0 {
+		t.Fatal("empty store should give empty trace")
+	}
+}

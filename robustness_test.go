@@ -1,0 +1,149 @@
+package hhcw_test
+
+// Robustness tests: the headline reproduction claims must hold across seeds,
+// not just on the benchmark defaults. These are the guardrails that keep
+// future changes from silently bending the paper's shapes.
+
+import (
+	"testing"
+
+	"hhcw/internal/atlas"
+	"hhcw/internal/cloud"
+	"hhcw/internal/cluster"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/entk"
+	"hhcw/internal/exaam"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// TestFig4UtilizationStableAcrossSeeds: 8000-node utilization stays in the
+// paper's ~90 % regime for any seed.
+func TestFig4UtilizationStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Frontier runs")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		eng := sim.NewEngine()
+		cl := cluster.Frontier(eng, 8000)
+		bm := rm.NewBatchManager(cl, rm.FrontierPolicy)
+		cfg := exaam.FrontierConfig()
+		cfg.Seed = seed
+		am := entk.NewAppManager(cl, bm, entk.FrontierResource(8000, 12*3600))
+		am.Policy = rm.FrontierPolicy
+		rep, err := am.Run(exaam.Stage3Pipeline(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Utilization < 0.85 || rep.Utilization > 0.95 {
+			t.Fatalf("seed %d: utilization %.3f outside [0.85,0.95]", seed, rep.Utilization)
+		}
+		if rep.Overhead != 85 {
+			t.Fatalf("seed %d: OVH = %v", seed, rep.Overhead)
+		}
+		if rep.MeasuredSchedRate < 260 || rep.MeasuredSchedRate > 275 {
+			t.Fatalf("seed %d: sched rate %v", seed, rep.MeasuredSchedRate)
+		}
+		if rep.MeasuredLaunchRate < 48 || rep.MeasuredLaunchRate > 53 {
+			t.Fatalf("seed %d: launch rate %v", seed, rep.MeasuredLaunchRate)
+		}
+	}
+}
+
+// TestTable2DirectionsStableAcrossSeeds: the cloud/HPC asymmetries are
+// structural, not seed luck.
+func TestTable2DirectionsStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{7, 17, 27} {
+		rng := randx.New(seed)
+		catalog := atlas.GenerateCatalog(rng.Fork(), 99)
+		cloudRep, err := atlas.RunCloud(sim.NewEngine(), rng.Fork(), catalog, 8, cloud.T3Medium)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hpcEng := sim.NewEngine()
+		ares := cluster.New(hpcEng, "ares", cluster.Spec{
+			Type:  cluster.NodeType{Name: "ares", Cores: 48, MemBytes: 192e9},
+			Count: 4,
+		})
+		hpcRep, err := atlas.RunHPC(hpcEng, rng.Fork(), catalog, ares, 8, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := atlas.Compare(cloudRep, hpcRep)
+		if rows[atlas.Prefetch].HPCRelativeSlowdown <= 0 {
+			t.Fatalf("seed %d: prefetch not slower on HPC", seed)
+		}
+		if rows[atlas.Salmon].HPCRelativeSlowdown >= 0 {
+			t.Fatalf("seed %d: salmon not faster on HPC", seed)
+		}
+		if rows[atlas.FasterqDump].HPCRelativeSlowdown >= 0 {
+			t.Fatalf("seed %d: fasterq not faster on HPC", seed)
+		}
+		if hpcRep.Efficiency < 0.5 || hpcRep.Efficiency > 0.95 {
+			t.Fatalf("seed %d: efficiency %v", seed, hpcRep.Efficiency)
+		}
+	}
+}
+
+// TestCWSIAwareNeverWorseOnAverage: across seeds, rank's mean concurrent-
+// workflow makespan does not lose to FIFO by more than noise, and wins
+// overall.
+func TestCWSIAwareNeverWorseOnAverage(t *testing.T) {
+	sumFifo, sumRank := 0.0, 0.0
+	for seed := int64(0); seed < 6; seed++ {
+		mkCl := func() *cluster.Cluster {
+			return cluster.New(sim.NewEngine(), "flat", cluster.Spec{
+				Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 64e9},
+				Count: 6,
+			})
+		}
+		mkWfs := func() []*dag.Workflow {
+			r := randx.New(seed*31 + 7)
+			o := dag.GenOpts{MeanDur: 300, CVDur: 1.2, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+			return []*dag.Workflow{
+				dag.MontageLike(r.Fork(), 16, o),
+				dag.EpigenomicsLike(r.Fork(), 6, 5, o),
+				dag.ForkJoin(r.Fork(), 3, 12, o),
+				dag.RNASeqLike(r.Fork(), 10, o),
+				dag.RandomLayered(r.Fork(), 6, 8, o),
+			}
+		}
+		base, err := cwsi.RunConcurrent(mkCl(), mkWfs(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank, err := cwsi.RunConcurrent(mkCl(), mkWfs(), cwsi.Rank{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumFifo += float64(base.MeanMakespan)
+		sumRank += float64(rank.MeanMakespan)
+	}
+	if sumRank >= sumFifo {
+		t.Fatalf("rank total %v not below fifo total %v across seeds", sumRank, sumFifo)
+	}
+}
+
+// TestFig5FailureAccountingAcrossSeeds: 8 transient + 2 persistent failures
+// always yields exactly 8 recovered and 2 terminal, regardless of which
+// tasks are hit.
+func TestFig5FailureAccountingAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{5, 15, 25} {
+		eng := sim.NewEngine()
+		cl := cluster.Frontier(eng, 256)
+		bm := rm.NewBatchManager(cl, nil)
+		cfg := exaam.Config{GridDim: 2, GridLevel: 1, MeltPoolCases: 4, MicroParams: 2,
+			LoadingDirections: 4, Temperatures: 2, RVEs: 2, Seed: seed,
+			TransientFailures: 8, PersistentFailures: 2}
+		am := entk.NewAppManager(cl, bm, entk.FrontierResource(256, 12*3600))
+		rep, err := am.Run(exaam.Stage3Pipeline(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ResubmittedOK != 8 || rep.TasksFailed != 2 {
+			t.Fatalf("seed %d: recovered=%d terminal=%d, want 8/2", seed, rep.ResubmittedOK, rep.TasksFailed)
+		}
+	}
+}
