@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples clean
+.PHONY: all build vet test test-race sweep bench experiments examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-check the sweep worker pool (and all future concurrency) on every
+# tier-1 run.
+test-race:
+	$(GO) test -race ./...
+
+# The §3.5 CWS comparison as a 200-seed distribution on a parallel worker
+# pool. Same seeds ⇒ bit-identical table, independent of worker count.
+sweep:
+	$(GO) run ./cmd/sweeprun -seeds 200
 
 # One benchmark per paper table/figure, plus ablations.
 bench:
@@ -31,6 +41,7 @@ experiments:
 	$(GO) run ./cmd/llmrun
 	$(GO) run ./cmd/llmrun -agents -inject
 	$(GO) run ./cmd/llmrun -sweep -limit 2000
+	$(GO) run ./cmd/sweeprun -seeds 50
 
 examples:
 	$(GO) run ./examples/quickstart

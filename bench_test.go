@@ -7,11 +7,14 @@ package hhcw_test
 // the paper's numbers in one sweep.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"hhcw/internal/atlas"
 	"hhcw/internal/cloud"
 	"hhcw/internal/cluster"
+	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
 	"hhcw/internal/entk"
@@ -23,6 +26,7 @@ import (
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
 	"hhcw/internal/storage"
+	"hhcw/internal/sweep"
 )
 
 // BenchmarkFig1_LLMAgentLoop reproduces §2/Fig 1: the planner-executor-
@@ -257,6 +261,49 @@ func BenchmarkTable2_CloudVsHPC(b *testing.B) {
 	b.ReportMetric(hpcEff, "hpc_efficiency_pct")
 	b.ReportMetric(cloudH, "cloud_hours")
 	b.ReportMetric(hpcH, "hpc_hours")
+}
+
+// BenchmarkSweep measures the parallel multi-seed ensemble runner on a
+// 200-seed montage sweep at increasing worker counts. On a multi-core
+// machine the sub-benchmarks show near-linear wall-clock scaling from
+// -workers 1 to NumCPU (the 4-worker run should be ≥ 2× the 1-worker run);
+// the aggregate report is bit-identical at every width, which
+// internal/sweep's determinism tests assert separately.
+func BenchmarkSweep(b *testing.B) {
+	opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+	cfg := sweep.Config{
+		Workflows: []sweep.WorkflowSpec{{
+			Name: "montage-16",
+			Gen:  func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, 16, opts) },
+		}},
+		Envs: []sweep.EnvSpec{{
+			Name: "k8s-cws",
+			New: func() core.Environment {
+				return &core.KubernetesEnv{Nodes: 4, CoresPerNode: 8, Strategy: cwsi.Rank{}}
+			},
+		}},
+		Seeds: sweep.Seeds(1, 200),
+	}
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				cfg.Workers = w
+				rep, err := sweep.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				median = rep.Cells[0].Makespan.Median
+			}
+			b.ReportMetric(median, "median_makespan_s")
+			b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "sims_per_s")
+		})
+	}
 }
 
 // BenchmarkClaim_JAWSFusion reproduces the §6.1 claim: fusing four

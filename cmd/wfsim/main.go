@@ -1,17 +1,26 @@
 // Command wfsim runs a generated workflow on a chosen environment through
 // the public composable-workflow core — the "one composition, any
-// environment" demonstration of the paper's title.
+// environment" demonstration of the paper's title. With -sweep N it runs the
+// same (workflow, environment) pair over N consecutive seeds on a parallel
+// worker pool and prints distributional aggregates instead of one anecdote.
 //
 // Usage:
 //
 //	wfsim [-workflow montage|epigenomics|forkjoin|rnaseq|layered]
 //	      [-env k8s|k8s-cws|hpc|cloud] [-size 16] [-nodes 4] [-cores 8] [-seed 1]
+//	      [-trace out.json]
+//	      [-sweep N] [-workers W]
+//
+// -trace writes a Chrome trace JSON of a single run (k8s-cws env only).
+// -sweep N runs seeds seed..seed+N-1 concurrently on W workers (default
+// NumCPU); the aggregate report is bit-identical for any W.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
@@ -19,8 +28,55 @@ import (
 	"hhcw/internal/metrics"
 	"hhcw/internal/provenance"
 	"hhcw/internal/randx"
+	"hhcw/internal/sweep"
 	"hhcw/internal/trace"
 )
+
+// workflowSpec returns the generator for a workflow family flag value, or
+// nil if the name is unknown.
+func workflowSpec(name string, size int) *sweep.WorkflowSpec {
+	opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+	var gen func(rng *randx.Source) *dag.Workflow
+	switch name {
+	case "montage":
+		gen = func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, size, opts) }
+	case "epigenomics":
+		gen = func(r *randx.Source) *dag.Workflow { return dag.EpigenomicsLike(r, size/2, 5, opts) }
+	case "forkjoin":
+		gen = func(r *randx.Source) *dag.Workflow { return dag.ForkJoin(r, 3, size, opts) }
+	case "rnaseq":
+		gen = func(r *randx.Source) *dag.Workflow { return dag.RNASeqLike(r, size, opts) }
+	case "layered":
+		gen = func(r *randx.Source) *dag.Workflow { return dag.RandomLayered(r, 6, size, opts) }
+	default:
+		return nil
+	}
+	return &sweep.WorkflowSpec{Name: name, Gen: gen}
+}
+
+// envSpec returns the environment factory for an env flag value, or nil if
+// the name is unknown. Each call of New builds a fresh environment so sweep
+// workers share nothing.
+func envSpec(name string, nodes, cores int) *sweep.EnvSpec {
+	var mk func() core.Environment
+	switch name {
+	case "k8s":
+		mk = func() core.Environment { return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores} }
+	case "k8s-cws":
+		mk = func() core.Environment {
+			return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Strategy: cwsi.Rank{}}
+		}
+	case "hpc":
+		mk = func() core.Environment {
+			return &core.HPCEnv{Nodes: nodes, CoresPerNode: cores, BootstrapSec: 85}
+		}
+	case "cloud":
+		mk = func() core.Environment { return &core.CloudEnv{MaxInstances: nodes} }
+	default:
+		return nil
+	}
+	return &sweep.EnvSpec{Name: name, New: mk}
+}
 
 func main() {
 	workflow := flag.String("workflow", "montage", "workflow family: montage|epigenomics|forkjoin|rnaseq|layered")
@@ -29,43 +85,50 @@ func main() {
 	nodes := flag.Int("nodes", 4, "nodes (or max cloud instances)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the run (k8s-cws env only)")
 	cores := flag.Int("cores", 8, "cores per node")
-	seed := flag.Int64("seed", 1, "generator seed")
+	seed := flag.Int64("seed", 1, "generator seed (sweep mode: first seed of the block)")
+	sweepN := flag.Int("sweep", 0, "run this many consecutive seeds as a parallel ensemble (0 = single run)")
+	workers := flag.Int("workers", runtime.NumCPU(), "sweep worker pool size")
 	flag.Parse()
 
-	rng := randx.New(*seed)
-	opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
-	var w *dag.Workflow
-	switch *workflow {
-	case "montage":
-		w = dag.MontageLike(rng, *size, opts)
-	case "epigenomics":
-		w = dag.EpigenomicsLike(rng, *size/2, 5, opts)
-	case "forkjoin":
-		w = dag.ForkJoin(rng, 3, *size, opts)
-	case "rnaseq":
-		w = dag.RNASeqLike(rng, *size, opts)
-	case "layered":
-		w = dag.RandomLayered(rng, 6, *size, opts)
-	default:
+	wspec := workflowSpec(*workflow, *size)
+	if wspec == nil {
 		fmt.Fprintf(os.Stderr, "wfsim: unknown workflow %q\n", *workflow)
 		os.Exit(2)
 	}
-
-	var env core.Environment
-	switch *envName {
-	case "k8s":
-		env = &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores}
-	case "k8s-cws":
-		env = &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.Rank{}}
-	case "hpc":
-		env = &core.HPCEnv{Nodes: *nodes, CoresPerNode: *cores, BootstrapSec: 85}
-	case "cloud":
-		env = &core.CloudEnv{MaxInstances: *nodes}
-	default:
+	espec := envSpec(*envName, *nodes, *cores)
+	if espec == nil {
 		fmt.Fprintf(os.Stderr, "wfsim: unknown env %q\n", *envName)
 		os.Exit(2)
 	}
 
+	if *sweepN > 0 {
+		if *workers <= 0 {
+			*workers = runtime.NumCPU()
+		}
+		rep, err := sweep.Run(sweep.Config{
+			Workflows: []sweep.WorkflowSpec{*wspec},
+			Envs:      []sweep.EnvSpec{*espec},
+			Seeds:     sweep.Seeds(*seed, *sweepN),
+			Workers:   *workers,
+			Progress: func(done, total int) {
+				if done%50 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "wfsim: %d/%d runs complete\n", done, total)
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sweep         : %d seeds [%d..%d] on %d workers\n",
+			*sweepN, *seed, *seed+int64(*sweepN)-1, *workers)
+		fmt.Print(rep.Table())
+		return
+	}
+
+	rng := randx.New(*seed)
+	w := wspec.Gen(rng)
+	env := espec.New()
 	res, err := env.Run(w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)

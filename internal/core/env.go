@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hhcw/internal/cloud"
 	"hhcw/internal/cluster"
@@ -22,6 +23,19 @@ type Result struct {
 	TasksRun        int
 	// Provenance is the CWS store when the environment is CWSI-enabled.
 	Provenance any
+}
+
+// Fingerprint encodes the result's deterministic fields — environment name,
+// the exact IEEE-754 bits of makespan and utilization, and the task count —
+// as a string. Two runs are bit-identical iff their fingerprints are equal,
+// which is the equality the sweep engine's determinism contract is stated
+// in; Provenance is deliberately excluded (substrate-internal pointers).
+func (r *Result) Fingerprint() string {
+	return fmt.Sprintf("%s/%016x/%016x/%d",
+		r.Environment,
+		math.Float64bits(r.MakespanSec),
+		math.Float64bits(r.UtilizationCore),
+		r.TasksRun)
 }
 
 // Environment executes compiled workflows. Each Run uses a fresh simulated

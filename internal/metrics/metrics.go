@@ -226,6 +226,51 @@ func (p *ProcStats) Observe(s ProcSample) {
 	p.RSS.Observe(s.RSSBytes)
 }
 
+// Summary distills a sample set into the order statistics the sweep engine
+// reports per (workflow, env) cell. Non-finite inputs (NaN, ±Inf) are
+// rejected before aggregation and counted in Dropped: a single poisoned
+// sample must not turn a whole ensemble row into NaN.
+type Summary struct {
+	N                          int
+	Min, Median, P90, Max, Sum float64
+	// Dropped counts NaN/Inf inputs excluded from the statistics.
+	Dropped int
+}
+
+// Mean returns Sum/N (0 if empty).
+func (s Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Summarize computes a Summary over values. Empty (or all-non-finite) input
+// yields a zero Summary with the Dropped count preserved; a single sample
+// makes every order statistic that sample.
+func Summarize(values []float64) Summary {
+	finite := make([]float64, 0, len(values))
+	var s Summary
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.Dropped++
+			continue
+		}
+		finite = append(finite, v)
+		s.Sum += v
+	}
+	s.N = len(finite)
+	if s.N == 0 {
+		return s
+	}
+	sort.Float64s(finite)
+	s.Min = finite[0]
+	s.Max = finite[len(finite)-1]
+	s.Median = Quantile(finite, 0.5)
+	s.P90 = Quantile(finite, 0.9)
+	return s
+}
+
 // Quantile returns the q-quantile (0..1) of values using linear
 // interpolation; it sorts a copy.
 func Quantile(values []float64, q float64) float64 {

@@ -1,0 +1,107 @@
+package metrics
+
+// Edge-case coverage for the aggregation primitives the sweep reducer leans
+// on: empty sample sets, single samples, NaN/Inf rejection, and percentile
+// interpolation at exact index boundaries.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Dropped != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	if s.Min != 0 || s.Median != 0 || s.P90 != 0 || s.Max != 0 || s.Mean() != 0 {
+		t.Fatalf("empty summary has non-zero stats: %+v", s)
+	}
+	if s = Summarize([]float64{}); s.N != 0 {
+		t.Fatalf("zero-length slice: %+v", s)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{42.5})
+	if s.N != 1 || s.Dropped != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+	for name, v := range map[string]float64{
+		"min": s.Min, "median": s.Median, "p90": s.P90, "max": s.Max, "mean": s.Mean(),
+	} {
+		if v != 42.5 {
+			t.Fatalf("%s = %v, want 42.5 (every order statistic of one sample is the sample)", name, v)
+		}
+	}
+}
+
+func TestSummarizeRejectsNonFinite(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3, math.Inf(1), 2, math.Inf(-1)})
+	if s.N != 3 || s.Dropped != 3 {
+		t.Fatalf("N=%d Dropped=%d, want 3/3", s.N, s.Dropped)
+	}
+	if s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("stats polluted by non-finite input: %+v", s)
+	}
+	if m := s.Mean(); math.IsNaN(m) || m != 2 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+	// All-non-finite input degrades to the empty summary, not NaN.
+	s = Summarize([]float64{math.NaN(), math.Inf(1)})
+	if s.N != 0 || s.Dropped != 2 || s.Mean() != 0 {
+		t.Fatalf("all-non-finite: %+v mean=%v", s, s.Mean())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input reordered: %v", in)
+	}
+}
+
+// Quantile at positions that land exactly on an index must return that
+// element with no interpolation error; positions between indices must
+// interpolate linearly.
+func TestQuantileExactBoundaries(t *testing.T) {
+	v := []float64{10, 20, 30, 40, 50}
+	// With 5 values, pos = q*4; q = k/4 lands exactly on v[k].
+	for k := 0; k <= 4; k++ {
+		q := float64(k) / 4
+		if got := Quantile(v, q); got != v[k] {
+			t.Fatalf("Quantile(%v) = %v, want exactly %v", q, got, v[k])
+		}
+	}
+	// Midpoint between two indices interpolates halfway.
+	if got := Quantile(v, 0.125); got != 15 {
+		t.Fatalf("Quantile(0.125) = %v, want 15", got)
+	}
+	// Out-of-range q clamps to the extremes.
+	if Quantile(v, -0.5) != 10 || Quantile(v, 1.5) != 50 {
+		t.Fatal("q outside [0,1] did not clamp")
+	}
+}
+
+func TestSummarizeMatchesQuantileOnEvenN(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	s := Summarize(v)
+	if s.Median != 2.5 {
+		t.Fatalf("median of 1..4 = %v, want 2.5 (interpolated)", s.Median)
+	}
+	if want := Quantile(v, 0.9); s.P90 != want {
+		t.Fatalf("P90 = %v, want %v", s.P90, want)
+	}
+}
+
+func TestAggEmptyAndSingle(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Max() != 0 {
+		t.Fatal("zero Agg must report zeros")
+	}
+	a.Observe(-7)
+	if a.N != 1 || a.Mean() != -7 || a.Max() != -7 || a.Min != -7 {
+		t.Fatalf("single observation: %+v", a)
+	}
+}

@@ -217,6 +217,204 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// genSchedule builds a random schedule with heavy timestamp collisions (few
+// distinct times over many events) so tie-breaking is exercised constantly.
+func genSchedule(rng *rand.Rand, e *Engine, n int) []*Event {
+	events := make([]*Event, n)
+	distinct := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		events[i] = e.At(Time(rng.Intn(distinct)), func() {})
+	}
+	return events
+}
+
+// Property: events sharing a timestamp fire in scheduling (seq) order, for
+// hundreds of random schedules with dense timestamp collisions.
+func TestPropertySameTimestampSeqOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(40)
+		distinct := 1 + rng.Intn(5)
+		type rec struct {
+			at  Time
+			idx int // scheduling order
+		}
+		var fired []rec
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(distinct))
+			e.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != n {
+			t.Fatalf("iter %d: fired %d of %d", iter, len(fired), n)
+		}
+		for j := 1; j < len(fired); j++ {
+			prev, cur := fired[j-1], fired[j]
+			if cur.at < prev.at {
+				t.Fatalf("iter %d: time order violated at %d: %v after %v", iter, j, cur.at, prev.at)
+			}
+			if cur.at == prev.at && cur.idx < prev.idx {
+				t.Fatalf("iter %d: seq order violated at t=%v: idx %d after %d",
+					iter, cur.at, cur.idx, prev.idx)
+			}
+		}
+	}
+}
+
+// Property: Cancel is a no-op whether called before the event is popped or
+// after it fired — cancelled-pending events never fire, and cancelling a
+// fired event changes nothing that can be observed afterwards.
+func TestPropertyCancelBeforeAndAfterPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 300; iter++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(30)
+		firedSet := make([]bool, n)
+		events := make([]*Event, n)
+		cancelled := make([]bool, n)
+		distinct := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = e.At(Time(rng.Intn(distinct)), func() { firedSet[i] = true })
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				events[i].Cancel()
+			}
+		}
+		e.Run()
+		firedCount := uint64(0)
+		for i := 0; i < n; i++ {
+			if cancelled[i] && firedSet[i] {
+				t.Fatalf("iter %d: cancelled event %d fired", iter, i)
+			}
+			if !cancelled[i] && !firedSet[i] {
+				t.Fatalf("iter %d: live event %d never fired", iter, i)
+			}
+			if firedSet[i] {
+				firedCount++
+			}
+		}
+		if e.Fired() != firedCount {
+			t.Fatalf("iter %d: Fired() = %d, want %d", iter, e.Fired(), firedCount)
+		}
+		// Cancel after firing: a pure no-op on engine state.
+		now, fired, pending := e.Now(), e.Fired(), e.Pending()
+		for i := 0; i < n; i++ {
+			if firedSet[i] {
+				events[i].Cancel()
+			}
+		}
+		if e.Now() != now || e.Fired() != fired || e.Pending() != pending {
+			t.Fatalf("iter %d: Cancel after fire mutated engine state", iter)
+		}
+	}
+}
+
+// Property: RunUntil never advances the clock past the deadline, fires
+// exactly the events at or before it, and leaves later events queued.
+func TestPropertyRunUntilDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 300; iter++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(30)
+		var fired []Time
+		wantBefore := 0
+		deadline := Time(rng.Intn(10))
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(20))
+			if at <= deadline {
+				wantBefore++
+			}
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.RunUntil(deadline)
+		if len(fired) != wantBefore {
+			t.Fatalf("iter %d: fired %d events by %v, want %d", iter, len(fired), deadline, wantBefore)
+		}
+		for _, at := range fired {
+			if at > deadline {
+				t.Fatalf("iter %d: event at %v fired past deadline %v", iter, at, deadline)
+			}
+		}
+		if e.Now() > deadline {
+			t.Fatalf("iter %d: clock %v past deadline %v", iter, e.Now(), deadline)
+		}
+		if e.Pending() != n-wantBefore {
+			t.Fatalf("iter %d: %d pending, want %d", iter, e.Pending(), n-wantBefore)
+		}
+		// Draining the rest must pick up exactly where RunUntil stopped.
+		e.Run()
+		if len(fired) != n {
+			t.Fatalf("iter %d: %d fired after drain, want %d", iter, len(fired), n)
+		}
+	}
+}
+
+// Property: Step fires exactly one non-cancelled event per call, silently
+// discarding any cancelled events ahead of it, and total steps equals the
+// number of live events.
+func TestPropertyStepSkipsCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(30)
+		live := 0
+		fired := 0
+		events := genSchedule(rng, e, n)
+		for _, ev := range events {
+			if rng.Intn(3) == 0 {
+				ev.Cancel()
+			} else {
+				live++
+			}
+		}
+		steps := 0
+		for e.Step() {
+			steps++
+			if steps > n {
+				t.Fatalf("iter %d: Step exceeded event count", iter)
+			}
+		}
+		fired = int(e.Fired())
+		if steps != live || fired != live {
+			t.Fatalf("iter %d: steps=%d fired=%d, want %d live", iter, steps, fired, live)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("iter %d: %d events left after Step drained", iter, e.Pending())
+		}
+	}
+}
+
+// Property: scheduling strictly before Now panics, scheduling at exactly Now
+// or later succeeds — checked from inside handlers at random clock points.
+func TestPropertyPastSchedulingPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		e := NewEngine()
+		at := Time(1 + rng.Intn(50))
+		offset := Time(rng.Float64() * 10)
+		e.At(at, func() {
+			// At exactly Now: fine.
+			e.At(e.Now(), func() {})
+			// Strictly in the past: must panic.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("iter %d: scheduling at %v before now %v did not panic",
+							iter, e.Now()-1-offset, e.Now())
+					}
+				}()
+				e.At(e.Now()-1-offset, func() {})
+			}()
+		})
+		e.Run()
+	}
+}
+
 func TestAccessors(t *testing.T) {
 	e := NewEngine()
 	if e.Pending() != 0 || e.Fired() != 0 {

@@ -1,0 +1,316 @@
+// Package sweep is a parallel multi-seed ensemble runner. It executes N
+// independent (workflow family, environment, seed) simulations concurrently
+// across a worker pool and reduces them into deterministic, order-independent
+// aggregates — the distributional view (min/median/p90/max makespan,
+// utilization, speedup vs a baseline) in which the paper's headline numbers
+// (CWS's 10.8 % average makespan cut, EnTK's ~90 % utilization) are stated.
+//
+// Determinism contract: the same Config (workflows, environments, seeds)
+// produces a bit-identical Report regardless of Workers. Every worker builds
+// its own sim.Engine, randx.Source, and Environment from the job's seed, so
+// nothing is shared mutably between goroutines, and the reduction folds
+// results in the fixed (workflow, env, seed) job order — never in completion
+// order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hhcw/internal/core"
+	"hhcw/internal/dag"
+	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
+)
+
+// WorkflowSpec names a workflow family and how to generate one instance from
+// a seeded source. Gen must be a pure function of rng (no shared state): it
+// is called concurrently from many workers, each with its own Source.
+type WorkflowSpec struct {
+	Name string
+	Gen  func(rng *randx.Source) *dag.Workflow
+}
+
+// EnvSpec names an environment and how to build a fresh instance. New must
+// return a new Environment per call; environments own a private sim.Engine
+// per Run, so a fresh value per job keeps workers fully isolated.
+type EnvSpec struct {
+	Name string
+	New  func() core.Environment
+}
+
+// Config describes one ensemble: the cartesian product of Workflows × Envs ×
+// Seeds, executed on Workers goroutines.
+type Config struct {
+	Workflows []WorkflowSpec
+	Envs      []EnvSpec
+	Seeds     []int64
+	// Workers is the pool size; <= 0 means runtime.NumCPU(). It affects
+	// wall-clock time only, never the Report.
+	Workers int
+	// Baseline names the EnvSpec whose makespan is the denominator of the
+	// per-seed speedup column; empty disables speedups.
+	Baseline string
+	// Progress, when non-nil, is called after each completed simulation
+	// with the number done so far and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Seeds returns [base, base+n) — the conventional contiguous seed block.
+func Seeds(base int64, n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = base + int64(i)
+	}
+	return s
+}
+
+// RunResult is one simulation's outcome. Provenance is stripped: it holds
+// substrate-internal pointers that are meaningless outside the worker that
+// produced them and would defeat bit-identical comparison.
+type RunResult struct {
+	Workflow string
+	Env      string
+	Seed     int64
+	Result   core.Result
+}
+
+// Cell aggregates one (workflow, env) group over all seeds.
+type Cell struct {
+	Workflow string
+	Env      string
+	Makespan metrics.Summary
+	// UtilMean is the mean time-averaged core utilization across seeds.
+	UtilMean float64
+	// SpeedupMean is mean(baseline makespan / this makespan) over seeds,
+	// 0 when Config.Baseline is empty or names this env itself.
+	SpeedupMean float64
+	// CutMeanPct / CutMaxPct are the mean and max per-seed makespan
+	// reduction vs the baseline, in percent (the paper's §3.5 framing).
+	CutMeanPct float64
+	CutMaxPct  float64
+}
+
+// Report is the reduced ensemble. Field values are pure functions of the
+// Config's workflows, envs, and seeds — Workers never leaks in.
+type Report struct {
+	Runs  []RunResult // fixed (workflow, env, seed) order
+	Cells []Cell      // fixed (workflow, env) order
+}
+
+type job struct {
+	wi, ei, si int
+}
+
+// Run executes the ensemble and reduces it. Any simulation error aborts the
+// sweep; when several workers fail, the error of the lowest job index is
+// returned so failures are as deterministic as successes.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Workflows) == 0 || len(cfg.Envs) == 0 || len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: config needs workflows, envs, and seeds")
+	}
+	for _, w := range cfg.Workflows {
+		if w.Gen == nil {
+			return nil, fmt.Errorf("sweep: workflow %q has no generator", w.Name)
+		}
+	}
+	for _, e := range cfg.Envs {
+		if e.New == nil {
+			return nil, fmt.Errorf("sweep: env %q has no factory", e.Name)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Job order is the reduction order: workflow-major, then env, then seed.
+	total := len(cfg.Workflows) * len(cfg.Envs) * len(cfg.Seeds)
+	jobs := make([]job, 0, total)
+	for wi := range cfg.Workflows {
+		for ei := range cfg.Envs {
+			for si := range cfg.Seeds {
+				jobs = append(jobs, job{wi, ei, si})
+			}
+		}
+	}
+
+	results := make([]RunResult, total) // each index written by exactly one worker
+	errs := make([]error, total)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ch {
+				j := jobs[idx]
+				results[idx], errs[idx] = runOne(cfg, j)
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range jobs {
+		ch <- idx
+	}
+	close(ch)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			j := jobs[idx]
+			return nil, fmt.Errorf("sweep: %s on %s seed %d: %w",
+				cfg.Workflows[j.wi].Name, cfg.Envs[j.ei].Name, cfg.Seeds[j.si], err)
+		}
+	}
+	return reduce(cfg, results), nil
+}
+
+// runOne executes a single job in full isolation: its own Source seeded from
+// the job's seed, a freshly generated workflow, and a fresh environment. A
+// substrate panic (e.g. a stalled workflow) is converted into an error so one
+// bad seed aborts the sweep deterministically instead of killing the process.
+func runOne(cfg Config, j job) (rr RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rr, err = RunResult{}, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	spec := cfg.Workflows[j.wi]
+	seed := cfg.Seeds[j.si]
+	rng := randx.New(seed)
+	w := spec.Gen(rng)
+	if w == nil {
+		return RunResult{}, fmt.Errorf("generator returned nil workflow")
+	}
+	env := cfg.Envs[j.ei].New()
+	res, err := env.Run(w)
+	if err != nil {
+		return RunResult{}, err
+	}
+	r := *res
+	r.Provenance = nil
+	return RunResult{Workflow: spec.Name, Env: cfg.Envs[j.ei].Name, Seed: seed, Result: r}, nil
+}
+
+// reduce folds results in job order into per-(workflow, env) cells.
+func reduce(cfg Config, results []RunResult) *Report {
+	rep := &Report{Runs: results}
+	nSeeds := len(cfg.Seeds)
+	group := func(wi, ei int) []RunResult {
+		base := (wi*len(cfg.Envs) + ei) * nSeeds
+		return results[base : base+nSeeds]
+	}
+	baseIdx := -1
+	for ei, e := range cfg.Envs {
+		if e.Name == cfg.Baseline {
+			baseIdx = ei
+		}
+	}
+	for wi := range cfg.Workflows {
+		var baseMakespans []float64
+		if baseIdx >= 0 {
+			for _, r := range group(wi, baseIdx) {
+				baseMakespans = append(baseMakespans, r.Result.MakespanSec)
+			}
+		}
+		for ei := range cfg.Envs {
+			runs := group(wi, ei)
+			makespans := make([]float64, nSeeds)
+			var util metrics.Agg
+			for i, r := range runs {
+				makespans[i] = r.Result.MakespanSec
+				util.Observe(r.Result.UtilizationCore)
+			}
+			c := Cell{
+				Workflow: cfg.Workflows[wi].Name,
+				Env:      cfg.Envs[ei].Name,
+				Makespan: metrics.Summarize(makespans),
+				UtilMean: util.Mean(),
+			}
+			if baseIdx >= 0 && ei != baseIdx {
+				var speedup, cut metrics.Agg
+				for i := range makespans {
+					if makespans[i] > 0 && baseMakespans[i] > 0 {
+						speedup.Observe(baseMakespans[i] / makespans[i])
+						cut.Observe((1 - makespans[i]/baseMakespans[i]) * 100)
+					}
+				}
+				c.SpeedupMean = speedup.Mean()
+				c.CutMeanPct = cut.Mean()
+				c.CutMaxPct = cut.Max()
+			}
+			rep.Cells = append(rep.Cells, c)
+		}
+	}
+	return rep
+}
+
+// Cell returns the aggregate for one (workflow, env) pair, or nil.
+func (r *Report) Cell(workflow, env string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Workflow == workflow && r.Cells[i].Env == env {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the cells as a fixed-width table. The bytes are part of the
+// determinism contract: same Config ⇒ same Table, independent of Workers.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-22s %6s %10s %10s %10s %10s %7s %9s %9s\n",
+		"workflow", "environment", "seeds", "min", "median", "p90", "max", "util", "speedup", "cut-mean")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-18s %-22s %6d %10s %10s %10s %10s %6.1f%%",
+			c.Workflow, c.Env, c.Makespan.N,
+			metrics.HumanSeconds(c.Makespan.Min), metrics.HumanSeconds(c.Makespan.Median),
+			metrics.HumanSeconds(c.Makespan.P90), metrics.HumanSeconds(c.Makespan.Max),
+			c.UtilMean*100)
+		if c.SpeedupMean > 0 {
+			fmt.Fprintf(&b, " %8.3fx %8.1f%%", c.SpeedupMean, c.CutMeanPct)
+		} else {
+			fmt.Fprintf(&b, " %9s %9s", "-", "-")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fingerprint is a compact digest of every per-seed result, suitable for
+// asserting bit-identical sweeps without retaining full reports.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%s|%s|%d|%s\n", run.Workflow, run.Env, run.Seed, run.Result.Fingerprint())
+	}
+	return b.String()
+}
+
+// SortedEnvNames returns the env names of a report's cells, sorted and
+// deduplicated — a convenience for renderers that pivot the table.
+func (r *Report) SortedEnvNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, c := range r.Cells {
+		if !seen[c.Env] {
+			seen[c.Env] = true
+			names = append(names, c.Env)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
