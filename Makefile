@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race sweep bench experiments examples clean
+.PHONY: all build vet test test-race chaos sweep bench experiments examples clean
 
-all: build vet test test-race
+all: build vet test test-race chaos
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ test-race:
 # pool. Same seeds ⇒ bit-identical table, independent of worker count.
 sweep:
 	$(GO) run ./cmd/sweeprun -seeds 200
+
+# Chaos smoke: short fault-injected sweeps under each named profile. The
+# deterministic failure layer means these are as reproducible as `sweep`.
+chaos:
+	$(GO) run ./cmd/wfsim -faults mtbf -env k8s -sweep 25 -workers 4
+	$(GO) run ./cmd/wfsim -faults storm -env k8s-cws -sweep 25 -workers 4
+	$(GO) run ./cmd/sweeprun -faults spot -seeds 25
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

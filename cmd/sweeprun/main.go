@@ -11,6 +11,12 @@
 // Usage:
 //
 //	sweeprun [-seeds 200] [-workers NumCPU] [-nodes 2] [-cores 8] [-base 13]
+//	         [-faults none|mtbf|spot|storm]
+//
+// -faults overlays a deterministic failure profile on every strategy's
+// cluster (node crashes, spot reclaims, transient task failures, I/O
+// slowdowns); tasks recover under the shared retry policy and the report
+// gains a failure/recovery distribution table.
 //
 // The report is deterministic: same seeds ⇒ bit-identical table, whatever
 // -workers is.
@@ -25,6 +31,7 @@ import (
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
+	"hhcw/internal/fault"
 	"hhcw/internal/randx"
 	"hhcw/internal/sweep"
 )
@@ -35,7 +42,14 @@ func main() {
 	nodes := flag.Int("nodes", 2, "cluster nodes (2 = the paper's contended regime)")
 	cores := flag.Int("cores", 8, "cores per node")
 	base := flag.Int64("base", 13, "first seed of the block")
+	faultsName := flag.String("faults", "none", "fault profile: none|mtbf|spot|storm")
 	flag.Parse()
+
+	faults, err := fault.ByName(*faultsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(2)
+	}
 
 	opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
 	cfg := sweep.Config{
@@ -48,13 +62,13 @@ func main() {
 		},
 		Envs: []sweep.EnvSpec{
 			{Name: "fifo", New: func() core.Environment {
-				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores}
+				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Faults: faults}
 			}},
 			{Name: "cws-rank", New: func() core.Environment {
-				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.Rank{}}
+				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.Rank{}, Faults: faults}
 			}},
 			{Name: "cws-filesize", New: func() core.Environment {
-				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.FileSize{}}
+				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.FileSize{}, Faults: faults}
 			}},
 		},
 		Seeds:    sweep.Seeds(*base, *seeds),
@@ -76,6 +90,9 @@ func main() {
 	fmt.Printf("== §3.5 as a distribution: %d seeds × %d workflows × %d strategies on %d workers ==\n",
 		*seeds, len(cfg.Workflows), len(cfg.Envs), *workers)
 	fmt.Print(rep.Table())
+	if ft := rep.FaultTable(); ft != "" {
+		fmt.Printf("\n== failure / recovery distribution (-faults %s) ==\n%s", *faultsName, ft)
+	}
 
 	// The paper's headline: average and best-case makespan reduction of the
 	// simple aware strategies over FIFO, now over the whole ensemble.

@@ -8,12 +8,17 @@
 //
 //	wfsim [-workflow montage|epigenomics|forkjoin|rnaseq|layered]
 //	      [-env k8s|k8s-cws|hpc|cloud] [-size 16] [-nodes 4] [-cores 8] [-seed 1]
+//	      [-faults none|mtbf|spot|storm]
 //	      [-trace out.json]
 //	      [-sweep N] [-workers W]
 //
 // -trace writes a Chrome trace JSON of a single run (k8s-cws env only).
 // -sweep N runs seeds seed..seed+N-1 concurrently on W workers (default
 // NumCPU); the aggregate report is bit-identical for any W.
+// -faults injects a deterministic failure profile (node crashes, spot-style
+// reclaims, transient task failures, I/O slowdowns) into the k8s / k8s-cws
+// substrate; tasks recover under the default retry policy and chaos sweeps
+// stay bit-identical for any -workers.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
+	"hhcw/internal/fault"
 	"hhcw/internal/metrics"
 	"hhcw/internal/provenance"
 	"hhcw/internal/randx"
@@ -57,14 +63,14 @@ func workflowSpec(name string, size int) *sweep.WorkflowSpec {
 // envSpec returns the environment factory for an env flag value, or nil if
 // the name is unknown. Each call of New builds a fresh environment so sweep
 // workers share nothing.
-func envSpec(name string, nodes, cores int) *sweep.EnvSpec {
+func envSpec(name string, nodes, cores int, faults fault.Profile) *sweep.EnvSpec {
 	var mk func() core.Environment
 	switch name {
 	case "k8s":
-		mk = func() core.Environment { return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores} }
+		mk = func() core.Environment { return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Faults: faults} }
 	case "k8s-cws":
 		mk = func() core.Environment {
-			return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Strategy: cwsi.Rank{}}
+			return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Strategy: cwsi.Rank{}, Faults: faults}
 		}
 	case "hpc":
 		mk = func() core.Environment {
@@ -86,6 +92,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the run (k8s-cws env only)")
 	cores := flag.Int("cores", 8, "cores per node")
 	seed := flag.Int64("seed", 1, "generator seed (sweep mode: first seed of the block)")
+	faultsName := flag.String("faults", "none", "fault profile: none|mtbf|spot|storm (k8s / k8s-cws envs)")
 	sweepN := flag.Int("sweep", 0, "run this many consecutive seeds as a parallel ensemble (0 = single run)")
 	workers := flag.Int("workers", runtime.NumCPU(), "sweep worker pool size")
 	flag.Parse()
@@ -95,7 +102,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wfsim: unknown workflow %q\n", *workflow)
 		os.Exit(2)
 	}
-	espec := envSpec(*envName, *nodes, *cores)
+	faults, err := fault.ByName(*faultsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(2)
+	}
+	if faults.Enabled() && *envName != "k8s" && *envName != "k8s-cws" {
+		fmt.Fprintf(os.Stderr, "wfsim: -faults %s is only supported for -env k8s|k8s-cws\n", *faultsName)
+		os.Exit(2)
+	}
+	espec := envSpec(*envName, *nodes, *cores, faults)
 	if espec == nil {
 		fmt.Fprintf(os.Stderr, "wfsim: unknown env %q\n", *envName)
 		os.Exit(2)
@@ -123,13 +139,24 @@ func main() {
 		fmt.Printf("sweep         : %d seeds [%d..%d] on %d workers\n",
 			*sweepN, *seed, *seed+int64(*sweepN)-1, *workers)
 		fmt.Print(rep.Table())
+		if ft := rep.FaultTable(); ft != "" {
+			fmt.Printf("\n== failure / recovery distribution (-faults %s) ==\n%s", *faultsName, ft)
+		}
 		return
 	}
 
 	rng := randx.New(*seed)
 	w := wspec.Gen(rng)
 	env := espec.New()
-	res, err := env.Run(w)
+	// Same seeding discipline as sweep.runOne: substrate randomness forks off
+	// the generator source right after workflow generation, so a single run
+	// reproduces the corresponding sweep cell exactly.
+	var res *core.Result
+	if se, ok := env.(core.SeededEnvironment); ok {
+		res, err = se.RunSeeded(w, rng.Fork())
+	} else {
+		res, err = env.Run(w)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
@@ -157,4 +184,9 @@ func main() {
 	fmt.Printf("makespan      : %s\n", metrics.HumanSeconds(res.MakespanSec))
 	fmt.Printf("critical path : %s (lower bound)\n", metrics.HumanSeconds(cp))
 	fmt.Printf("utilization   : %.1f%%\n", res.UtilizationCore*100)
+	if faults.Enabled() {
+		fmt.Printf("faults        : %s — %d failed attempts, %d retries (%s backoff), %d terminal\n",
+			*faultsName, res.FailedAttempts, res.Retries,
+			metrics.HumanSeconds(res.BackoffSec), res.TerminalFailures)
+	}
 }

@@ -19,6 +19,9 @@ type SpotReport struct {
 	Report
 	Interruptions int
 	RedoneFiles   int
+	// PeakLive is the highest concurrent live-worker count observed; it can
+	// never exceed the maxInstances cap.
+	PeakLive int
 	// OnDemandCostUSD is what the same instance-hours would have cost at
 	// the on-demand price.
 	OnDemandCostUSD float64
@@ -40,13 +43,16 @@ func RunCloudSpot(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInsta
 	rep := &SpotReport{Report: Report{Env: Cloud, Files: len(catalog), Outputs: env.S3}}
 	start := eng.Now()
 
-	live := 0
+	live, minLive := 0, 0
 	var launch func()
 	launch = func() {
 		if live >= maxInstances || env.Queue.Len() == 0 {
 			return
 		}
 		live++
+		if live > rep.PeakLive {
+			rep.PeakLive = live
+		}
 		type workerState struct {
 			current     string
 			interrupted bool
@@ -62,6 +68,9 @@ func RunCloudSpot(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInsta
 				if !ok {
 					env.Terminate(inst)
 					live--
+					if live < minLive {
+						minLive = live
+					}
 					return
 				}
 				st.current = acc
@@ -96,6 +105,9 @@ func RunCloudSpot(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInsta
 			// the fleet.
 			st.interrupted = true
 			live--
+			if live < minLive {
+				minLive = live
+			}
 			if st.current != "" {
 				env.Queue.Return(st.current)
 				rep.RedoneFiles++
@@ -109,6 +121,9 @@ func RunCloudSpot(eng *sim.Engine, rng *randx.Source, catalog []SRARun, maxInsta
 	eng.Run()
 	if env.Queue.Consumed() != len(catalog) {
 		return nil, fmt.Errorf("atlas: spot run consumed %d of %d", env.Queue.Consumed(), len(catalog))
+	}
+	if minLive < 0 {
+		return nil, fmt.Errorf("atlas: live worker count went negative (%d): double decrement", minLive)
 	}
 	rep.Makespan = float64(eng.Now() - start)
 	rep.CostUSD = env.TotalCost(eng.Now())

@@ -81,3 +81,69 @@ func TestSpotValidation(t *testing.T) {
 		t.Fatal("zero instances accepted")
 	}
 }
+
+func TestSpotReclaimBetweenTasks(t *testing.T) {
+	// A tiny catalog on a big fleet with a brutal reclaim rate guarantees
+	// some interruptions land while a worker is idle between tasks (current
+	// == ""): those must not requeue anything or corrupt the live count.
+	rng := randx.New(21)
+	cat := GenerateCatalog(rng.Fork(), 4)
+	rep, err := RunCloudSpot(sim.NewEngine(), rng.Fork(), cat, 8, spotCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 4 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	if rep.RedoneFiles > rep.Interruptions {
+		t.Fatalf("redone %d > interruptions %d: idle reclaim requeued phantom work",
+			rep.RedoneFiles, rep.Interruptions)
+	}
+}
+
+func TestSpotReclaimOfLastItemHolder(t *testing.T) {
+	// One item, one instance, frequent reclaims: when the worker holding the
+	// last queue item is reclaimed, the item must return to the queue and a
+	// replacement must finish it.
+	interruptions, redone := 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := randx.New(seed)
+		cat := GenerateCatalog(rng.Fork(), 1)
+		rep, err := RunCloudSpot(sim.NewEngine(), rng.Fork(), cat, 1, spotCfg(3))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Files != 1 {
+			t.Fatalf("seed %d: files = %d", seed, rep.Files)
+		}
+		interruptions += rep.Interruptions
+		redone += rep.RedoneFiles
+	}
+	if interruptions == 0 || redone == 0 {
+		t.Fatalf("edge never exercised: %d interruptions, %d redone across seeds", interruptions, redone)
+	}
+}
+
+func TestSpotLiveInvariantsOver50Seeds(t *testing.T) {
+	// live must never exceed maxInstances nor go negative, across seeds and
+	// reclaim rates (RunCloudSpot internally errors on a negative count).
+	const maxInst = 5
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := randx.New(seed)
+		cat := GenerateCatalog(rng.Fork(), 12)
+		rate := float64(seed%4) * 2 // 0, 2, 4, 6 per hour
+		rep, err := RunCloudSpot(sim.NewEngine(), rng.Fork(), cat, maxInst, spotCfg(rate))
+		if err != nil {
+			t.Fatalf("seed %d rate %v: %v", seed, rate, err)
+		}
+		if rep.PeakLive > maxInst {
+			t.Fatalf("seed %d: peak live %d exceeds cap %d", seed, rep.PeakLive, maxInst)
+		}
+		if rep.PeakLive <= 0 {
+			t.Fatalf("seed %d: peak live %d, fleet never worked", seed, rep.PeakLive)
+		}
+		if rep.Files != 12 {
+			t.Fatalf("seed %d: files = %d", seed, rep.Files)
+		}
+	}
+}

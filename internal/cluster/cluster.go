@@ -39,6 +39,10 @@ type Node struct {
 	freeGPUs  int
 	freeMem   float64
 	down      bool
+	// epoch increments at every failure; allocations remember the epoch
+	// they were granted in so releases from before a crash cannot credit
+	// capacity the repair already reset.
+	epoch int
 }
 
 // FreeCores returns currently unallocated cores.
@@ -64,7 +68,13 @@ type Alloc struct {
 	Mem   float64
 
 	released bool
+	epoch    int
 }
+
+// Revoked reports whether the node failed after this allocation was granted:
+// the reservation no longer backs any capacity, even if the node has since
+// been repaired.
+func (a *Alloc) Revoked() bool { return a.epoch != a.Node.epoch }
 
 // Cluster is a set of nodes plus utilization accounting.
 type Cluster struct {
@@ -83,6 +93,10 @@ type Cluster struct {
 	// onNodeDown callbacks fire when a node fails, letting runtimes kill
 	// and resubmit affected work.
 	onNodeDown []func(*Node)
+	// onNodeUp callbacks fire when a node is repaired, letting runtimes
+	// kick their schedulers at restored capacity (without this, work queued
+	// while the whole cluster was down would wait forever).
+	onNodeUp []func(*Node)
 }
 
 // New builds a cluster on the given engine from (type, count) specs.
@@ -182,25 +196,34 @@ func (c *Cluster) Allocate(n *Node, cores, gpus int, mem float64) (*Alloc, error
 	n.freeMem -= mem
 	c.usedCores.AddDelta(c.eng.Now(), float64(cores))
 	c.usedGPUs.AddDelta(c.eng.Now(), float64(gpus))
-	return &Alloc{Node: n, Cores: cores, GPUs: gpus, Mem: mem}, nil
+	return &Alloc{Node: n, Cores: cores, GPUs: gpus, Mem: mem, epoch: n.epoch}, nil
 }
 
 // Release returns an allocation's resources. Releasing twice is a no-op, so
-// failure paths can release defensively.
+// failure paths can release defensively. A revoked allocation (node failed
+// after the grant) only settles the utilization gauges: the node's free
+// counters were reset by RepairNode, and crediting them again would
+// manufacture capacity beyond the node's physical total.
 func (c *Cluster) Release(a *Alloc) {
 	if a == nil || a.released {
 		return
 	}
 	a.released = true
+	c.usedCores.AddDelta(c.eng.Now(), -float64(a.Cores))
+	c.usedGPUs.AddDelta(c.eng.Now(), -float64(a.GPUs))
+	if a.Revoked() {
+		return
+	}
 	a.Node.freeCores += a.Cores
 	a.Node.freeGPUs += a.GPUs
 	a.Node.freeMem += a.Mem
-	c.usedCores.AddDelta(c.eng.Now(), -float64(a.Cores))
-	c.usedGPUs.AddDelta(c.eng.Now(), -float64(a.GPUs))
 }
 
 // OnNodeDown registers a callback invoked when any node fails.
 func (c *Cluster) OnNodeDown(fn func(*Node)) { c.onNodeDown = append(c.onNodeDown, fn) }
+
+// OnNodeUp registers a callback invoked when any node is repaired.
+func (c *Cluster) OnNodeUp(fn func(*Node)) { c.onNodeUp = append(c.onNodeUp, fn) }
 
 // FailNode marks a node down immediately and notifies subscribers. Resources
 // currently allocated on the node are NOT auto-released: the owning runtime
@@ -211,13 +234,17 @@ func (c *Cluster) FailNode(n *Node) {
 		return
 	}
 	n.down = true
+	n.epoch++
 	c.downNodes.AddDelta(c.eng.Now(), 1)
 	for _, fn := range c.onNodeDown {
 		fn(n)
 	}
 }
 
-// RepairNode brings a failed node back with full capacity free.
+// RepairNode brings a failed node back with full capacity free and notifies
+// subscribers. Allocations that were live at failure time are revoked (their
+// epoch no longer matches), so a straggling Release cannot credit free
+// capacity on top of this reset.
 func (c *Cluster) RepairNode(n *Node) {
 	if !n.down {
 		return
@@ -227,6 +254,9 @@ func (c *Cluster) RepairNode(n *Node) {
 	n.freeGPUs = n.Type.GPUs
 	n.freeMem = n.Type.MemBytes
 	c.downNodes.AddDelta(c.eng.Now(), -1)
+	for _, fn := range c.onNodeUp {
+		fn(n)
+	}
 }
 
 // Utilization returns time-averaged core utilization over [from,to] as a

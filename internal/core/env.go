@@ -8,8 +8,10 @@ import (
 	"hhcw/internal/cluster"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
+	"hhcw/internal/fault"
 	"hhcw/internal/pilot"
 	"hhcw/internal/predict"
+	"hhcw/internal/randx"
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
 )
@@ -21,21 +23,33 @@ type Result struct {
 	// UtilizationCore is time-averaged core utilization during the run.
 	UtilizationCore float64
 	TasksRun        int
+
+	// Failure/recovery accounting — all zero on fault-free runs.
+	FailedAttempts   int     // attempts that ended in failure (recovered or not)
+	Retries          int     // policy-scheduled resubmissions
+	TerminalFailures int     // tasks abandoned after exhausting the policy (incl. skipped descendants)
+	BackoffSec       float64 // total recovery backoff injected
+
 	// Provenance is the CWS store when the environment is CWSI-enabled.
 	Provenance any
 }
 
 // Fingerprint encodes the result's deterministic fields — environment name,
-// the exact IEEE-754 bits of makespan and utilization, and the task count —
-// as a string. Two runs are bit-identical iff their fingerprints are equal,
-// which is the equality the sweep engine's determinism contract is stated
-// in; Provenance is deliberately excluded (substrate-internal pointers).
+// the exact IEEE-754 bits of makespan, utilization and backoff, and the
+// task/failure counts — as a string. Two runs are bit-identical iff their
+// fingerprints are equal, which is the equality the sweep engine's
+// determinism contract is stated in; Provenance is deliberately excluded
+// (substrate-internal pointers).
 func (r *Result) Fingerprint() string {
-	return fmt.Sprintf("%s/%016x/%016x/%d",
+	return fmt.Sprintf("%s/%016x/%016x/%d/%d/%d/%d/%016x",
 		r.Environment,
 		math.Float64bits(r.MakespanSec),
 		math.Float64bits(r.UtilizationCore),
-		r.TasksRun)
+		r.TasksRun,
+		r.FailedAttempts,
+		r.Retries,
+		r.TerminalFailures,
+		math.Float64bits(r.BackoffSec))
 }
 
 // Environment executes compiled workflows. Each Run uses a fresh simulated
@@ -45,8 +59,18 @@ type Environment interface {
 	Run(w *dag.Workflow) (*Result, error)
 }
 
+// SeededEnvironment is implemented by environments whose substrate itself
+// consumes randomness — fault injection, most importantly. The sweep engine
+// hands each run a fork of the job's seeded source so chaos sweeps stay a
+// pure function of (workflow, environment, seed) regardless of worker count.
+type SeededEnvironment interface {
+	Environment
+	RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error)
+}
+
 // KubernetesEnv is a Kubernetes-like cluster of identical nodes, optionally
-// workflow-aware via a CWS strategy (§3).
+// workflow-aware via a CWS strategy (§3), and optionally chaos-tested via a
+// fault profile.
 type KubernetesEnv struct {
 	Nodes        int
 	CoresPerNode int
@@ -55,18 +79,39 @@ type KubernetesEnv struct {
 	Strategy cwsi.Strategy
 	// Predictor optionally feeds CWS strategies with learned runtimes.
 	Predictor func() predict.RuntimePredictor
+	// Faults, when an enabled profile, arms deterministic fault injection:
+	// node crashes/reclaims/I/O episodes on the substrate, transient task
+	// failures in the workload, all recovered under Retry.
+	Faults fault.Profile
+	// Retry is the recovery policy for fault runs; the zero value selects
+	// fault.DefaultRetryPolicy.
+	Retry fault.RetryPolicy
 }
 
-// Name implements Environment.
+// Name implements Environment. Fault-injected variants carry the profile in
+// the name so their results never alias fault-free ones.
 func (e *KubernetesEnv) Name() string {
+	name := "kubernetes"
 	if e.Strategy != nil {
-		return "kubernetes+cws/" + e.Strategy.Name()
+		name = "kubernetes+cws/" + e.Strategy.Name()
 	}
-	return "kubernetes"
+	if e.Faults.Enabled() {
+		name += "+faults/" + e.Faults.Name
+	}
+	return name
 }
 
-// Run implements Environment.
+// Run implements Environment. Fault-free runs consume no randomness; with an
+// enabled fault profile this is RunSeeded under a fixed substrate seed (use
+// RunSeeded directly to tie the faults to the workflow's seed, as the sweep
+// engine does).
 func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
+	return e.RunSeeded(w, randx.New(1))
+}
+
+// RunSeeded implements SeededEnvironment: rng drives the fault processes (and
+// only those — fault-free configurations ignore it entirely).
+func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error) {
 	if e.Nodes <= 0 || e.CoresPerNode <= 0 {
 		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
 	}
@@ -82,11 +127,55 @@ func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
 	mgr := rm.NewTaskManager(cl, nil)
 	res := &Result{Environment: e.Name(), TasksRun: w.Len()}
 
+	// Arm the fault layer. Fork order is fixed (injector, task plan, retry
+	// jitter) — it is part of the determinism contract.
+	var inj *fault.Injector
+	var retry fault.RetryPolicy
+	var retryRNG *randx.Source
+	failAttempts := map[dag.TaskID]int{}
+	if e.Faults.Enabled() {
+		if rng == nil {
+			return nil, fmt.Errorf("core: fault profile %q needs a seeded source", e.Faults.Name)
+		}
+		retry = e.Retry
+		if retry == (fault.RetryPolicy{}) {
+			retry = fault.DefaultRetryPolicy()
+		}
+		inj = fault.NewInjector(cl, rng.Fork(), e.Faults)
+		plan := e.Faults.PlanTaskFailures(w.Len(), rng.Fork())
+		for i, t := range w.Tasks() {
+			if plan[i] > 0 {
+				failAttempts[t.ID] = plan[i]
+			}
+		}
+		retryRNG = rng.Fork()
+	}
+	runtime := func(t *dag.Task, n *cluster.Node) float64 {
+		d := rm.DefaultRuntime(t, n)
+		if inj != nil {
+			d *= inj.RuntimeScale()
+		}
+		return d
+	}
+
 	if e.Strategy == nil {
-		runner := &rm.MakespanRunner{Manager: mgr, Workflow: w, WorkflowID: w.Name}
+		runner := &rm.MakespanRunner{Manager: mgr, Workflow: w, WorkflowID: w.Name, Runtime: runtime}
+		if inj != nil {
+			runner.Retry = &retry
+			runner.RetryRNG = retryRNG
+			runner.Breaker = retry.NewBreaker()
+			runner.FailAttempts = failAttempts
+			runner.OnComplete = inj.Stop
+			inj.Start()
+		}
 		ms := runner.Run()
 		res.MakespanSec = float64(ms)
 		res.UtilizationCore = cl.Utilization(0, ms)
+		st := runner.Stats()
+		res.FailedAttempts = st.Failures
+		res.Retries = st.Retries
+		res.TerminalFailures = st.TerminalFailures + st.Skipped
+		res.BackoffSec = st.BackoffSec
 		return res, nil
 	}
 	var p predict.RuntimePredictor
@@ -97,13 +186,49 @@ func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
 	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
 		return nil, err
 	}
-	ms, err := cws.RunWorkflow(w.Name, 1)
-	if err != nil {
+	if inj == nil {
+		ms, err := cws.RunWorkflow(w.Name, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.MakespanSec = float64(ms)
+		res.UtilizationCore = cl.Utilization(0, ms)
+		res.Provenance = cws.Provenance()
+		return res, nil
+	}
+	cws.SetRecovery(retry, retryRNG)
+	cws.SetFaultInjection(func(_ string, taskID dag.TaskID, attempt int) bool {
+		return attempt <= failAttempts[taskID]
+	})
+	var ms sim.Time
+	var runErr error
+	done := false
+	if err := cws.StartWorkflow(w.Name, 0, func(m sim.Time, err error) {
+		ms, runErr = m, err
+		done = true
+		inj.Stop()
+		if err != nil {
+			eng.Halt()
+		}
+	}); err != nil {
 		return nil, err
+	}
+	inj.Start()
+	eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !done {
+		return nil, fmt.Errorf("core: workflow %q stalled under faults", w.Name)
 	}
 	res.MakespanSec = float64(ms)
 	res.UtilizationCore = cl.Utilization(0, ms)
 	res.Provenance = cws.Provenance()
+	st := cws.RecoveryStats()
+	res.FailedAttempts = st.FailedAttempts
+	res.Retries = st.Retries
+	res.TerminalFailures = st.TerminalFailures + st.Skipped
+	res.BackoffSec = st.BackoffSec
 	return res, nil
 }
 

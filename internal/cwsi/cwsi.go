@@ -15,8 +15,10 @@ import (
 
 	"hhcw/internal/cluster"
 	"hhcw/internal/dag"
+	"hhcw/internal/fault"
 	"hhcw/internal/predict"
 	"hhcw/internal/provenance"
+	"hhcw/internal/randx"
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
 )
@@ -146,6 +148,23 @@ type CWS struct {
 
 	// Measured machine characteristics (see profiling.go).
 	measuredSpeed map[string]float64
+
+	// Shared recovery policy (see SetRecovery); nil keeps the legacy
+	// per-call maxRetries counters.
+	recovery    *fault.RetryPolicy
+	recoveryRNG *randx.Source
+	injectFail  func(wfID string, taskID dag.TaskID, attempt int) bool
+	recStats    RecoveryStats
+}
+
+// RecoveryStats aggregates policy-driven recovery accounting across the
+// workflows driven through StartWorkflow.
+type RecoveryStats struct {
+	FailedAttempts   int     // failed attempts, recovered or not
+	Retries          int     // policy-scheduled resubmissions
+	TerminalFailures int     // tasks that exhausted the policy or broke the circuit
+	Skipped          int     // descendants abandoned after a terminal failure
+	BackoffSec       float64 // total backoff delay injected
 }
 
 // New creates a CWS over mgr with the given strategy and installs it as the
@@ -181,6 +200,28 @@ func (c *CWS) SetMemPredictor(p *predict.MemPredictor) { c.memPred = p }
 
 // Manager returns the underlying resource manager.
 func (c *CWS) Manager() *rm.TaskManager { return c.mgr }
+
+// SetRecovery installs the shared fault.RetryPolicy: StartWorkflow then
+// derives its retry budget from the policy, delays resubmissions by the
+// policy's capped exponential backoff (deterministic jitter from rng, which
+// may be nil), circuit-breaks on the policy's threshold, and degrades
+// gracefully — a terminally failed task abandons its unreachable descendants
+// instead of failing the whole workflow. The per-call maxRetries argument is
+// ignored while a policy is installed.
+func (c *CWS) SetRecovery(p fault.RetryPolicy, rng *randx.Source) {
+	c.recovery = &p
+	c.recoveryRNG = rng
+}
+
+// SetFaultInjection installs a transient task-failure predicate consulted at
+// each attempt's completion (fault.Profile.PlanTaskFailures drives it in
+// chaos runs). A true return fails the attempt with an injected error.
+func (c *CWS) SetFaultInjection(fn func(wfID string, taskID dag.TaskID, attempt int) bool) {
+	c.injectFail = fn
+}
+
+// RecoveryStats returns the accumulated recovery accounting.
+func (c *CWS) RecoveryStats() RecoveryStats { return c.recStats }
 
 // RegisterWorkflow implements Interface.
 func (c *CWS) RegisterWorkflow(id string, w *dag.Workflow) error {
@@ -247,6 +288,9 @@ func (c *CWS) SubmitTask(req TaskRequest) error {
 				return fmt.Errorf("cwsi: task %s OOM-killed: granted %.0fB, peak %.0fB",
 					req.TaskID, grantedMem, t.PeakMem())
 			}
+			if c.injectFail != nil && c.injectFail(req.WorkflowID, req.TaskID, attempt) {
+				return fmt.Errorf("cwsi: injected transient failure of %s (attempt %d)", req.TaskID, attempt)
+			}
 			return nil
 		},
 		Done: func(r rm.Result) {
@@ -267,6 +311,12 @@ func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.
 	if r.Err != nil {
 		errMsg = r.Err.Error()
 	}
+	// A submission aborted while still pending (attempt timeout) never got a
+	// node; record it with an empty placement.
+	nodeName, machineType, speedFactor := "", "", 0.0
+	if r.Node != nil {
+		nodeName, machineType, speedFactor = r.Node.Name(), r.Node.Type.Name, r.Node.Type.SpeedFactor
+	}
 	rec := provenance.TaskRecord{
 		WorkflowID:  req.WorkflowID,
 		TaskID:      req.TaskID,
@@ -275,9 +325,9 @@ func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.
 		SubmittedAt: submittedAt,
 		StartedAt:   r.StartedAt,
 		FinishedAt:  r.FinishedAt,
-		Node:        r.Node.Name(),
-		MachineType: r.Node.Type.Name,
-		SpeedFactor: r.Node.Type.SpeedFactor,
+		Node:        nodeName,
+		MachineType: machineType,
+		SpeedFactor: speedFactor,
 		Cores:       t.Cores,
 		MemRequest:  t.MemBytes,
 		PeakMem:     t.PeakMem(),
@@ -348,6 +398,14 @@ func (a *rmAdapter) PickNode(s *rm.Submission, candidates []*cluster.Node) *clus
 // engine, so several workflows can share one cluster concurrently (the
 // multi-tenant setting the CWS evaluation uses). onDone fires once with the
 // workflow's makespan or an error.
+//
+// Without a recovery policy (SetRecovery), failed tasks are resubmitted
+// immediately up to maxRetries times and the first terminal failure fails the
+// workflow. With a policy, the policy's attempt budget replaces maxRetries,
+// resubmissions wait out the policy's backoff (recorded into provenance), the
+// breaker can abandon retries cluster-wide, and a terminal failure degrades
+// gracefully: the task's unreachable descendants are abandoned and the rest
+// of the workflow completes on the healthy capacity.
 func (c *CWS) StartWorkflow(id string, maxRetries int, onDone func(sim.Time, error)) error {
 	st := c.workflows[id]
 	if st == nil {
@@ -359,11 +417,38 @@ func (c *CWS) StartWorkflow(id string, maxRetries int, onDone func(sim.Time, err
 	remaining := w.Len()
 	remainingDeps := make(map[dag.TaskID]int, w.Len())
 	retries := map[dag.TaskID]int{}
+	skipped := map[dag.TaskID]bool{}
 	finished := false
+	limit := maxRetries
+	var breaker *fault.Breaker
+	if c.recovery != nil {
+		limit = c.recovery.Attempts() - 1
+		breaker = c.recovery.NewBreaker()
+	}
 	fail := func(err error) {
 		if !finished {
 			finished = true
 			onDone(0, err)
+		}
+	}
+	completeOne := func() {
+		remaining--
+		if remaining == 0 && !finished {
+			finished = true
+			c.WorkflowDone(id)
+			onDone(eng.Now()-start, nil)
+		}
+	}
+	var skip func(t *dag.Task)
+	skip = func(t *dag.Task) {
+		for _, child := range w.Children(t.ID) {
+			if skipped[child.ID] {
+				continue
+			}
+			skipped[child.ID] = true
+			c.recStats.Skipped++
+			completeOne()
+			skip(child)
 		}
 	}
 
@@ -375,24 +460,38 @@ func (c *CWS) StartWorkflow(id string, maxRetries int, onDone func(sim.Time, err
 			TaskID:     task.ID,
 			Done: func(r rm.Result) {
 				if r.Failed {
-					if retries[task.ID] < maxRetries {
+					c.recStats.FailedAttempts++
+					breaker.Record(true)
+					if retries[task.ID] < limit && !breaker.Open() {
 						retries[task.ID]++
-						submit(task)
+						if c.recovery == nil {
+							submit(task)
+							return
+						}
+						d := c.recovery.Backoff(retries[task.ID], c.recoveryRNG)
+						c.recStats.Retries++
+						c.recStats.BackoffSec += float64(d)
+						c.prov.AnnotateRetry(id, task.ID, float64(d), c.recovery.String())
+						eng.After(d, func() { submit(task) })
 						return
 					}
-					fail(fmt.Errorf("cwsi: task %s failed after %d retries: %v", task.ID, maxRetries, r.Err))
+					c.recStats.TerminalFailures++
+					if c.recovery == nil {
+						fail(fmt.Errorf("cwsi: task %s failed after %d retries: %v", task.ID, maxRetries, r.Err))
+						return
+					}
+					completeOne()
+					skip(task)
 					return
 				}
-				remaining--
-				if remaining == 0 && !finished {
-					finished = true
-					c.WorkflowDone(id)
-					onDone(eng.Now()-start, nil)
+				breaker.Record(false)
+				completeOne()
+				if finished {
 					return
 				}
 				for _, child := range w.Children(task.ID) {
 					remainingDeps[child.ID]--
-					if remainingDeps[child.ID] == 0 {
+					if remainingDeps[child.ID] == 0 && !skipped[child.ID] {
 						submit(child)
 					}
 				}

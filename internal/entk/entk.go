@@ -16,8 +16,10 @@ import (
 	"fmt"
 
 	"hhcw/internal/cluster"
+	"hhcw/internal/fault"
 	"hhcw/internal/metrics"
 	"hhcw/internal/pilot"
+	"hhcw/internal/randx"
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
 )
@@ -140,6 +142,9 @@ type Report struct {
 	TasksExecuted int
 	TasksFailed   int // terminal failures across all rounds
 	ResubmittedOK int // tasks that failed once but succeeded on resubmission
+	// RecoveryDelaySec is total virtual time spent in recovery-policy backoff
+	// between resubmission rounds (0 without a policy).
+	RecoveryDelaySec float64
 
 	// Measured agent throughputs of the first job (Fig 5 slopes).
 	MeasuredSchedRate  float64
@@ -156,8 +161,15 @@ type Report struct {
 type AppManager struct {
 	Resource ResourceDesc
 	// MaxResubmitRounds bounds the consecutive smaller jobs for failed
-	// tasks (the paper's runs needed one).
+	// tasks (the paper's runs needed one). Ignored when Recovery is set.
 	MaxResubmitRounds int
+	// Recovery, when set, replaces the ad-hoc MaxResubmitRounds counter
+	// with the shared fault.RetryPolicy: the round budget is Attempts()-1
+	// and each resubmission job waits out the policy's capped exponential
+	// backoff in virtual time before it is submitted.
+	Recovery *fault.RetryPolicy
+	// RecoveryRNG supplies deterministic backoff jitter (may be nil).
+	RecoveryRNG *randx.Source
 	// Policy, when set, caps every job's walltime to the facility limit
 	// for its node count — "each ensemble respects Frontier's job
 	// scheduling policy in terms of walltime limits per amount of
@@ -166,6 +178,32 @@ type AppManager struct {
 
 	cl *cluster.Cluster
 	bm *rm.BatchManager
+}
+
+// resubmitRounds returns the resubmission-round budget: the shared policy's
+// retry count when installed, the legacy counter otherwise.
+func (am *AppManager) resubmitRounds() int {
+	if am.Recovery != nil {
+		return am.Recovery.Attempts() - 1
+	}
+	return am.MaxResubmitRounds
+}
+
+// recoveryPause waits out the policy backoff before resubmission round
+// `round` (1-based) in virtual time and returns the delay taken. Without a
+// policy it returns immediately.
+func (am *AppManager) recoveryPause(round int) sim.Time {
+	if am.Recovery == nil {
+		return 0
+	}
+	d := am.Recovery.Backoff(round, am.RecoveryRNG)
+	if d > 0 {
+		// An empty event advances the clock; Run drains it before the next
+		// pilot submission, so the smaller job starts after the backoff.
+		am.cl.Engine().After(d, func() {})
+		am.cl.Engine().Run()
+	}
+	return d
 }
 
 // NewAppManager creates an AppManager over a cluster and batch manager.
@@ -193,6 +231,8 @@ func (am *AppManager) RunPerJob(pipelines []*Pipeline, resources []ResourceDesc)
 		managers[i] = &AppManager{
 			Resource:          resources[i],
 			MaxResubmitRounds: am.MaxResubmitRounds,
+			Recovery:          am.Recovery,
+			RecoveryRNG:       am.RecoveryRNG,
 			Policy:            am.Policy,
 			cl:                am.cl,
 			bm:                am.bm,
@@ -227,7 +267,7 @@ func (am *AppManager) RunPerJob(pipelines []*Pipeline, resources []ResourceDesc)
 	// Resubmission rounds per pipeline.
 	for i, pl := range pipelines {
 		mgr := managers[i]
-		for round := 0; round < mgr.MaxResubmitRounds; round++ {
+		for round := 0; round < mgr.resubmitRounds(); round++ {
 			n := 0
 			for _, tasks := range failedAll[i] {
 				n += len(tasks)
@@ -260,6 +300,7 @@ func (am *AppManager) RunPerJob(pipelines []*Pipeline, resources []ResourceDesc)
 				}
 				rp.Stages = append(rp.Stages, &Stage{Name: fmt.Sprintf("resubmit-%d", si), Tasks: tasks})
 			}
+			reports[i].RecoveryDelaySec += float64(mgr.recoveryPause(round + 1))
 			before := countExecuted([]*Pipeline{pl})
 			var err error
 			failedAll[i], err = mgr.runJob(res, []*Pipeline{rp}, reports[i], false)
@@ -292,7 +333,7 @@ func (am *AppManager) Run(pipelines ...*Pipeline) (*Report, error) {
 	failedByStage = failed
 
 	// Resubmission rounds: smaller jobs sized to the failed work.
-	for round := 0; round < am.MaxResubmitRounds; round++ {
+	for round := 0; round < am.resubmitRounds(); round++ {
 		n := 0
 		maxNodes := 0
 		for _, tasks := range failedByStage {
@@ -334,6 +375,7 @@ func (am *AppManager) Run(pipelines ...*Pipeline) (*Report, error) {
 			st.Tasks = tasks
 			rp.Stages = append(rp.Stages, st)
 		}
+		rep.RecoveryDelaySec += float64(am.recoveryPause(round + 1))
 		before := countExecuted(pipelines)
 		failedByStage, err = am.runJob(res, []*Pipeline{rp}, rep, false)
 		if err != nil {

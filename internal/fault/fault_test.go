@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func TestRetryPolicyNormalization(t *testing.T) {
+	var zero RetryPolicy
+	if zero.Attempts() != 1 {
+		t.Fatalf("zero policy attempts = %d, want 1", zero.Attempts())
+	}
+	if zero.ShouldRetry(1) {
+		t.Fatal("zero policy must not retry")
+	}
+	p := RetryPolicy{MaxAttempts: 3}
+	if !p.ShouldRetry(1) || !p.ShouldRetry(2) || p.ShouldRetry(3) {
+		t.Fatal("ShouldRetry must allow attempts 2..MaxAttempts only")
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelaySec: 5, MaxDelaySec: 30, Multiplier: 2}
+	want := []sim.Time{5, 10, 20, 30, 30}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Zero base means no delay at all.
+	if (RetryPolicy{MaxAttempts: 3}).Backoff(1, nil) != 0 {
+		t.Fatal("no-base policy must have zero backoff")
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelaySec: 10, Multiplier: 2, JitterFrac: 0.5}
+	a := p.Backoff(1, randx.New(42))
+	b := p.Backoff(1, randx.New(42))
+	if a != b {
+		t.Fatalf("same seed gave different jitter: %v vs %v", a, b)
+	}
+	for seed := int64(1); seed <= 200; seed++ {
+		d := float64(p.Backoff(1, randx.New(seed)))
+		if d < 5 || d > 15 {
+			t.Fatalf("seed %d: jittered delay %v outside ±50%% of 10", seed, d)
+		}
+	}
+}
+
+func TestBreaker(t *testing.T) {
+	var nilB *Breaker
+	nilB.Record(true) // must not panic
+	if nilB.Open() || nilB.Trips() != 0 {
+		t.Fatal("nil breaker must be inert")
+	}
+	b := (RetryPolicy{BreakThreshold: 3}).NewBreaker()
+	b.Record(true)
+	b.Record(true)
+	b.Record(false) // success resets the streak
+	b.Record(true)
+	b.Record(true)
+	if b.Open() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Record(true)
+	if !b.Open() || b.Trips() != 1 {
+		t.Fatalf("breaker should be open after 3 consecutive failures: open=%v trips=%d", b.Open(), b.Trips())
+	}
+	b.Reset()
+	if b.Open() {
+		t.Fatal("Reset must close the breaker")
+	}
+	if (RetryPolicy{}).NewBreaker() != nil {
+		t.Fatal("zero threshold must yield nil breaker")
+	}
+}
+
+func TestSupervisorRetriesThenSucceeds(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &Supervisor{Eng: eng, Policy: RetryPolicy{MaxAttempts: 4, BaseDelaySec: 10, Multiplier: 2}}
+	fails := 2
+	var out Outcome
+	gotFinal := 0
+	s.Run("op", func(done func(error)) func() {
+		eng.After(5, func() {
+			if fails > 0 {
+				fails--
+				done(errors.New("boom"))
+				return
+			}
+			done(nil)
+		})
+		return nil
+	}, func(o Outcome) { out = o; gotFinal++ })
+	eng.Run()
+	if gotFinal != 1 {
+		t.Fatalf("final fired %d times", gotFinal)
+	}
+	if !out.Succeeded || out.Attempts != 3 {
+		t.Fatalf("outcome = %+v, want success on attempt 3", out)
+	}
+	// Backoffs: 10 after attempt 1, 20 after attempt 2.
+	if out.BackoffSec != 30 {
+		t.Fatalf("backoff = %v, want 30", out.BackoffSec)
+	}
+	// Virtual time: 3×5s attempts + 30s backoff.
+	if eng.Now() != 45 {
+		t.Fatalf("now = %v, want 45", eng.Now())
+	}
+}
+
+func TestSupervisorTimeoutAborts(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &Supervisor{Eng: eng, Policy: RetryPolicy{MaxAttempts: 1, TimeoutSec: 10}}
+	aborted := false
+	var out Outcome
+	s.Run("slow", func(done func(error)) func() {
+		ev := eng.After(100, func() { done(nil) })
+		return func() { aborted = true; ev.Cancel() }
+	}, func(o Outcome) { out = o })
+	eng.Run()
+	if !aborted {
+		t.Fatal("timeout did not abort the in-flight attempt")
+	}
+	if out.Succeeded || !out.TimedOut || !errors.Is(out.Err, ErrTimeout) {
+		t.Fatalf("outcome = %+v, want timeout", out)
+	}
+	if eng.Now() != 10 {
+		t.Fatalf("now = %v, want 10 (timeout bound, not attempt duration)", eng.Now())
+	}
+}
+
+func TestSupervisorCircuitBreaks(t *testing.T) {
+	eng := sim.NewEngine()
+	p := RetryPolicy{MaxAttempts: 10, BreakThreshold: 2}
+	s := &Supervisor{Eng: eng, Policy: p, Breaker: p.NewBreaker()}
+	attempts := 0
+	var out Outcome
+	s.Run("doomed", func(done func(error)) func() {
+		attempts++
+		eng.After(1, func() { done(errors.New("boom")) })
+		return nil
+	}, func(o Outcome) { out = o })
+	eng.Run()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (breaker threshold)", attempts)
+	}
+	if !out.CircuitOpen || !errors.Is(out.Err, ErrCircuitOpen) {
+		t.Fatalf("outcome = %+v, want circuit open", out)
+	}
+}

@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+func testCluster(eng *sim.Engine, nodes int) *cluster.Cluster {
+	return cluster.New(eng, "chaos", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 64e9},
+		Count: nodes,
+	})
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+		if name == "none" && p.Enabled() {
+			t.Fatal("none profile must be disabled")
+		}
+		if name != "none" && !p.Enabled() {
+			t.Fatalf("%q profile must be enabled", name)
+		}
+	}
+	if p, err := ByName(""); err != nil || p.Enabled() {
+		t.Fatal("empty name must resolve to the disabled profile")
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestPlanTaskFailures(t *testing.T) {
+	p := Profile{TaskFailProb: 1, TaskFailPersist: 3}
+	plan := p.PlanTaskFailures(5, randx.New(1))
+	for i, n := range plan {
+		if n != 3 {
+			t.Fatalf("plan[%d] = %d, want persist 3 at prob 1", i, n)
+		}
+	}
+	p = Profile{TaskFailProb: 0}
+	for _, n := range p.PlanTaskFailures(5, randx.New(1)) {
+		if n != 0 {
+			t.Fatal("prob 0 must plan no failures")
+		}
+	}
+	// Deterministic per seed.
+	p = Profile{TaskFailProb: 0.5, TaskFailPersist: 1}
+	a := p.PlanTaskFailures(100, randx.New(7))
+	b := p.PlanTaskFailures(100, randx.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different plans")
+		}
+	}
+}
+
+func TestInjectorMTBFFailsAndRepairs(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 4)
+	inj := NewInjector(cl, randx.New(3), Profile{
+		Name: "mtbf", NodeMTBFSec: 300, NodeMTTRSec: 100,
+	})
+	inj.Start()
+	eng.RunUntil(4 * 3600)
+	inj.Stop()
+	eng.Run()
+	st := inj.Stats()
+	if st.NodeFailures == 0 {
+		t.Fatal("no node failures over 4h at MTBF 300s")
+	}
+	if st.NodeRepairs == 0 {
+		t.Fatal("no repairs despite MTTR 100s")
+	}
+	if st.NodeRepairs > st.NodeFailures {
+		t.Fatalf("repairs %d > failures %d", st.NodeRepairs, st.NodeFailures)
+	}
+}
+
+func TestInjectorNeverKillsLastNode(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 1)
+	inj := NewInjector(cl, randx.New(3), Profile{Name: "mtbf", NodeMTBFSec: 60})
+	inj.Start()
+	eng.RunUntil(24 * 3600)
+	inj.Stop()
+	eng.Run()
+	if inj.Stats().NodeFailures != 0 {
+		t.Fatal("single-node cluster must never lose its last node")
+	}
+	if len(cl.UpNodes()) != 1 {
+		t.Fatal("node went down")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() InjectStats {
+		eng := sim.NewEngine()
+		cl := testCluster(eng, 6)
+		inj := NewInjector(cl, randx.New(11), Storm())
+		inj.Start()
+		eng.RunUntil(6 * 3600)
+		inj.Stop()
+		eng.Run()
+		return inj.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different chaos: %+v vs %+v", a, b)
+	}
+	if a.NodeFailures == 0 || a.Reclaims == 0 || a.IOEpisodes == 0 {
+		t.Fatalf("storm profile under-delivered: %+v", a)
+	}
+}
+
+func TestInjectorReclaimWarning(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 3)
+	inj := NewInjector(cl, randx.New(5), Profile{
+		Name: "spot", ReclaimPerHour: 12, ReclaimWarnSec: 120, NodeMTTRSec: 60,
+	})
+	warnings := 0
+	var warnAt []sim.Time
+	inj.OnReclaimWarning(func(n *cluster.Node) {
+		warnings++
+		warnAt = append(warnAt, eng.Now())
+		if n.Down() {
+			t.Error("warned about an already-down node")
+		}
+	})
+	inj.Start()
+	eng.RunUntil(2 * 3600)
+	inj.Stop()
+	eng.Run()
+	if warnings == 0 || inj.Stats().Reclaims == 0 {
+		t.Fatalf("no reclaims at 12/h: warnings=%d stats=%+v", warnings, inj.Stats())
+	}
+	if warnings != inj.Stats().Reclaims {
+		t.Fatalf("warnings %d != reclaims %d", warnings, inj.Stats().Reclaims)
+	}
+}
+
+func TestInjectorIOEpisodeScalesRuntime(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 2)
+	inj := NewInjector(cl, randx.New(9), Profile{
+		Name: "io", IOEpisodePerHour: 1000, IOEpisodeDurSec: 300, IOEpisodeFactor: 3,
+	})
+	inj.Start()
+	// With ~1000 episodes/hour the very first lands within seconds.
+	eng.RunUntil(60)
+	if inj.RuntimeScale() != 3 {
+		t.Fatalf("RuntimeScale = %v during episode, want 3", inj.RuntimeScale())
+	}
+	inj.Stop()
+	eng.Run()
+	if inj.Stats().IOEpisodes == 0 {
+		t.Fatal("no I/O episodes recorded")
+	}
+}
+
+func TestInjectorStopDrainsEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 4)
+	inj := NewInjector(cl, randx.New(2), Storm())
+	inj.Start()
+	// Simulated workload finishes at t=500: stop the injector there and the
+	// engine must drain rather than chase renewal events forever.
+	eng.At(500, func() { inj.Stop() })
+	eng.Run()
+	if eng.Now() > sim.Time(500+Storm().NodeMTTRSec*100) {
+		t.Fatalf("engine ran far past Stop: now=%v", eng.Now())
+	}
+}
+
+func TestMaxNodeFailuresCap(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 8)
+	inj := NewInjector(cl, randx.New(4), Profile{
+		Name: "mtbf", NodeMTBFSec: 30, MaxNodeFailures: 3, // no MTTR: failures accumulate
+	})
+	inj.Start()
+	eng.RunUntil(3600)
+	inj.Stop()
+	eng.Run()
+	if got := inj.Stats().NodeFailures; got != 3 {
+		t.Fatalf("failures = %d, want cap 3", got)
+	}
+	if up := len(cl.UpNodes()); up != 5 {
+		t.Fatalf("up nodes = %d, want 5", up)
+	}
+}
+
+func TestProfileStringsStable(t *testing.T) {
+	// The policy rendering is stored in provenance and trace args; keep it
+	// stable.
+	p := DefaultRetryPolicy()
+	want := "retry(max=5 base=5s mult=2 cap=120s jitter=0.2 timeout=0s break=0)"
+	if got := p.String(); got != want {
+		t.Fatalf("policy string = %q, want %q", got, want)
+	}
+	for _, name := range Names() {
+		prof, _ := ByName(name)
+		if fmt.Sprint(prof.Name) != name {
+			t.Fatalf("profile %q name mismatch", name)
+		}
+	}
+}

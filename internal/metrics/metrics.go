@@ -266,19 +266,26 @@ func Summarize(values []float64) Summary {
 	sort.Float64s(finite)
 	s.Min = finite[0]
 	s.Max = finite[len(finite)-1]
-	s.Median = Quantile(finite, 0.5)
-	s.P90 = Quantile(finite, 0.9)
+	s.Median = quantileSorted(finite, 0.5)
+	s.P90 = quantileSorted(finite, 0.9)
 	return s
 }
 
 // Quantile returns the q-quantile (0..1) of values using linear
 // interpolation; it sorts a copy.
 func Quantile(values []float64, q float64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
 	v := append([]float64(nil), values...)
 	sort.Float64s(v)
+	return quantileSorted(v, q)
+}
+
+// quantileSorted is Quantile over already-sorted input: no copy, no re-sort.
+// Summarize calls it on its sorted sample set so each cell pays for one sort
+// instead of three.
+func quantileSorted(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
 	if q <= 0 {
 		return v[0]
 	}

@@ -40,6 +40,12 @@ type TaskRecord struct {
 	Failed bool
 	Error  string
 
+	// Recovery-policy metadata, set via AnnotateRetry on failed attempts the
+	// policy decided to resubmit: the backoff delay chosen before the next
+	// attempt and a rendering of the policy that chose it.
+	RetryDelaySec float64
+	RetryPolicy   string
+
 	Params map[string]string
 }
 
@@ -87,6 +93,22 @@ func (s *Store) AddTask(r TaskRecord) {
 
 // AddNodeEvent appends a node trace entry.
 func (s *Store) AddNodeEvent(e NodeEvent) { s.nodeEvents = append(s.nodeEvents, e) }
+
+// AnnotateRetry attaches recovery metadata to the most recent failed record
+// of (wfID, taskID): the policy chose to resubmit that attempt after
+// delaySec of backoff. It reports whether a matching record was found.
+func (s *Store) AnnotateRetry(wfID string, taskID dag.TaskID, delaySec float64, policy string) bool {
+	idx := s.byWorkflow[wfID]
+	for i := len(idx) - 1; i >= 0; i-- {
+		r := &s.records[idx[i]]
+		if r.TaskID == taskID && r.Failed {
+			r.RetryDelaySec = delaySec
+			r.RetryPolicy = policy
+			return true
+		}
+	}
+	return false
+}
 
 // Len returns the number of task records.
 func (s *Store) Len() int { return len(s.records) }
@@ -241,13 +263,18 @@ func (s *Store) ExportPROV() ([]byte, error) {
 	}
 	for i, r := range s.records {
 		aid := fmt.Sprintf("cws:%s/%s#%d", r.WorkflowID, r.TaskID, r.Attempt)
-		doc.Activity[aid] = provItem{
+		item := provItem{
 			"cws:name":       r.Name,
 			"prov:startTime": float64(r.StartedAt),
 			"prov:endTime":   float64(r.FinishedAt),
 			"cws:node":       r.Node,
 			"cws:failed":     r.Failed,
 		}
+		if r.RetryPolicy != "" {
+			item["cws:retryDelaySec"] = r.RetryDelaySec
+			item["cws:retryPolicy"] = r.RetryPolicy
+		}
+		doc.Activity[aid] = item
 		eid := fmt.Sprintf("cws:data/%s/%s", r.WorkflowID, r.TaskID)
 		doc.Entity[eid] = provItem{"cws:bytes": r.OutputBytes}
 		doc.WasGenBy[fmt.Sprintf("g%d", i)] = provRel{Activity: aid, Entity: eid}

@@ -23,21 +23,36 @@ type BatchJob struct {
 	OnStart func(*BatchAlloc)
 	// OnExpire is invoked if the walltime limit force-ends the job.
 	OnExpire func()
+	// OnNodeFail is invoked when a node inside the live allocation fails:
+	// the manager has already reaped the node's resources, and the owner
+	// must abandon (or resubmit) whatever it was running there. Without
+	// this path a "down" node kept executing pilot work to completion.
+	OnNodeFail func(*BatchAlloc, *cluster.Node)
 
 	submittedAt sim.Time
 }
 
-// BatchAlloc is a granted set of whole nodes.
+// BatchAlloc is a granted set of whole nodes. Nodes keeps its original
+// membership even after failures (owners use it to test placement), while
+// DownNodes counts how many of them the manager has reaped.
 type BatchAlloc struct {
 	Job       *BatchJob
 	Nodes     []*cluster.Node
 	StartedAt sim.Time
 
-	mgr      *BatchManager
-	allocs   []*cluster.Alloc
-	expireEv *sim.Event
-	released bool
+	mgr       *BatchManager
+	allocs    []*cluster.Alloc
+	expireEv  *sim.Event
+	released  bool
+	downNodes int
 }
+
+// DownNodes returns how many of the allocation's nodes have failed since the
+// job started.
+func (a *BatchAlloc) DownNodes() int { return a.downNodes }
+
+// UpNodes returns the number of still-healthy nodes in the allocation.
+func (a *BatchAlloc) UpNodes() int { return len(a.Nodes) - a.downNodes }
 
 // Release ends the job early and returns its nodes. Safe to call twice.
 func (a *BatchAlloc) Release() {
@@ -52,6 +67,7 @@ func (a *BatchAlloc) Release() {
 	for _, al := range a.allocs {
 		a.mgr.cl.Release(al)
 	}
+	a.mgr.dropLive(a)
 	a.mgr.usage[a.Job.Account] += float64(len(a.Nodes)) * float64(now-a.StartedAt)
 	a.mgr.runningJobs--
 	a.mgr.kick()
@@ -89,6 +105,7 @@ type BatchManager struct {
 	queue       []*BatchJob
 	usage       map[string]float64 // account → node-seconds consumed
 	runningJobs int
+	live        []*BatchAlloc // submission-ordered, for deterministic reaping
 
 	queueLen        *metrics.Gauge
 	started         *metrics.Counter
@@ -97,9 +114,11 @@ type BatchManager struct {
 }
 
 // NewBatchManager builds a batch manager over cl. policy may be nil (no
-// walltime caps beyond what jobs request).
+// walltime caps beyond what jobs request). Like a real RM, it reaps failed
+// nodes out of live allocations and notifies the owning job, and re-runs the
+// backfill pass when repaired capacity comes back.
 func NewBatchManager(cl *cluster.Cluster, policy WalltimePolicy) *BatchManager {
-	return &BatchManager{
+	m := &BatchManager{
 		eng:      cl.Engine(),
 		cl:       cl,
 		policy:   policy,
@@ -107,6 +126,41 @@ func NewBatchManager(cl *cluster.Cluster, policy WalltimePolicy) *BatchManager {
 		queueLen: metrics.NewGauge("batch.queue"),
 		started:  metrics.NewCounter("batch.started"),
 		expired:  metrics.NewCounter("batch.expired"),
+	}
+	cl.OnNodeDown(m.handleNodeDown)
+	cl.OnNodeUp(func(*cluster.Node) { m.kick() })
+	return m
+}
+
+// handleNodeDown reaps the failed node from every live allocation holding it:
+// the node-level reservation is released (revoked, so it cannot corrupt the
+// repaired node's capacity) and the owning job is notified so it can fail the
+// work it had placed there.
+func (m *BatchManager) handleNodeDown(n *cluster.Node) {
+	for _, a := range append([]*BatchAlloc(nil), m.live...) {
+		if a.released {
+			continue
+		}
+		for i, held := range a.Nodes {
+			if held != n {
+				continue
+			}
+			m.cl.Release(a.allocs[i])
+			a.downNodes++
+			if a.Job.OnNodeFail != nil {
+				a.Job.OnNodeFail(a, n)
+			}
+			break
+		}
+	}
+}
+
+func (m *BatchManager) dropLive(a *BatchAlloc) {
+	for i, la := range m.live {
+		if la == a {
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -208,6 +262,7 @@ func (m *BatchManager) start(j *BatchJob, nodes []*cluster.Node) {
 		alloc.allocs = append(alloc.allocs, a)
 	}
 	m.runningJobs++
+	m.live = append(m.live, alloc)
 	m.started.Inc(now, 1)
 	if j.Walltime > 0 {
 		alloc.expireEv = m.eng.After(j.Walltime, func() {

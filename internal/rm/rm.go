@@ -15,12 +15,15 @@
 package rm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"hhcw/internal/cluster"
 	"hhcw/internal/dag"
+	"hhcw/internal/fault"
 	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
 	"hhcw/internal/sim"
 )
 
@@ -128,7 +131,9 @@ type running struct {
 }
 
 // NewTaskManager builds a manager over cl using the given strategy (FIFO if
-// nil). It subscribes to node failures and fails affected submissions.
+// nil). It subscribes to node failures (failing affected submissions) and
+// repairs (kicking the scheduler, so work queued while capacity was down
+// resumes when it returns).
 func NewTaskManager(cl *cluster.Cluster, strategy Strategy) *TaskManager {
 	if strategy == nil {
 		strategy = FIFO{}
@@ -144,6 +149,7 @@ func NewTaskManager(cl *cluster.Cluster, strategy Strategy) *TaskManager {
 		failed:    metrics.NewCounter("rm.failed"),
 	}
 	cl.OnNodeDown(m.handleNodeDown)
+	cl.OnNodeUp(func(*cluster.Node) { m.kick() })
 	return m
 }
 
@@ -200,6 +206,38 @@ func (m *TaskManager) Cancel(id string) bool {
 	for _, s := range m.pending {
 		if s.ID == id && !s.cancelled {
 			s.cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
+// Abort terminates a pending or running submission with a failure carrying
+// err — the enforcement hook for the recovery layer's virtual-time attempt
+// timeouts. It reports whether the submission was found. For a submission
+// aborted while still pending, Result.Node is nil and StartedAt equals the
+// abort time.
+func (m *TaskManager) Abort(id string, err error) bool {
+	if r, ok := m.running[id]; ok {
+		r.endEv.Cancel()
+		m.finish(r, true, err)
+		return true
+	}
+	for _, s := range m.pending {
+		if s.ID == id && !s.cancelled {
+			s.cancelled = true
+			now := m.eng.Now()
+			m.failed.Inc(now, 1)
+			if s.Done != nil {
+				s.Done(Result{
+					Submission:  s,
+					SubmittedAt: s.submittedAt,
+					StartedAt:   now,
+					FinishedAt:  now,
+					Failed:      true,
+					Err:         err,
+				})
+			}
 			return true
 		}
 	}
@@ -331,6 +369,13 @@ func (m *TaskManager) handleNodeDown(n *cluster.Node) {
 // MakespanRunner drives a whole dag.Workflow through a TaskManager,
 // submitting tasks as their dependencies complete, and reports the makespan.
 // This is the common harness for the §3 scheduling studies.
+//
+// With Retry set it is also the chaos harness: failed attempts (node loss,
+// injected transient faults, timeouts) are resubmitted under the policy's
+// capped exponential backoff until the attempt budget is exhausted or the
+// Breaker opens; a terminally failed task cascade-skips its unreachable
+// descendants so the rest of the workflow degrades gracefully on the healthy
+// capacity instead of stalling.
 type MakespanRunner struct {
 	Manager  *TaskManager
 	Workflow *dag.Workflow
@@ -340,9 +385,37 @@ type MakespanRunner struct {
 	// WorkflowID labels submissions for CWSI-aware strategies.
 	WorkflowID string
 
+	// Retry, when non-nil, is the shared recovery policy applied to every
+	// failed attempt. Nil preserves fail-fast semantics (one attempt).
+	Retry *fault.RetryPolicy
+	// RetryRNG supplies deterministic backoff jitter (may be nil).
+	RetryRNG *randx.Source
+	// Breaker, when non-nil, circuit-breaks retries across the whole run
+	// after consecutive failures (graceful degradation under a dying
+	// substrate). Use Retry.NewBreaker() for the policy's threshold.
+	Breaker *fault.Breaker
+	// FailAttempts maps task IDs to how many leading attempts fail with an
+	// injected transient error (fault.Profile.PlanTaskFailures output).
+	FailAttempts map[dag.TaskID]int
+	// OnComplete fires once, when the last task turns terminal — the hook
+	// that stops a fault.Injector so the engine can drain.
+	OnComplete func()
+
 	doneCount int
 	results   map[dag.TaskID]Result
 	finishAt  sim.Time
+	stats     RunStats
+}
+
+// RunStats aggregates one MakespanRunner run's failure/recovery accounting.
+type RunStats struct {
+	Attempts         int     // attempts that reached a terminal Result
+	Failures         int     // failed attempts, recovered or not
+	Retries          int     // resubmissions scheduled by the policy
+	TerminalFailures int     // tasks that exhausted the policy (or broke the circuit)
+	Skipped          int     // descendants cancelled by terminal failures
+	Timeouts         int     // attempts ended by the virtual-time timeout
+	BackoffSec       float64 // total backoff delay injected
 }
 
 // DefaultRuntime scales nominal duration by the node's speed/IO factors.
@@ -365,11 +438,34 @@ func (mr *MakespanRunner) Run() sim.Time {
 	startAt := mr.Manager.eng.Now()
 
 	remainingDeps := make(map[dag.TaskID]int, mr.Workflow.Len())
-	var submit func(t *dag.Task)
-	submit = func(t *dag.Task) {
+	skipped := make(map[dag.TaskID]bool)
+
+	// skip marks every transitive descendant of a terminally failed task as
+	// done-without-running: their dependencies can never be satisfied, and
+	// counting them keeps the run's completion accounting exact.
+	var skip func(t *dag.Task)
+	skip = func(t *dag.Task) {
+		for _, c := range mr.Workflow.Children(t.ID) {
+			if skipped[c.ID] {
+				continue
+			}
+			skipped[c.ID] = true
+			mr.stats.Skipped++
+			mr.taskDone()
+			skip(c)
+		}
+	}
+
+	var submit func(t *dag.Task, attempt int)
+	submit = func(t *dag.Task, attempt int) {
 		task := t
-		mr.Manager.Submit(&Submission{
-			ID:         mr.WorkflowID + "/" + string(task.ID),
+		id := mr.WorkflowID + "/" + string(task.ID)
+		if attempt > 1 {
+			id = fmt.Sprintf("%s#%d", id, attempt)
+		}
+		var timeoutEv *sim.Event
+		sub := &Submission{
+			ID:         id,
 			WorkflowID: mr.WorkflowID,
 			TaskID:     task.ID,
 			Name:       task.Name,
@@ -378,26 +474,60 @@ func (mr *MakespanRunner) Run() sim.Time {
 			Mem:        task.MemBytes,
 			InputBytes: task.InputBytes,
 			Runtime:    func(n *cluster.Node) float64 { return mr.Runtime(task, n) },
-			Done: func(r Result) {
-				mr.results[task.ID] = r
-				mr.doneCount++
-				if mr.doneCount == mr.Workflow.Len() {
-					mr.finishAt = mr.Manager.eng.Now()
+			Validate: func(n *cluster.Node) error {
+				if attempt <= mr.FailAttempts[task.ID] {
+					return fmt.Errorf("rm: injected transient failure of %s (attempt %d)", task.ID, attempt)
 				}
+				return nil
+			},
+			Done: func(r Result) {
+				if timeoutEv != nil {
+					timeoutEv.Cancel()
+				}
+				mr.stats.Attempts++
+				if r.Failed {
+					mr.stats.Failures++
+					if errors.Is(r.Err, fault.ErrTimeout) {
+						mr.stats.Timeouts++
+					}
+					mr.Breaker.Record(true)
+					if mr.Retry != nil && mr.Retry.ShouldRetry(attempt) && !mr.Breaker.Open() {
+						d := mr.Retry.Backoff(attempt, mr.RetryRNG)
+						mr.stats.Retries++
+						mr.stats.BackoffSec += float64(d)
+						mr.Manager.eng.After(d, func() { submit(task, attempt+1) })
+						return
+					}
+					mr.stats.TerminalFailures++
+					mr.results[task.ID] = r
+					mr.taskDone()
+					skip(task)
+					return
+				}
+				mr.Breaker.Record(false)
+				mr.results[task.ID] = r
+				mr.taskDone()
 				for _, c := range mr.Workflow.Children(task.ID) {
 					remainingDeps[c.ID]--
-					if remainingDeps[c.ID] == 0 {
-						submit(c)
+					if remainingDeps[c.ID] == 0 && !skipped[c.ID] {
+						submit(c, 1)
 					}
 				}
 			},
-		})
+		}
+		mr.Manager.Submit(sub)
+		if mr.Retry != nil && mr.Retry.TimeoutSec > 0 {
+			timeoutEv = mr.Manager.eng.After(sim.Time(mr.Retry.TimeoutSec), func() {
+				mr.Manager.Abort(id, fmt.Errorf("rm: %s attempt %d exceeded %.0fs: %w",
+					id, attempt, mr.Retry.TimeoutSec, fault.ErrTimeout))
+			})
+		}
 	}
 	for _, t := range mr.Workflow.Tasks() {
 		remainingDeps[t.ID] = len(t.Deps)
 	}
 	for _, t := range mr.Workflow.Roots() {
-		submit(t)
+		submit(t, 1)
 	}
 	mr.Manager.eng.Run()
 	if mr.doneCount != mr.Workflow.Len() {
@@ -407,5 +537,21 @@ func (mr *MakespanRunner) Run() sim.Time {
 	return mr.finishAt - startAt
 }
 
-// Results returns per-task results after Run.
+// taskDone advances the terminal-task count and fires OnComplete when the
+// whole workflow has settled.
+func (mr *MakespanRunner) taskDone() {
+	mr.doneCount++
+	if mr.doneCount == mr.Workflow.Len() {
+		mr.finishAt = mr.Manager.eng.Now()
+		if mr.OnComplete != nil {
+			mr.OnComplete()
+		}
+	}
+}
+
+// Results returns per-task results after Run. Tasks skipped because an
+// ancestor failed terminally have no entry.
 func (mr *MakespanRunner) Results() map[dag.TaskID]Result { return mr.results }
+
+// Stats returns the run's failure/recovery accounting.
+func (mr *MakespanRunner) Stats() RunStats { return mr.stats }

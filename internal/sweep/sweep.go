@@ -92,7 +92,16 @@ type Cell struct {
 	// reduction vs the baseline, in percent (the paper's §3.5 framing).
 	CutMeanPct float64
 	CutMaxPct  float64
+	// Failure/recovery distributions over seeds — all-zero unless the env
+	// injects faults.
+	FailedAttempts   metrics.Summary
+	Retries          metrics.Summary
+	TerminalFailures metrics.Summary
+	BackoffSec       metrics.Summary
 }
+
+// Faulty reports whether any seed in the cell observed a failure.
+func (c *Cell) Faulty() bool { return c.FailedAttempts.Max > 0 || c.TerminalFailures.Max > 0 }
 
 // Report is the reduced ensemble. Field values are pure functions of the
 // Config's workflows, envs, and seeds — Workers never leaks in.
@@ -196,7 +205,15 @@ func runOne(cfg Config, j job) (rr RunResult, err error) {
 		return RunResult{}, fmt.Errorf("generator returned nil workflow")
 	}
 	env := cfg.Envs[j.ei].New()
-	res, err := env.Run(w)
+	var res *core.Result
+	if se, ok := env.(core.SeededEnvironment); ok {
+		// Substrate randomness (fault injection) forks off the same source
+		// right after workflow generation, so a chaos run is a pure function
+		// of the job's seed — the same contract, now fault-aware.
+		res, err = se.RunSeeded(w, rng.Fork())
+	} else {
+		res, err = env.Run(w)
+	}
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -229,16 +246,28 @@ func reduce(cfg Config, results []RunResult) *Report {
 		for ei := range cfg.Envs {
 			runs := group(wi, ei)
 			makespans := make([]float64, nSeeds)
+			failed := make([]float64, nSeeds)
+			retries := make([]float64, nSeeds)
+			terminal := make([]float64, nSeeds)
+			backoff := make([]float64, nSeeds)
 			var util metrics.Agg
 			for i, r := range runs {
 				makespans[i] = r.Result.MakespanSec
+				failed[i] = float64(r.Result.FailedAttempts)
+				retries[i] = float64(r.Result.Retries)
+				terminal[i] = float64(r.Result.TerminalFailures)
+				backoff[i] = r.Result.BackoffSec
 				util.Observe(r.Result.UtilizationCore)
 			}
 			c := Cell{
-				Workflow: cfg.Workflows[wi].Name,
-				Env:      cfg.Envs[ei].Name,
-				Makespan: metrics.Summarize(makespans),
-				UtilMean: util.Mean(),
+				Workflow:         cfg.Workflows[wi].Name,
+				Env:              cfg.Envs[ei].Name,
+				Makespan:         metrics.Summarize(makespans),
+				UtilMean:         util.Mean(),
+				FailedAttempts:   metrics.Summarize(failed),
+				Retries:          metrics.Summarize(retries),
+				TerminalFailures: metrics.Summarize(terminal),
+				BackoffSec:       metrics.Summarize(backoff),
 			}
 			if baseIdx >= 0 && ei != baseIdx {
 				var speedup, cut metrics.Agg
@@ -286,6 +315,34 @@ func (r *Report) Table() string {
 			fmt.Fprintf(&b, " %9s %9s", "-", "-")
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FaultTable renders the failure/recovery distributions of fault-injecting
+// cells (empty string when no cell saw a failure). Like Table, its bytes are
+// part of the determinism contract.
+func (r *Report) FaultTable() string {
+	any := false
+	for i := range r.Cells {
+		if r.Cells[i].Faulty() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-28s %6s %16s %16s %16s %12s\n",
+		"workflow", "environment", "seeds", "failed-attempts", "retries", "terminal", "backoff-med")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-18s %-28s %6d %7.1f med %4.0f %7.1f med %4.0f %7.1f med %4.0f %12s\n",
+			c.Workflow, c.Env, c.Makespan.N,
+			c.FailedAttempts.Mean(), c.FailedAttempts.Median,
+			c.Retries.Mean(), c.Retries.Median,
+			c.TerminalFailures.Mean(), c.TerminalFailures.Median,
+			metrics.HumanSeconds(c.BackoffSec.Median))
 	}
 	return b.String()
 }

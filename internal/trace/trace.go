@@ -51,6 +51,21 @@ func FromProvenance(s *provenance.Store) *Doc {
 		if r.Failed {
 			cat = "failed"
 		}
+		args := map[string]any{
+			"workflow": r.WorkflowID,
+			"process":  r.Name,
+			"attempt":  r.Attempt,
+			"machine":  r.MachineType,
+		}
+		if r.Failed && r.Error != "" {
+			args["error"] = r.Error
+		}
+		if r.RetryPolicy != "" {
+			// Recovery metadata from the policy layer: how long the failed
+			// attempt backed off before resubmission, and under which policy.
+			args["retryDelaySec"] = r.RetryDelaySec
+			args["retryPolicy"] = r.RetryPolicy
+		}
 		doc.TraceEvents = append(doc.TraceEvents, Event{
 			Name: string(r.TaskID),
 			Cat:  cat,
@@ -59,14 +74,19 @@ func FromProvenance(s *provenance.Store) *Doc {
 			Dur:  float64(r.FinishedAt-r.StartedAt) * 1e6,
 			PID:  1,
 			TID:  nodes[r.Node],
-			Args: map[string]any{
-				"workflow": r.WorkflowID,
-				"process":  r.Name,
-				"attempt":  r.Attempt,
-				"machine":  r.MachineType,
-			},
+			Args: args,
 		})
 	}
+	// Chrome's trace viewer wants events in timestamp order; store order is
+	// completion order, which interleaves lanes arbitrarily. Sort by (TS, TID)
+	// so the output is stable and viewer-friendly.
+	sort.SliceStable(doc.TraceEvents, func(i, j int) bool {
+		a, b := doc.TraceEvents[i], doc.TraceEvents[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.TID < b.TID
+	})
 	return doc
 }
 
@@ -75,15 +95,18 @@ func (d *Doc) JSON() ([]byte, error) {
 	return json.MarshalIndent(d, "", " ")
 }
 
-// Span returns the trace's wall-clock extent in seconds.
+// Span returns the trace's wall-clock extent in seconds (0 if empty).
 func (d *Doc) Span() float64 {
 	lo, hi := 0.0, 0.0
 	for i, e := range d.TraceEvents {
 		start, end := e.TS/1e6, (e.TS+e.Dur)/1e6
+		// Seed BOTH extrema from the first event: seeding only lo left hi
+		// anchored at 0, so a trace whose events all end before t=0 reported
+		// a span stretched to zero instead of its true extent.
 		if i == 0 || start < lo {
 			lo = start
 		}
-		if end > hi {
+		if i == 0 || end > hi {
 			hi = end
 		}
 	}

@@ -92,3 +92,66 @@ func TestEmptyStore(t *testing.T) {
 		t.Fatal("empty store should give empty trace")
 	}
 }
+
+func TestSpanSeedsBothExtrema(t *testing.T) {
+	// All events end before t=0: with hi anchored at 0 the span was
+	// stretched to -lo instead of the true extent.
+	d := &Doc{TraceEvents: []Event{
+		{TS: -100e6, Dur: 20e6},
+		{TS: -70e6, Dur: 10e6},
+	}}
+	if got := d.Span(); got != 40 {
+		t.Fatalf("span = %v, want 40", got)
+	}
+	// Single event: span is its duration regardless of where it sits.
+	d = &Doc{TraceEvents: []Event{{TS: 500e6, Dur: 30e6}}}
+	if got := d.Span(); got != 30 {
+		t.Fatalf("span = %v, want 30", got)
+	}
+}
+
+func TestFromProvenanceSortedByTS(t *testing.T) {
+	// Store order is completion order; emission must be (TS, TID) order.
+	s := provenance.NewStore()
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "late", StartedAt: 50, FinishedAt: 60, Node: "n-0001",
+	})
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "early", StartedAt: 5, FinishedAt: 90, Node: "n-0002",
+	})
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "tie-lane2", StartedAt: 5, FinishedAt: 7, Node: "n-0003",
+	})
+	doc := FromProvenance(s)
+	want := []string{"early", "tie-lane2", "late"}
+	for i, name := range want {
+		if doc.TraceEvents[i].Name != name {
+			t.Fatalf("event %d = %q, want %q (order: %+v)", i, doc.TraceEvents[i].Name, name, doc.TraceEvents)
+		}
+	}
+	if doc.TraceEvents[0].TID >= doc.TraceEvents[1].TID {
+		t.Fatal("TS ties must break by TID")
+	}
+}
+
+func TestFailedEventCarriesRecoveryMetadata(t *testing.T) {
+	s := provenance.NewStore()
+	s.AddTask(provenance.TaskRecord{
+		WorkflowID: "w", TaskID: "a", Attempt: 1, StartedAt: 0, FinishedAt: 5,
+		Node: "n-0001", Failed: true, Error: "node down",
+	})
+	if !s.AnnotateRetry("w", "a", 12.5, "retry(max=5)") {
+		t.Fatal("AnnotateRetry found no record")
+	}
+	doc := FromProvenance(s)
+	ev := doc.TraceEvents[0]
+	if ev.Cat != "failed" {
+		t.Fatalf("cat = %q", ev.Cat)
+	}
+	if ev.Args["retryDelaySec"] != 12.5 || ev.Args["retryPolicy"] != "retry(max=5)" {
+		t.Fatalf("recovery metadata missing: %+v", ev.Args)
+	}
+	if ev.Args["error"] != "node down" {
+		t.Fatalf("error missing: %+v", ev.Args)
+	}
+}
