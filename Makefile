@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos sweep bench experiments examples clean
+.PHONY: all build vet test test-race chaos sweep bench experiments examples compose clean
 
 all: build vet test test-race chaos
 
@@ -58,6 +58,13 @@ examples:
 	$(GO) run ./examples/llm_compose
 	$(GO) run ./examples/jaws_migration
 	$(GO) run ./examples/adaptive_uq
+	$(GO) run ./examples/composed_pipeline
+
+# The flagship cross-subsystem composition: Atlas salmon pipeline → ExaAM UQ
+# ensemble, compiled by the compose layer and run with faults, retry,
+# provenance, and a stable fingerprint.
+compose:
+	$(GO) run ./examples/composed_pipeline
 
 clean:
 	$(GO) clean ./...

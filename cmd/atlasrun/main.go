@@ -5,48 +5,52 @@
 // Usage:
 //
 //	atlasrun [-files 99] [-instances 8] [-workers 8] [-seed 7]
+//	         [-extensions] [-atlas] [-json]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
 	"hhcw/internal/atlas"
 	"hhcw/internal/cloud"
 	"hhcw/internal/cluster"
+	"hhcw/internal/compose"
+	"hhcw/internal/driver"
 	"hhcw/internal/metrics"
 	"hhcw/internal/randx"
 	"hhcw/internal/sim"
 )
 
 func main() {
-	files := flag.Int("files", 99, "SRA files to process")
-	instances := flag.Int("instances", 8, "max EC2 instances (ASG cap)")
-	workers := flag.Int("workers", 8, "containerized HPC pipeline workers")
-	seed := flag.Int64("seed", 7, "simulation seed")
-	extensions := flag.Bool("extensions", false, "run the §5.3 future-work paths: STAR, serverless, hybrid")
-	buildAtlas := flag.Bool("atlas", false, "label runs with tissues and assemble the per-tissue atlas database")
-	flag.Parse()
+	app := driver.New("atlasrun",
+		"atlasrun [-files 99] [-instances 8] [-workers 8] [-seed 7] [-extensions] [-atlas] [-json]")
+	files := app.Int("files", 99, "SRA files to process")
+	instances := app.Int("instances", 8, "max EC2 instances (ASG cap)")
+	workers := app.Int("workers", 8, "containerized HPC pipeline workers")
+	extensions := app.Bool("extensions", false, "run the §5.3 future-work paths: STAR, serverless, hybrid")
+	buildAtlas := app.Bool("atlas", false, "label runs with tissues and assemble the per-tissue atlas database")
+	app.SeedDefault(7)
+	app.NoFaults()
+	app.Parse()
 
-	rng := randx.New(*seed)
+	rng := randx.New(app.Seed())
 	catalog := atlas.GenerateCatalog(rng.Fork(), *files)
+	rep := app.NewReport()
 
 	if *extensions {
-		runExtensions(rng, catalog, *instances, *workers)
+		runExtensions(app, rep, rng, catalog, *instances, *workers)
+		app.Emit(rep)
 		return
 	}
 	if *buildAtlas {
-		runAtlasAssembly(rng, *files, *instances)
+		runAtlasAssembly(app, rep, rng, *files, *instances)
+		app.Emit(rep)
 		return
 	}
 
 	cloudEng := sim.NewEngine()
 	cloudRep, err := atlas.RunCloud(cloudEng, rng.Fork(), catalog, *instances, cloud.T3Medium)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 
 	hpcEng := sim.NewEngine()
 	ares := cluster.New(hpcEng, "ares", cluster.Spec{
@@ -54,23 +58,20 @@ func main() {
 		Count: 4,
 	})
 	hpcRep, err := atlas.RunHPC(hpcEng, rng.Fork(), catalog, ares, *workers, 120)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 
-	fmt.Printf("== Table 1: aggregated instance-wide metrics per step (cloud, %d files) ==\n", *files)
-	fmt.Printf("%-14s %-14s %-14s %-16s\n", "step", "CPU mean/max", "iowait mean/max", "MEM mean/max")
+	t1 := rep.Section(fmt.Sprintf("Table 1: aggregated instance-wide metrics per step (cloud, %d files)", *files))
+	t1.Addf("%-14s %-14s %-14s %-16s", "step", "CPU mean/max", "iowait mean/max", "MEM mean/max")
 	for _, s := range atlas.Steps() {
 		st := cloudRep.StepStats[s]
-		fmt.Printf("%-14s %4.0f%% / %3.0f%%   %4.1f%% / %3.0f%%   %8s / %s\n",
+		t1.Addf("%-14s %4.0f%% / %3.0f%%   %4.1f%% / %3.0f%%   %8s / %s",
 			s, st.Proc.CPU.Mean(), st.Proc.CPU.Max(),
 			st.Proc.IOWait.Mean(), st.Proc.IOWait.Max(),
 			metrics.HumanBytes(st.Proc.RSS.Mean()), metrics.HumanBytes(st.Proc.RSS.Max()))
 	}
 
-	fmt.Printf("\n== Table 2: cloud vs HPC execution times ==\n")
-	fmt.Printf("%-14s %-22s %-22s %s\n", "step", "cloud mean/max", "HPC mean/max", "HPC relative")
+	t2 := rep.Section("Table 2: cloud vs HPC execution times")
+	t2.Addf("%-14s %-22s %-22s %s", "step", "cloud mean/max", "HPC mean/max", "HPC relative")
 	for _, row := range atlas.Compare(cloudRep, hpcRep) {
 		dir := "slower"
 		rel := row.HPCRelativeSlowdown * 100
@@ -82,76 +83,69 @@ func main() {
 		if rel < 8 {
 			verdict = "no difference"
 		}
-		fmt.Printf("%-14s %9s / %-9s  %9s / %-9s  %s\n",
+		t2.Addf("%-14s %9s / %-9s  %9s / %-9s  %s",
 			row.Step,
 			metrics.HumanSeconds(row.CloudMean), metrics.HumanSeconds(row.CloudMax),
 			metrics.HumanSeconds(row.HPCMean), metrics.HumanSeconds(row.HPCMax),
 			verdict)
 	}
 
-	fmt.Printf("\ncloud: makespan %s, %d instances (cap), cost $%.2f (paper: ~2.7 h, no failures)\n",
+	sum := rep.Section("")
+	sum.Addf("cloud: makespan %s, %d instances (cap), cost $%.2f (paper: ~2.7 h, no failures)",
 		metrics.HumanSeconds(cloudRep.Makespan), *instances, cloudRep.CostUSD)
-	fmt.Printf("HPC:   makespan %s, %d workers, job efficiency %.0f%% (paper: ~2.5 h, ~72%%)\n",
+	sum.Addf("HPC:   makespan %s, %d workers, job efficiency %.0f%% (paper: ~2.5 h, ~72%%)",
 		metrics.HumanSeconds(hpcRep.Makespan), *workers, hpcRep.Efficiency*100)
+	rep.AddRun(compose.FromAtlas("cloud", cloudRep))
+	rep.AddRun(compose.FromAtlas("hpc", hpcRep))
+	app.Emit(rep)
 }
 
 // runAtlasAssembly runs the pipeline over a tissue-labelled catalog and
 // builds the per-tissue database — the project's stated goal ("create a
 // database of analyzed RNA sequences corresponding to given tissue and organ
 // types").
-func runAtlasAssembly(rng *randx.Source, files, instances int) {
+func runAtlasAssembly(app *driver.App, rep *compose.Report, rng *randx.Source, files, instances int) {
 	catalog := atlas.GenerateTissueCatalog(rng.Fork(), files, nil)
-	rep, err := atlas.RunCloud(sim.NewEngine(), rng.Fork(), catalog, instances, cloud.T3Medium)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
-	entries, missing, err := atlas.AssembleAtlas(rep.Outputs, catalog)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("== Transcriptomics Atlas: %d runs → %d tissue entries (%d missing) ==\n",
-		files, len(entries), missing)
-	fmt.Printf("%-12s %6s %14s %14s\n", "tissue", "runs", "input", "matrix")
+	crep, err := atlas.RunCloud(sim.NewEngine(), rng.Fork(), catalog, instances, cloud.T3Medium)
+	app.Check(err)
+	entries, missing, err := atlas.AssembleAtlas(crep.Outputs, catalog)
+	app.Check(err)
+	s := rep.Section(fmt.Sprintf("Transcriptomics Atlas: %d runs → %d tissue entries (%d missing)",
+		files, len(entries), missing))
+	s.Addf("%-12s %6s %14s %14s", "tissue", "runs", "input", "matrix")
 	for _, e := range entries {
-		fmt.Printf("%-12s %6d %14s %14s\n", e.Tissue, e.Runs,
+		s.Addf("%-12s %6d %14s %14s", e.Tissue, e.Runs,
 			metrics.HumanBytes(e.InputBytes), metrics.HumanBytes(e.EntryBytes))
 	}
-	fmt.Printf("\npipeline: %s end-to-end, $%.2f\n", metrics.HumanSeconds(rep.Makespan), rep.CostUSD)
+	s.Addf("")
+	s.Addf("pipeline: %s end-to-end, $%.2f", metrics.HumanSeconds(crep.Makespan), crep.CostUSD)
+	rep.AddRun(compose.FromAtlas("atlas-assembly", crep))
 }
 
 // runExtensions exercises §5.3's stated next steps: the STAR pipeline (90 GB
 // index, 250 GB RAM), serverless Salmon, and the hybrid cloud+HPC split.
-func runExtensions(rng *randx.Source, catalog []atlas.SRARun, instances, workers int) {
-	fmt.Println("== §5.3 extensions ==")
+func runExtensions(app *driver.App, rep *compose.Report, rng *randx.Source, catalog []atlas.SRARun, instances, workers int) {
+	s := rep.Section("§5.3 extensions")
 
 	// STAR on memory-optimized cloud instances.
 	starRep, err := atlas.RunCloudKind(sim.NewEngine(), rng.Fork(), catalog, instances/2, atlas.StarKind)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 	salmonRep, err := atlas.RunCloudKind(sim.NewEngine(), rng.Fork(), catalog, instances, atlas.SalmonKind)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("STAR pipeline   : %s on %s, cost $%.2f (align RSS mean %s)\n",
+	app.Check(err)
+	s.Addf("STAR pipeline   : %s on %s, cost $%.2f (align RSS mean %s)",
 		metrics.HumanSeconds(starRep.Makespan), atlas.CloudInstanceFor(atlas.StarKind).Name,
 		starRep.CostUSD, metrics.HumanBytes(starRep.StepStats[atlas.Salmon].Proc.RSS.Mean()))
-	fmt.Printf("Salmon pipeline : %s on %s, cost $%.2f\n",
+	s.Addf("Salmon pipeline : %s on %s, cost $%.2f",
 		metrics.HumanSeconds(salmonRep.Makespan), atlas.CloudInstanceFor(atlas.SalmonKind).Name, salmonRep.CostUSD)
+	rep.AddRun(compose.FromAtlas("star-cloud", starRep))
+	rep.AddRun(compose.FromAtlas("salmon-cloud", salmonRep))
 
 	// Serverless: Salmon fits, STAR is rejected.
 	srv, err := atlas.RunServerless(sim.NewEngine(), rng.Fork(), catalog, instances, atlas.SalmonKind)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("serverless      : Salmon %s at concurrency %d\n", metrics.HumanSeconds(srv.Makespan), instances)
+	app.Check(err)
+	s.Addf("serverless      : Salmon %s at concurrency %d", metrics.HumanSeconds(srv.Makespan), instances)
 	if _, err := atlas.RunServerless(sim.NewEngine(), rng.Fork(), catalog, instances, atlas.StarKind); err != nil {
-		fmt.Printf("serverless STAR : rejected as expected (%v)\n", err)
+		s.Addf("serverless STAR : rejected as expected (%v)", err)
 	}
 
 	// Hybrid split.
@@ -161,11 +155,8 @@ func runExtensions(rng *randx.Source, catalog []atlas.SRARun, instances, workers
 		Count: 4,
 	})
 	hy, err := atlas.RunHybrid(rng.Fork(), catalog, instances, ares, workers, atlas.SalmonKind)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasrun:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("hybrid split    : %.0f%% cloud / %.0f%% HPC → makespan %s (cloud %s, HPC %s)\n",
+	app.Check(err)
+	s.Addf("hybrid split    : %.0f%% cloud / %.0f%% HPC → makespan %s (cloud %s, HPC %s)",
 		hy.CloudShare*100, (1-hy.CloudShare)*100,
 		metrics.HumanSeconds(hy.MakespanSec),
 		metrics.HumanSeconds(hy.Cloud.Makespan), metrics.HumanSeconds(hy.HPC.Makespan))

@@ -6,17 +6,17 @@
 //
 // Usage:
 //
-//	cwsbench [-seeds 5] [-nodes 6] [-cores 8] [-waste]
+//	cwsbench [-seeds 5] [-nodes 6] [-cores 8] [-waste] [-json]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
 	"hhcw/internal/cluster"
+	"hhcw/internal/compose"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
+	"hhcw/internal/driver"
 	"hhcw/internal/randx"
 	"hhcw/internal/sim"
 )
@@ -38,21 +38,24 @@ func workloads() []workloadGen {
 }
 
 func main() {
-	seeds := flag.Int("seeds", 5, "repetitions per workload")
-	nodes := flag.Int("nodes", 6, "cluster nodes")
-	cores := flag.Int("cores", 8, "cores per node")
-	waste := flag.Bool("waste", false, "also run the Airflow big-worker waste comparison")
-	flag.Parse()
+	app := driver.New("cwsbench", "cwsbench [-seeds 5] [-nodes 6] [-cores 8] [-waste] [-json]")
+	seeds := app.Int("seeds", 5, "repetitions per workload")
+	nodes := app.Int("nodes", 6, "cluster nodes")
+	cores := app.Int("cores", 8, "cores per node")
+	waste := app.Bool("waste", false, "also run the Airflow big-worker waste comparison")
+	app.NoFaults()
+	app.Parse()
+	rep := app.NewReport()
 
 	strategies := []cwsi.Strategy{cwsi.Rank{}, cwsi.FileSize{}}
 	stratNames := []string{"fifo", "rank", "filesize-desc"}
 
-	fmt.Println("== §3.5 claim: makespan on a contended cluster, aware strategies vs FIFO ==")
-	fmt.Printf("%-18s %-8s", "workload", "seed")
+	s1 := rep.Section("§3.5 claim: makespan on a contended cluster, aware strategies vs FIFO")
+	header := fmt.Sprintf("%-18s %-8s", "workload", "seed")
 	for _, n := range stratNames {
-		fmt.Printf(" %12s", n)
+		header += fmt.Sprintf(" %12s", n)
 	}
-	fmt.Printf(" %10s\n", "simple cut")
+	s1.Addf("%s %10s", header, "simple cut")
 
 	var cuts, heftCuts []float64
 	maxCut := 0.0
@@ -68,15 +71,12 @@ func main() {
 			}
 			buildWF := func() *dag.Workflow { return wl.gen(randx.New(seed*977 + 13)) }
 			res, err := cwsi.CompareStrategies(buildCluster, buildWF, cwsi.Rank{}, cwsi.FileSize{})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cwsbench:", err)
-				os.Exit(1)
-			}
+			app.Check(err)
 			fifo := float64(res["fifo"])
-			fmt.Printf("%-18s %-8d", wl.name, seed)
+			line := fmt.Sprintf("%-18s %-8d", wl.name, seed)
 			bestSimple := fifo
 			for _, n := range stratNames {
-				fmt.Printf(" %11.0fs", float64(res[n]))
+				line += fmt.Sprintf(" %11.0fs", float64(res[n]))
 				if (n == "rank" || n == "filesize-desc") && float64(res[n]) < bestSimple {
 					bestSimple = float64(res[n])
 				}
@@ -86,13 +86,13 @@ func main() {
 			if cut > maxCut {
 				maxCut = cut
 			}
-			fmt.Printf(" %9.1f%%\n", cut*100)
+			s1.Addf("%s %9.1f%%", line, cut*100)
 		}
 	}
 	// Scenario 2: concurrent workflows sharing the cluster — the
 	// multi-tenant setting where the resource manager sees interleaved
 	// tasks from many DAGs.
-	fmt.Println("\n== concurrent workflows on one shared cluster ==")
+	s2 := rep.Section("concurrent workflows on one shared cluster")
 	for seed := int64(0); seed < int64(*seeds); seed++ {
 		mkCl := func() *cluster.Cluster {
 			return cluster.New(sim.NewEngine(), "flat", cluster.Spec{
@@ -112,18 +112,12 @@ func main() {
 			}
 		}
 		base, err := cwsi.RunConcurrent(mkCl(), mkWfs(), nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cwsbench:", err)
-			os.Exit(1)
-		}
+		app.Check(err)
 		best := float64(base.MeanMakespan)
 		bestName := "fifo"
 		for _, s := range strategies {
 			r, err := cwsi.RunConcurrent(mkCl(), mkWfs(), s)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cwsbench:", err)
-				os.Exit(1)
-			}
+			app.Check(err)
 			if float64(r.MeanMakespan) < best {
 				best = float64(r.MeanMakespan)
 				bestName = s.Name()
@@ -134,13 +128,13 @@ func main() {
 		if cut > maxCut {
 			maxCut = cut
 		}
-		fmt.Printf("seed %d: fifo mean %6.0fs, best %s %6.0fs, cut %.1f%%\n",
+		s2.Addf("seed %d: fifo mean %6.0fs, best %s %6.0fs, cut %.1f%%",
 			seed, float64(base.MeanMakespan), bestName, best, cut*100)
 	}
 
 	// Scenario 3: §3.4's heterogeneity-aware extension — HEFT with runtime
 	// knowledge on a cluster of mixed node speeds.
-	fmt.Println("\n== heterogeneous cluster: HEFT (advanced, §3.4) vs FIFO ==")
+	s3 := rep.Section("heterogeneous cluster: HEFT (advanced, §3.4) vs FIFO")
 	for seed := int64(0); seed < int64(*seeds); seed++ {
 		buildCluster := func() *cluster.Cluster {
 			return cluster.Heterogeneous(sim.NewEngine(), 2)
@@ -150,13 +144,10 @@ func main() {
 				dag.GenOpts{MeanDur: 300, CVDur: 1.0, Cores: 1, MaxCores: 4, MeanMem: 2e9})
 		}
 		res, err := cwsi.CompareStrategies(buildCluster, buildWF, cwsi.HEFT{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cwsbench:", err)
-			os.Exit(1)
-		}
+		app.Check(err)
 		cut := 1 - float64(res["heft"])/float64(res["fifo"])
 		heftCuts = append(heftCuts, cut)
-		fmt.Printf("seed %d: fifo %6.0fs, heft %6.0fs, cut %.1f%%\n",
+		s3.Addf("seed %d: fifo %6.0fs, heft %6.0fs, cut %.1f%%",
 			seed, float64(res["fifo"]), float64(res["heft"]), cut*100)
 	}
 
@@ -172,12 +163,16 @@ func main() {
 	if len(heftCuts) > 0 {
 		heftMean /= float64(len(heftCuts))
 	}
-	fmt.Printf("\nsimple strategies (rank, file size), average reduction: %.1f%%  (paper: 10.8%%)\n", mean*100)
-	fmt.Printf("simple strategies, maximum reduction:                   %.1f%%  (paper: up to 25%%)\n", maxCut*100)
-	fmt.Printf("advanced (HEFT, §3.4 heterogeneity-aware), average:     %.1f%%\n", heftMean*100)
+	hl := rep.Section("")
+	hl.Addf("simple strategies (rank, file size), average reduction: %.1f%%  (paper: 10.8%%)", mean*100)
+	hl.Addf("simple strategies, maximum reduction:                   %.1f%%  (paper: up to 25%%)", maxCut*100)
+	hl.Addf("advanced (HEFT, §3.4 heterogeneity-aware), average:     %.1f%%", heftMean*100)
+	hl.Set("cut_mean_pct", mean*100)
+	hl.Set("cut_max_pct", maxCut*100)
+	hl.Set("heft_cut_mean_pct", heftMean*100)
 
 	if *waste {
-		fmt.Println("\n== §3.2: Airflow big-worker vs CWSI pods (resource waste at merge points) ==")
+		ws := rep.Section("§3.2: Airflow big-worker vs CWSI pods (resource waste at merge points)")
 		rngSeed := int64(42)
 		wfGen := func() *dag.Workflow {
 			return dag.ForkJoin(randx.New(rngSeed), 3, 12, dag.GenOpts{MeanDur: 300, CVDur: 0.8})
@@ -189,18 +184,15 @@ func main() {
 			})
 		}
 		big, err := cwsi.RunAirflowBigWorker(mk(), wfGen())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cwsbench:", err)
-			os.Exit(1)
-		}
+		app.Check(err)
 		pods, err := cwsi.RunNextflowStyle("nextflow", mk(), wfGen(), cwsi.Rank{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cwsbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("big-worker: makespan %6.0fs, reserved %.0f core-s, used %.0f core-s, waste %.0f%%\n",
+		app.Check(err)
+		ws.Addf("big-worker: makespan %6.0fs, reserved %.0f core-s, used %.0f core-s, waste %.0f%%",
 			float64(big.Makespan), big.RequestedCoreSec, big.UsedCoreSec, big.Waste()*100)
-		fmt.Printf("CWSI pods : makespan %6.0fs, reserved %.0f core-s, used %.0f core-s, waste %.0f%%\n",
+		ws.Addf("CWSI pods : makespan %6.0fs, reserved %.0f core-s, used %.0f core-s, waste %.0f%%",
 			float64(pods.Makespan), pods.RequestedCoreSec, pods.UsedCoreSec, pods.Waste()*100)
+		rep.AddRun(compose.FromCWSI("airflow-big-worker", big))
+		rep.AddRun(compose.FromCWSI("cwsi-pods", pods))
 	}
+	app.Emit(rep)
 }

@@ -5,15 +5,16 @@
 //
 // Usage:
 //
-//	entkrun [-nodes 8000] [-tasks 7875] [-transient 8] [-persistent 2] [-series] [-full]
+//	entkrun [-nodes 8000] [-tasks 7875] [-transient 8] [-persistent 2]
+//	        [-series] [-plot] [-full] [-scale] [-seed 1] [-json]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
 	"hhcw/internal/cluster"
+	"hhcw/internal/compose"
+	"hhcw/internal/driver"
 	"hhcw/internal/entk"
 	"hhcw/internal/exaam"
 	"hhcw/internal/metrics"
@@ -22,23 +23,26 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 8000, "Frontier nodes to simulate")
-	tasks := flag.Int("tasks", 7875, "ExaConstit task target (rounded to the UQ grid)")
-	transient := flag.Int("transient", 8, "tasks that fail once (node-fault victims)")
-	persistent := flag.Int("persistent", 2, "tasks that fail permanently (numerical failures)")
-	series := flag.Bool("series", false, "print Fig 4/5 time series (t, running, scheduled, busy nodes)")
-	plot := flag.Bool("plot", false, "render Fig 4/5 as ASCII charts")
-	full := flag.Bool("full", false, "run the full 3-stage UQ pipeline (Fig 3)")
-	scale := flag.Bool("scale", false, "progressive scale-up study: nodes 1000→8000 (§4.3's methodology)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	flag.Parse()
+	app := driver.New("entkrun",
+		"entkrun [-nodes 8000] [-tasks 7875] [-transient 8] [-persistent 2] [-series] [-plot] [-full] [-scale] [-seed 1] [-json]")
+	nodes := app.Int("nodes", 8000, "Frontier nodes to simulate")
+	tasks := app.Int("tasks", 7875, "ExaConstit task target (rounded to the UQ grid)")
+	transient := app.Int("transient", 8, "tasks that fail once (node-fault victims)")
+	persistent := app.Int("persistent", 2, "tasks that fail permanently (numerical failures)")
+	series := app.Bool("series", false, "print Fig 4/5 time series (t, running, scheduled, busy nodes)")
+	plot := app.Bool("plot", false, "render Fig 4/5 as ASCII charts")
+	full := app.Bool("full", false, "run the full 3-stage UQ pipeline (Fig 3)")
+	scale := app.Bool("scale", false, "progressive scale-up study: nodes 1000→8000 (§4.3's methodology)")
+	app.NoFaults()
+	app.Parse()
 
 	eng := sim.NewEngine()
 	cl := cluster.Frontier(eng, *nodes)
 	bm := rm.NewBatchManager(cl, rm.FrontierPolicy)
+	rep := app.NewReport()
 
 	cfg := exaam.FrontierConfig()
-	cfg.Seed = *seed
+	cfg.Seed = app.Seed()
 	cfg.TransientFailures = *transient
 	cfg.PersistentFailures = *persistent
 	// Scale the ensemble toward the requested task count: RVEs first (for
@@ -59,14 +63,14 @@ func main() {
 	}
 
 	if *scale {
-		fmt.Println("== progressive scale-up (\"we progressively increased scale\", §4.3) ==")
-		fmt.Printf("%8s %10s %10s %10s %12s %12s\n", "nodes", "tasks", "OVH", "TTX", "util", "sched rate")
+		s := rep.Section(`progressive scale-up ("we progressively increased scale", §4.3)`)
+		s.Addf("%8s %10s %10s %10s %12s %12s", "nodes", "tasks", "OVH", "TTX", "util", "sched rate")
 		for _, n := range []int{1000, 2000, 4000, 8000} {
 			e2 := sim.NewEngine()
 			c2 := cluster.Frontier(e2, n)
 			b2 := rm.NewBatchManager(c2, rm.FrontierPolicy)
 			cfg2 := exaam.FrontierConfig()
-			cfg2.Seed = *seed
+			cfg2.Seed = app.Seed()
 			// Keep the wave count comparable: tasks ∝ nodes.
 			cfg2.RVEs = 3 * n / 8000
 			if cfg2.RVEs < 1 {
@@ -75,74 +79,80 @@ func main() {
 			am2 := entk.NewAppManager(c2, b2, entk.FrontierResource(n, 12*3600))
 			am2.Policy = rm.FrontierPolicy
 			rep2, err := am2.Run(exaam.Stage3Pipeline(cfg2))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "entkrun:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("%8d %10d %9.0fs %9.0fs %11.1f%% %9.0f/s\n",
+			app.Check(err)
+			s.Addf("%8d %10d %9.0fs %9.0fs %11.1f%% %9.0f/s",
 				n, rep2.TasksExecuted, float64(rep2.Overhead), float64(rep2.TTX),
 				rep2.Utilization*100, rep2.MeasuredSchedRate)
+			rep.AddRun(compose.FromEnTK(fmt.Sprintf("stage3-%dn", n), rep2))
 		}
+		app.Emit(rep)
 		return
 	}
 
 	if *full {
 		res, err := exaam.RunFull(cl, bm, cfg, *nodes)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "entkrun:", err)
-			os.Exit(1)
+		app.Check(err)
+		s := rep.Section("Fig 3: full ExaAM UQ pipeline (per-stage EnTK applications)")
+		for _, st := range []struct {
+			name string
+			rep  *entk.Report
+		}{
+			{"stage0 (TASMANIAN grid + prep)", res.Stage0},
+			{"stage1a (AdditiveFOAM, 40-node job)", res.Stage1AF},
+			{"stage1b (ExaCA, 125-node job)", res.Stage1CA},
+			{"stage3 (ExaConstit ensemble)", res.Stage3},
+			{"optimize (material model fit)", res.Optimize},
+		} {
+			s.Addf("%-34s tasks=%d failed=%d OVH=%.0fs TTX=%.0fs util=%.1f%%",
+				st.name, st.rep.TasksExecuted, st.rep.TasksFailed,
+				float64(st.rep.Overhead), float64(st.rep.TTX), st.rep.Utilization*100)
+			rep.AddRun(compose.FromEnTK(st.name, st.rep))
 		}
-		fmt.Println("== Fig 3: full ExaAM UQ pipeline (per-stage EnTK applications) ==")
-		printStage("stage0 (TASMANIAN grid + prep)", res.Stage0)
-		printStage("stage1a (AdditiveFOAM, 40-node job)", res.Stage1AF)
-		printStage("stage1b (ExaCA, 125-node job)", res.Stage1CA)
-		printStage("stage3 (ExaConstit ensemble)", res.Stage3)
-		printStage("optimize (material model fit)", res.Optimize)
+		app.Emit(rep)
 		return
 	}
 
 	am := entk.NewAppManager(cl, bm, entk.FrontierResource(*nodes, 12*3600))
 	am.Policy = rm.FrontierPolicy
-	rep, err := am.Run(exaam.Stage3Pipeline(cfg))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "entkrun:", err)
-		os.Exit(1)
-	}
+	erep, err := am.Run(exaam.Stage3Pipeline(cfg))
+	app.Check(err)
 
-	fmt.Printf("== Fig 4/5: UQ Stage 3 on %d simulated Frontier nodes ==\n", *nodes)
-	fmt.Printf("tasks           : %d ExaConstit simulations (8 nodes each)\n", cfg.PropertyTasks())
-	fmt.Printf("executed        : %d (resubmitted OK: %d, terminal failures: %d)\n",
-		rep.TasksExecuted, rep.ResubmittedOK, rep.TasksFailed)
-	fmt.Printf("batch jobs      : %d (initial + resubmission rounds)\n", rep.Rounds)
-	fmt.Printf("OVH             : %.0f s   (paper: 85 s)\n", float64(rep.Overhead))
-	fmt.Printf("TTX             : %.0f s   (paper: 7989 s)\n", float64(rep.TTX))
-	fmt.Printf("job runtime     : %.0f s   (paper: 8074 s)\n", float64(rep.JobRuntime))
-	fmt.Printf("utilization     : %.1f %%  (paper: ~90 %%)\n", rep.Utilization*100)
-	fmt.Printf("scheduling rate : %.0f tasks/s (paper: 269)\n", rep.MeasuredSchedRate)
-	fmt.Printf("launch rate     : %.0f tasks/s (paper: 51)\n", rep.MeasuredLaunchRate)
+	s := rep.Section(fmt.Sprintf("Fig 4/5: UQ Stage 3 on %d simulated Frontier nodes", *nodes))
+	s.Addf("tasks           : %d ExaConstit simulations (8 nodes each)", cfg.PropertyTasks())
+	s.Addf("executed        : %d (resubmitted OK: %d, terminal failures: %d)",
+		erep.TasksExecuted, erep.ResubmittedOK, erep.TasksFailed)
+	s.Addf("batch jobs      : %d (initial + resubmission rounds)", erep.Rounds)
+	s.Addf("OVH             : %.0f s   (paper: 85 s)", float64(erep.Overhead))
+	s.Addf("TTX             : %.0f s   (paper: 7989 s)", float64(erep.TTX))
+	s.Addf("job runtime     : %.0f s   (paper: 8074 s)", float64(erep.JobRuntime))
+	s.Addf("utilization     : %.1f %%  (paper: ~90 %%)", erep.Utilization*100)
+	s.Addf("scheduling rate : %.0f tasks/s (paper: 269)", erep.MeasuredSchedRate)
+	s.Addf("launch rate     : %.0f tasks/s (paper: 51)", erep.MeasuredLaunchRate)
+	rep.AddRun(compose.FromEnTK("stage3", erep))
 
 	if *plot {
 		running := metrics.NewSeries("running")
-		for _, pt := range rep.Running {
+		for _, pt := range erep.Running {
 			running.Add(pt.T, pt.V)
 		}
 		busy := metrics.NewSeries("busy")
-		for _, pt := range rep.BusyNodes {
+		for _, pt := range erep.BusyNodes {
 			busy.Add(pt.T, pt.V)
 		}
-		fmt.Println()
-		fmt.Print(metrics.ASCIIPlot(running, 72, 8, "Fig 5: tasks executing concurrently"))
-		fmt.Println()
-		fmt.Print(metrics.ASCIIPlot(busy, 72, 8, "Fig 4: busy nodes (utilization)"))
+		ps := rep.Section("")
+		ps.AddTable(metrics.ASCIIPlot(running, 72, 8, "Fig 5: tasks executing concurrently"))
+		ps.Addf("")
+		ps.AddTable(metrics.ASCIIPlot(busy, 72, 8, "Fig 4: busy nodes (utilization)"))
 	}
 
 	if *series {
-		fmt.Println("\n# t_sec running_tasks scheduled_cum busy_nodes")
-		sched := rep.Scheduled
-		busy := rep.BusyNodes
+		ss := rep.Section("")
+		ss.Addf("# t_sec running_tasks scheduled_cum busy_nodes")
+		sched := erep.Scheduled
+		busy := erep.BusyNodes
 		si, bi := 0, 0
 		lastS, lastB := 0.0, 0.0
-		for _, p := range rep.Running {
+		for _, p := range erep.Running {
 			for si < len(sched) && sched[si].T <= p.T {
 				lastS = sched[si].V
 				si++
@@ -151,12 +161,8 @@ func main() {
 				lastB = busy[bi].V
 				bi++
 			}
-			fmt.Printf("%.1f %.0f %.0f %.0f\n", float64(p.T), p.V, lastS, lastB)
+			ss.Addf("%.1f %.0f %.0f %.0f", float64(p.T), p.V, lastS, lastB)
 		}
 	}
-}
-
-func printStage(name string, rep *entk.Report) {
-	fmt.Printf("%-34s tasks=%d failed=%d OVH=%.0fs TTX=%.0fs util=%.1f%%\n",
-		name, rep.TasksExecuted, rep.TasksFailed, float64(rep.Overhead), float64(rep.TTX), rep.Utilization*100)
+	app.Emit(rep)
 }

@@ -5,15 +5,15 @@
 //
 // Usage:
 //
-//	jawsrun [-lint]
+//	jawsrun [-lint] [-stats] [-json]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
 	"hhcw/internal/cluster"
+	"hhcw/internal/compose"
+	"hhcw/internal/driver"
 	"hhcw/internal/jaws"
 	"hhcw/internal/sim"
 	"hhcw/internal/storage"
@@ -40,16 +40,13 @@ task spray dur=4m overhead=20m after=everything scatter=250 container=docker://l
 // runStats demonstrates §6.1's organization-wide performance-metrics
 // collection: several users submit through one central service; the service
 // aggregates per-user shard counts, cache hits, and task time.
-func runStats() {
+func runStats(app *driver.App, rep *compose.Report) {
 	eng := sim.NewEngine()
 	svc := jaws.NewService(eng)
 	cl, _ := newSite(eng)
 	svc.AddSite("perlmutter", cl)
 	def, err := jaws.Parse(legacyWDL)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jawsrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 	fused, _ := jaws.Fuse(def, []string{"s1", "s2", "s3", "s4"})
 	for _, sub := range []struct {
 		user string
@@ -59,15 +56,13 @@ func runStats() {
 		{"jfroula", def},
 		{"ekirton", fused},
 	} {
-		if _, err := svc.Submit(sub.def, sub.user, "perlmutter", nil); err != nil {
-			fmt.Fprintln(os.Stderr, "jawsrun:", err)
-			os.Exit(1)
-		}
+		_, err := svc.Submit(sub.def, sub.user, "perlmutter", nil)
+		app.Check(err)
 	}
-	fmt.Println("== §6.1: organization-wide metrics from the central service ==")
-	fmt.Printf("%-10s %6s %8s %10s %12s %8s\n", "user", "runs", "shards", "cache hits", "task-sec", "fs ops")
+	s := rep.Section("§6.1: organization-wide metrics from the central service")
+	s.Addf("%-10s %6s %8s %10s %12s %8s", "user", "runs", "shards", "cache hits", "task-sec", "fs ops")
 	for _, u := range svc.Stats() {
-		fmt.Printf("%-10s %6d %8d %10d %12.0f %8d\n",
+		s.Addf("%-10s %6d %8d %10d %12.0f %8d",
 			u.User, u.Submissions, u.Shards, u.CacheHits, u.TaskSeconds, u.FsOps)
 	}
 }
@@ -81,60 +76,55 @@ func newSite(eng *sim.Engine) (*cluster.Cluster, *storage.Store) {
 }
 
 func main() {
-	lint := flag.Bool("lint", false, "lint a legacy workflow against §6 anti-patterns")
-	stats := flag.Bool("stats", false, "run several users through the central service and print org-wide metrics")
-	flag.Parse()
+	app := driver.New("jawsrun", "jawsrun [-lint] [-stats] [-json]")
+	lint := app.Bool("lint", false, "lint a legacy workflow against §6 anti-patterns")
+	stats := app.Bool("stats", false, "run several users through the central service and print org-wide metrics")
+	app.NoFaults()
+	app.Parse()
+	rep := app.NewReport()
 
 	if *stats {
-		runStats()
+		runStats(app, rep)
+		app.Emit(rep)
 		return
 	}
 
 	if *lint {
 		def, err := jaws.Parse(badWDL)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jawsrun:", err)
-			os.Exit(1)
-		}
-		fmt.Println("== migration linter (§6 patterns and anti-patterns) ==")
+		app.Check(err)
+		s := rep.Section("migration linter (§6 patterns and anti-patterns)")
 		for _, f := range jaws.Lint(def) {
-			fmt.Println(" ", f)
+			s.Addf("  %s", f)
 		}
+		app.Emit(rep)
 		return
 	}
 
 	def, err := jaws.Parse(legacyWDL)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jawsrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 	fused, err := jaws.Fuse(def, []string{"s1", "s2", "s3", "s4"})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jawsrun:", err)
-		os.Exit(1)
-	}
+	app.Check(err)
 
 	run := func(d *jaws.WorkflowDef) *jaws.RunReport {
 		eng := sim.NewEngine()
 		cl, store := newSite(eng)
 		e := jaws.NewEngine(cl, store)
-		rep, err := e.Run(d, "jgi")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jawsrun:", err)
-			os.Exit(1)
-		}
-		return rep
+		r, err := e.Run(d, "jgi")
+		app.Check(err)
+		return r
 	}
 	orig := run(def)
 	opt := run(fused)
 
-	fmt.Println("== §6.1 claim: task fusion (4 tasks → 1) ==")
-	fmt.Printf("%-12s %10s %10s %12s %10s\n", "", "makespan", "shards", "task-sec", "fs ops")
-	fmt.Printf("%-12s %9.0fs %10d %11.0fs %10d\n", "original", float64(orig.Makespan), orig.ShardsExecuted, orig.TaskSeconds, orig.FilesystemOps)
-	fmt.Printf("%-12s %9.0fs %10d %11.0fs %10d\n", "fused", float64(opt.Makespan), opt.ShardsExecuted, opt.TaskSeconds, opt.FilesystemOps)
-	fmt.Printf("execution-time reduction: %.0f%%  (paper: 70%%)\n", (1-opt.TaskSeconds/orig.TaskSeconds)*100)
-	fmt.Printf("shard reduction:          %.0f%%  (paper: 71%%)\n",
+	s := rep.Section("§6.1 claim: task fusion (4 tasks → 1)")
+	s.Addf("%-12s %10s %10s %12s %10s", "", "makespan", "shards", "task-sec", "fs ops")
+	s.Addf("%-12s %9.0fs %10d %11.0fs %10d", "original", float64(orig.Makespan), orig.ShardsExecuted, orig.TaskSeconds, orig.FilesystemOps)
+	s.Addf("%-12s %9.0fs %10d %11.0fs %10d", "fused", float64(opt.Makespan), opt.ShardsExecuted, opt.TaskSeconds, opt.FilesystemOps)
+	s.Addf("execution-time reduction: %.0f%%  (paper: 70%%)", (1-opt.TaskSeconds/orig.TaskSeconds)*100)
+	s.Addf("shard reduction:          %.0f%%  (paper: 71%%)",
 		(1-float64(opt.ShardsExecuted)/float64(orig.ShardsExecuted))*100)
+	rep.AddRun(compose.FromJAWS("original", orig))
+	rep.AddRun(compose.FromJAWS("fused", opt))
 
 	// Call caching: rerun after an input-preserving resubmission.
 	eng := sim.NewEngine()
@@ -143,13 +133,14 @@ func main() {
 	e.CallCaching = true
 	first, _ := e.Run(fused, "jgi")
 	second, _ := e.Run(fused, "jgi")
-	fmt.Println("\n== call caching (rerun of an identical workflow) ==")
-	fmt.Printf("first run : %.0fs, %d shards executed\n", float64(first.Makespan), first.ShardsExecuted)
-	fmt.Printf("second run: %.0fs, %d shards executed, %d cache hits\n",
+	cs := rep.Section("call caching (rerun of an identical workflow)")
+	cs.Addf("first run : %.0fs, %d shards executed", float64(first.Makespan), first.ShardsExecuted)
+	cs.Addf("second run: %.0fs, %d shards executed, %d cache hits",
 		float64(second.Makespan), second.ShardsExecuted, second.CacheHits)
+	rep.AddRun(compose.FromJAWS("cached-rerun", second))
 
 	// Fair share: a flood user vs a small user on one shared engine.
-	fmt.Println("\n== §6.2 claim: fair share on a shared Cromwell-like engine ==")
+	fs := rep.Section("§6.2 claim: fair share on a shared Cromwell-like engine")
 	flood, _ := jaws.Parse("workflow flood\ntask f dur=300s overhead=0s scatter=64")
 	small, _ := jaws.Parse("workflow small\ntask q dur=60s overhead=0s")
 	for _, cap := range []int{0, 8} {
@@ -161,24 +152,18 @@ func main() {
 		e := jaws.NewEngine(cl, storage.NewStore("s", 0, 0, 0))
 		e.MaxConcurrentPerUser = cap
 		fr, fd, err := e.Start(flood, "hog")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jawsrun:", err)
-			os.Exit(1)
-		}
+		app.Check(err)
 		sr, sd, err := e.Start(small, "alice")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jawsrun:", err)
-			os.Exit(1)
-		}
+		app.Check(err)
 		eng.Run()
 		if !*fd || !*sd {
-			fmt.Fprintln(os.Stderr, "jawsrun: workflows stalled")
-			os.Exit(1)
+			app.Fatalf("workflows stalled")
 		}
 		label := "no per-user cap (anti-pattern)"
 		if cap > 0 {
 			label = fmt.Sprintf("per-user cap = %d", cap)
 		}
-		fmt.Printf("%-32s hog %6.0fs, alice %6.0fs\n", label, float64(fr.Makespan), float64(sr.Makespan))
+		fs.Addf("%-32s hog %6.0fs, alice %6.0fs", label, float64(fr.Makespan), float64(sr.Makespan))
 	}
+	app.Emit(rep)
 }

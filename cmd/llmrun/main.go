@@ -5,14 +5,14 @@
 //
 // Usage:
 //
-//	llmrun [-agents] [-inject] [-sweep] [-limit 4096]
+//	llmrun [-agents] [-inject] [-sweep] [-limit 4096] [-json]
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
+	"hhcw/internal/compose"
+	"hhcw/internal/driver"
 	"hhcw/internal/futures"
 	"hhcw/internal/llmwf"
 	"hhcw/internal/sim"
@@ -21,14 +21,18 @@ import (
 const goal = "run the phylogenetic analysis on patient-007.vcf"
 
 func main() {
-	agents := flag.Bool("agents", false, "use the §2.2 planner/executor/debugger engine")
-	inject := flag.Bool("inject", false, "inject a wrong function call every 2nd model turn")
-	sweep := flag.Bool("sweep", false, "sweep workflow depth against the token limit")
-	limit := flag.Int("limit", 4096, "model context limit in tokens (0 = unlimited)")
-	flag.Parse()
+	app := driver.New("llmrun", "llmrun [-agents] [-inject] [-sweep] [-limit 4096] [-json]")
+	agents := app.Bool("agents", false, "use the §2.2 planner/executor/debugger engine")
+	inject := app.Bool("inject", false, "inject a wrong function call every 2nd model turn")
+	sweepDepthFlag := app.Bool("sweep", false, "sweep workflow depth against the token limit")
+	limit := app.Int("limit", 4096, "model context limit in tokens (0 = unlimited)")
+	app.NoFaults()
+	app.Parse()
+	rep := app.NewReport()
 
-	if *sweep {
-		sweepDepth(*limit)
+	if *sweepDepthFlag {
+		sweepDepth(rep, *limit)
+		app.Emit(rep)
 		return
 	}
 
@@ -45,44 +49,46 @@ func main() {
 			Eng: eng, Exec: exec, LLM: llm, Specs: specs,
 			TokenLimit: *limit, MaxDebugAttempts: 2,
 			Human: func(is llmwf.Issue) bool {
-				fmt.Printf("  [human] consulted about step %d: %s → retry\n", is.Step, is.Problem)
+				app.Logf("[human] consulted about step %d: %s → retry", is.Step, is.Problem)
 				return true
 			},
 		}
-		rep, err := e.Execute(goal)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "llmrun:", err)
-			os.Exit(1)
-		}
-		fmt.Println("== §2.2 agent engine (planner + executor + debugger) ==")
-		fmt.Printf("steps executed : %d (%v)\n", rep.Steps, rep.FutureIDs)
-		fmt.Printf("debugger       : invoked %d×, recovered %d×, human %d×\n",
-			rep.DebuggerInvoked, rep.Recovered, rep.HumanEscalations)
-		fmt.Printf("API requests   : %d (%d tokens total, peak %d)\n",
-			rep.Requests, rep.SentTokens, rep.PeakRequestTokens)
-		fmt.Printf("virtual runtime: %.0f s\n", rep.MakespanSec)
+		arep, err := e.Execute(goal)
+		app.Check(err)
+		s := rep.Section("§2.2 agent engine (planner + executor + debugger)")
+		s.Addf("steps executed : %d (%v)", arep.Steps, arep.FutureIDs)
+		s.Addf("debugger       : invoked %d×, recovered %d×, human %d×",
+			arep.DebuggerInvoked, arep.Recovered, arep.HumanEscalations)
+		s.Addf("API requests   : %d (%d tokens total, peak %d)",
+			arep.Requests, arep.SentTokens, arep.PeakRequestTokens)
+		s.Addf("virtual runtime: %.0f s", arep.MakespanSec)
+		rep.AddRun(compose.FromLLMAgents("phyloflow", arep))
+		app.Emit(rep)
 		return
 	}
 
 	stats, err := llmwf.RunFunctionCalling(eng, exec, llm, specs, goal, *limit)
-	fmt.Println("== §2.1 function-calling prototype ==")
-	fmt.Printf("steps executed : %d (%v)\n", stats.Steps, stats.FutureIDs)
-	fmt.Printf("API requests   : %d (%d tokens total, peak %d)\n",
+	s := rep.Section("§2.1 function-calling prototype")
+	s.Addf("steps executed : %d (%v)", stats.Steps, stats.FutureIDs)
+	s.Addf("API requests   : %d (%d tokens total, peak %d)",
 		stats.Requests, stats.SentTokens, stats.PeakRequestTokens)
-	fmt.Printf("virtual runtime: %.0f s\n", stats.MakespanSec)
+	s.Addf("virtual runtime: %.0f s", stats.MakespanSec)
+	rep.AddRun(compose.FromLLM("phyloflow", stats))
 	if err != nil {
-		fmt.Printf("limitation hit : %v\n", err)
-		os.Exit(1)
+		s.Addf("limitation hit : %v", err)
+		app.Emit(rep)
+		app.Fatalf("%v", err)
 	}
+	app.Emit(rep)
 }
 
 // sweepDepth shows the §2.1 token-limit limitation — chains deeper than the
 // context allows cannot be composed by the flat function-calling scheme —
 // and the hierarchical decomposition that fixes it (window of 4 steps per
 // sub-conversation).
-func sweepDepth(limit int) {
-	fmt.Printf("== token-limit sweep (context limit %d tokens) ==\n", limit)
-	fmt.Printf("%6s | %10s %12s %12s | %10s %12s %12s\n",
+func sweepDepth(rep *compose.Report, limit int) {
+	s := rep.Section(fmt.Sprintf("token-limit sweep (context limit %d tokens)", limit))
+	s.Addf("%6s | %10s %12s %12s | %10s %12s %12s",
 		"depth", "flat reqs", "flat peak", "flat", "hier reqs", "hier peak", "hierarchical")
 	for depth := 2; depth <= 64; depth *= 2 {
 		setup := func() (*sim.Engine, *futures.Executor, llmwf.WorkflowTemplate, func([]string) []llmwf.FunctionSpec) {
@@ -99,8 +105,8 @@ func sweepDepth(limit int) {
 			tpl := llmwf.WorkflowTemplate{Name: "deep", Goal: "deep", Steps: steps}
 			return eng, exec, tpl, func(sub []string) []llmwf.FunctionSpec {
 				var out []llmwf.FunctionSpec
-				for _, s := range sub {
-					out = append(out, all[s]...)
+				for _, st := range sub {
+					out = append(out, all[st]...)
 				}
 				return out
 			}
@@ -122,7 +128,7 @@ func sweepDepth(limit int) {
 		if errH != nil {
 			hierRes = "TOKEN LIMIT"
 		}
-		fmt.Printf("%6d | %10d %12d %12s | %10d %12d %12s\n",
+		s.Addf("%6d | %10d %12d %12s | %10d %12d %12s",
 			depth, flat.Requests, flat.PeakRequestTokens, flatRes,
 			hier.Requests, hier.PeakRequestTokens, hierRes)
 	}

@@ -10,46 +10,40 @@
 //
 // Usage:
 //
-//	sweeprun [-seeds 200] [-workers NumCPU] [-nodes 2] [-cores 8] [-base 13]
-//	         [-faults none|mtbf|spot|storm]
+//	sweeprun [-seeds 200] [-workers NumCPU] [-nodes 2] [-cores 8] [-seed 13]
+//	         [-faults none|mtbf|spot|storm] [-json]
 //
 // -faults overlays a deterministic failure profile on every strategy's
 // cluster (node crashes, spot reclaims, transient task failures, I/O
 // slowdowns); tasks recover under the shared retry policy and the report
 // gains a failure/recovery distribution table.
 //
-// The report is deterministic: same seeds ⇒ bit-identical table, whatever
-// -workers is.
+// The report is deterministic: same seeds ⇒ bit-identical output, whatever
+// -workers is. -seed sets the first seed of the block.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 	"runtime"
 
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
-	"hhcw/internal/fault"
+	"hhcw/internal/driver"
 	"hhcw/internal/randx"
 	"hhcw/internal/sweep"
 )
 
 func main() {
-	seeds := flag.Int("seeds", 200, "seeds per (workflow, strategy) cell")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size")
-	nodes := flag.Int("nodes", 2, "cluster nodes (2 = the paper's contended regime)")
-	cores := flag.Int("cores", 8, "cores per node")
-	base := flag.Int64("base", 13, "first seed of the block")
-	faultsName := flag.String("faults", "none", "fault profile: none|mtbf|spot|storm")
-	flag.Parse()
-
-	faults, err := fault.ByName(*faultsName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweeprun:", err)
-		os.Exit(2)
-	}
+	app := driver.New("sweeprun",
+		"sweeprun [-seeds 200] [-workers W] [-nodes 2] [-cores 8] [-seed 13] [-faults P] [-json]")
+	seeds := app.Int("seeds", 200, "seeds per (workflow, strategy) cell")
+	workers := app.Int("workers", runtime.NumCPU(), "worker pool size")
+	nodes := app.Int("nodes", 2, "cluster nodes (2 = the paper's contended regime)")
+	cores := app.Int("cores", 8, "cores per node")
+	app.SeedDefault(13)
+	app.Parse()
+	faults := app.Faults()
 
 	opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
 	cfg := sweep.Config{
@@ -71,34 +65,32 @@ func main() {
 				return &core.KubernetesEnv{Nodes: *nodes, CoresPerNode: *cores, Strategy: cwsi.FileSize{}, Faults: faults}
 			}},
 		},
-		Seeds:    sweep.Seeds(*base, *seeds),
+		Seeds:    sweep.Seeds(app.Seed(), *seeds),
 		Workers:  *workers,
 		Baseline: "fifo",
 		Progress: func(done, total int) {
 			if done%100 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "sweeprun: %d/%d runs complete\n", done, total)
+				app.Logf("%d/%d runs complete", done, total)
 			}
 		},
 	}
 
-	rep, err := sweep.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweeprun:", err)
-		os.Exit(1)
-	}
+	sw, err := sweep.Run(cfg)
+	app.Check(err)
 
-	fmt.Printf("== §3.5 as a distribution: %d seeds × %d workflows × %d strategies on %d workers ==\n",
-		*seeds, len(cfg.Workflows), len(cfg.Envs), *workers)
-	fmt.Print(rep.Table())
-	if ft := rep.FaultTable(); ft != "" {
-		fmt.Printf("\n== failure / recovery distribution (-faults %s) ==\n%s", *faultsName, ft)
+	rep := app.NewReport()
+	s := rep.Section(fmt.Sprintf("§3.5 as a distribution: %d seeds × %d workflows × %d strategies on %d workers",
+		*seeds, len(cfg.Workflows), len(cfg.Envs), *workers))
+	s.AddTable(sw.Table())
+	if ft := sw.FaultTable(); ft != "" {
+		rep.Section(fmt.Sprintf("failure / recovery distribution (-faults %s)", app.FaultsName())).AddTable(ft)
 	}
 
 	// The paper's headline: average and best-case makespan reduction of the
 	// simple aware strategies over FIFO, now over the whole ensemble.
 	var sum, max float64
 	n := 0
-	for _, c := range rep.Cells {
+	for _, c := range sw.Cells {
 		if c.Env == "fifo" {
 			continue
 		}
@@ -109,7 +101,11 @@ func main() {
 		}
 	}
 	if n > 0 {
-		fmt.Printf("\nmean makespan cut vs FIFO : %.1f%% (paper: 10.8%% average)\n", sum/float64(n))
-		fmt.Printf("max  makespan cut vs FIFO : %.1f%% (paper: up to 25%%)\n", max)
+		hl := rep.Section("")
+		hl.Addf("mean makespan cut vs FIFO : %.1f%% (paper: 10.8%% average)", sum/float64(n))
+		hl.Addf("max  makespan cut vs FIFO : %.1f%% (paper: up to 25%%)", max)
+		hl.Set("cut_mean_pct", sum/float64(n))
+		hl.Set("cut_max_pct", max)
 	}
+	app.Emit(rep)
 }

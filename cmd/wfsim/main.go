@@ -9,184 +9,109 @@
 //	wfsim [-workflow montage|epigenomics|forkjoin|rnaseq|layered]
 //	      [-env k8s|k8s-cws|hpc|cloud] [-size 16] [-nodes 4] [-cores 8] [-seed 1]
 //	      [-faults none|mtbf|spot|storm]
-//	      [-trace out.json]
+//	      [-trace out.json] [-provenance out.json] [-json]
 //	      [-sweep N] [-workers W]
 //
-// -trace writes a Chrome trace JSON of a single run (k8s-cws env only).
+// -trace / -provenance write run artifacts (provenance-enabled envs only).
 // -sweep N runs seeds seed..seed+N-1 concurrently on W workers (default
 // NumCPU); the aggregate report is bit-identical for any W.
 // -faults injects a deterministic failure profile (node crashes, spot-style
 // reclaims, transient task failures, I/O slowdowns) into the k8s / k8s-cws
 // substrate; tasks recover under the default retry policy and chaos sweeps
 // stay bit-identical for any -workers.
+// -json emits the whole report as machine-readable JSON (docs/report-schema.md).
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 	"runtime"
 
-	"hhcw/internal/core"
-	"hhcw/internal/cwsi"
+	"hhcw/internal/compose"
 	"hhcw/internal/dag"
-	"hhcw/internal/fault"
+	"hhcw/internal/driver"
 	"hhcw/internal/metrics"
-	"hhcw/internal/provenance"
 	"hhcw/internal/randx"
 	"hhcw/internal/sweep"
-	"hhcw/internal/trace"
 )
 
-// workflowSpec returns the generator for a workflow family flag value, or
-// nil if the name is unknown.
-func workflowSpec(name string, size int) *sweep.WorkflowSpec {
-	opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
-	var gen func(rng *randx.Source) *dag.Workflow
-	switch name {
-	case "montage":
-		gen = func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, size, opts) }
-	case "epigenomics":
-		gen = func(r *randx.Source) *dag.Workflow { return dag.EpigenomicsLike(r, size/2, 5, opts) }
-	case "forkjoin":
-		gen = func(r *randx.Source) *dag.Workflow { return dag.ForkJoin(r, 3, size, opts) }
-	case "rnaseq":
-		gen = func(r *randx.Source) *dag.Workflow { return dag.RNASeqLike(r, size, opts) }
-	case "layered":
-		gen = func(r *randx.Source) *dag.Workflow { return dag.RandomLayered(r, 6, size, opts) }
-	default:
-		return nil
-	}
-	return &sweep.WorkflowSpec{Name: name, Gen: gen}
-}
-
-// envSpec returns the environment factory for an env flag value, or nil if
-// the name is unknown. Each call of New builds a fresh environment so sweep
-// workers share nothing.
-func envSpec(name string, nodes, cores int, faults fault.Profile) *sweep.EnvSpec {
-	var mk func() core.Environment
-	switch name {
-	case "k8s":
-		mk = func() core.Environment { return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Faults: faults} }
-	case "k8s-cws":
-		mk = func() core.Environment {
-			return &core.KubernetesEnv{Nodes: nodes, CoresPerNode: cores, Strategy: cwsi.Rank{}, Faults: faults}
-		}
-	case "hpc":
-		mk = func() core.Environment {
-			return &core.HPCEnv{Nodes: nodes, CoresPerNode: cores, BootstrapSec: 85}
-		}
-	case "cloud":
-		mk = func() core.Environment { return &core.CloudEnv{MaxInstances: nodes} }
-	default:
-		return nil
-	}
-	return &sweep.EnvSpec{Name: name, New: mk}
-}
-
 func main() {
-	workflow := flag.String("workflow", "montage", "workflow family: montage|epigenomics|forkjoin|rnaseq|layered")
-	envName := flag.String("env", "k8s", "environment: k8s|k8s-cws|hpc|cloud")
-	size := flag.Int("size", 16, "workflow width parameter")
-	nodes := flag.Int("nodes", 4, "nodes (or max cloud instances)")
-	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the run (k8s-cws env only)")
-	cores := flag.Int("cores", 8, "cores per node")
-	seed := flag.Int64("seed", 1, "generator seed (sweep mode: first seed of the block)")
-	faultsName := flag.String("faults", "none", "fault profile: none|mtbf|spot|storm (k8s / k8s-cws envs)")
-	sweepN := flag.Int("sweep", 0, "run this many consecutive seeds as a parallel ensemble (0 = single run)")
-	workers := flag.Int("workers", runtime.NumCPU(), "sweep worker pool size")
-	flag.Parse()
+	app := driver.New("wfsim",
+		"wfsim [-workflow FAMILY] [-env ENV] [-size N] [-nodes N] [-cores N] [-seed S] [-faults P] [-sweep N] [-workers W] [-trace F] [-provenance F] [-json]")
+	workflow := app.String("workflow", "montage", "workflow family: "+driver.WorkflowFamilies)
+	envName := app.String("env", "k8s", "environment: "+driver.EnvNames)
+	size := app.Int("size", 16, "workflow width parameter")
+	nodes := app.Int("nodes", 4, "nodes (or max cloud instances)")
+	cores := app.Int("cores", 8, "cores per node")
+	sweepN := app.Int("sweep", 0, "run this many consecutive seeds as a parallel ensemble (0 = single run)")
+	workers := app.Int("workers", runtime.NumCPU(), "sweep worker pool size")
+	app.Parse()
 
-	wspec := workflowSpec(*workflow, *size)
-	if wspec == nil {
-		fmt.Fprintf(os.Stderr, "wfsim: unknown workflow %q\n", *workflow)
-		os.Exit(2)
-	}
-	faults, err := fault.ByName(*faultsName)
+	wspec, err := driver.WorkflowFamily(*workflow, *size, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wfsim:", err)
-		os.Exit(2)
+		app.Usagef("%v", err)
 	}
+	faults := app.Faults()
 	if faults.Enabled() && *envName != "k8s" && *envName != "k8s-cws" {
-		fmt.Fprintf(os.Stderr, "wfsim: -faults %s is only supported for -env k8s|k8s-cws\n", *faultsName)
-		os.Exit(2)
+		app.Usagef("-faults %s is only supported for -env k8s|k8s-cws", app.FaultsName())
 	}
-	espec := envSpec(*envName, *nodes, *cores, faults)
-	if espec == nil {
-		fmt.Fprintf(os.Stderr, "wfsim: unknown env %q\n", *envName)
-		os.Exit(2)
+	espec, err := driver.BuildEnv(*envName, *nodes, *cores, faults)
+	if err != nil {
+		app.Usagef("%v", err)
 	}
+
+	rep := app.NewReport()
 
 	if *sweepN > 0 {
 		if *workers <= 0 {
 			*workers = runtime.NumCPU()
 		}
-		rep, err := sweep.Run(sweep.Config{
+		sw, err := sweep.Run(sweep.Config{
 			Workflows: []sweep.WorkflowSpec{*wspec},
 			Envs:      []sweep.EnvSpec{*espec},
-			Seeds:     sweep.Seeds(*seed, *sweepN),
+			Seeds:     sweep.Seeds(app.Seed(), *sweepN),
 			Workers:   *workers,
 			Progress: func(done, total int) {
 				if done%50 == 0 || done == total {
-					fmt.Fprintf(os.Stderr, "wfsim: %d/%d runs complete\n", done, total)
+					app.Logf("%d/%d runs complete", done, total)
 				}
 			},
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wfsim:", err)
-			os.Exit(1)
+		app.Check(err)
+		s := rep.Section("")
+		s.Addf("sweep         : %d seeds [%d..%d] on %d workers",
+			*sweepN, app.Seed(), app.Seed()+int64(*sweepN)-1, *workers)
+		s.AddTable(sw.Table())
+		if ft := sw.FaultTable(); ft != "" {
+			rep.Section(fmt.Sprintf("failure / recovery distribution (-faults %s)", app.FaultsName())).AddTable(ft)
 		}
-		fmt.Printf("sweep         : %d seeds [%d..%d] on %d workers\n",
-			*sweepN, *seed, *seed+int64(*sweepN)-1, *workers)
-		fmt.Print(rep.Table())
-		if ft := rep.FaultTable(); ft != "" {
-			fmt.Printf("\n== failure / recovery distribution (-faults %s) ==\n%s", *faultsName, ft)
+		for _, r := range sw.Runs {
+			res := r.Result
+			rep.AddRun(compose.FromResult(fmt.Sprintf("%s/%s/seed%d", r.Workflow, r.Env, r.Seed), &res))
 		}
+		app.Emit(rep)
 		return
 	}
 
-	rng := randx.New(*seed)
+	rng := randx.New(app.Seed())
 	w := wspec.Gen(rng)
 	env := espec.New()
-	// Same seeding discipline as sweep.runOne: substrate randomness forks off
-	// the generator source right after workflow generation, so a single run
-	// reproduces the corresponding sweep cell exactly.
-	var res *core.Result
-	if se, ok := env.(core.SeededEnvironment); ok {
-		res, err = se.RunSeeded(w, rng.Fork())
-	} else {
-		res, err = env.Run(w)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wfsim:", err)
-		os.Exit(1)
-	}
-	if *traceOut != "" {
-		store, ok := res.Provenance.(*provenance.Store)
-		if !ok {
-			fmt.Fprintln(os.Stderr, "wfsim: -trace requires -env k8s-cws (provenance-enabled)")
-			os.Exit(2)
-		}
-		raw, err := trace.FromProvenance(store).JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wfsim:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "wfsim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace         : wrote %s (open in chrome://tracing)\n", *traceOut)
-	}
+	res, err := driver.RunSeeded(env, w, rng)
+	app.Check(err)
+	app.WriteArtifacts(res)
+
 	cp, _ := w.CriticalPath(dag.NominalDur)
-	fmt.Printf("workflow      : %s (%d tasks, %d edges)\n", w.Name, w.Len(), w.EdgeCount())
-	fmt.Printf("environment   : %s\n", res.Environment)
-	fmt.Printf("makespan      : %s\n", metrics.HumanSeconds(res.MakespanSec))
-	fmt.Printf("critical path : %s (lower bound)\n", metrics.HumanSeconds(cp))
-	fmt.Printf("utilization   : %.1f%%\n", res.UtilizationCore*100)
+	rep.Workflow = compose.DescribeWorkflow(w)
+	rep.AddRun(compose.FromResult(*workflow, res))
+	s := rep.Section("")
+	s.Addf("workflow      : %s (%d tasks, %d edges)", w.Name, w.Len(), w.EdgeCount())
+	s.Addf("environment   : %s", res.Environment)
+	s.Addf("makespan      : %s", metrics.HumanSeconds(res.MakespanSec))
+	s.Addf("critical path : %s (lower bound)", metrics.HumanSeconds(cp))
+	s.Addf("utilization   : %.1f%%", res.UtilizationCore*100)
 	if faults.Enabled() {
-		fmt.Printf("faults        : %s — %d failed attempts, %d retries (%s backoff), %d terminal\n",
-			*faultsName, res.FailedAttempts, res.Retries,
+		s.Addf("faults        : %s — %d failed attempts, %d retries (%s backoff), %d terminal",
+			app.FaultsName(), res.FailedAttempts, res.Retries,
 			metrics.HumanSeconds(res.BackoffSec), res.TerminalFailures)
 	}
+	app.Emit(rep)
 }

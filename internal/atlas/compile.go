@@ -1,0 +1,93 @@
+package atlas
+
+import (
+	"fmt"
+
+	"hhcw/internal/dag"
+)
+
+// PipelineSpec describes the §5 salmon pipeline over a catalog as a
+// compilable workflow: one prefetch → fasterq-dump → salmon → deseq2 chain
+// per SRA run, with durations, memory, and I/O fractions taken from the
+// Table 1/2 calibration at each run's file size. Compilation is
+// deterministic (profile means, no sampling) — stochastic behaviour comes
+// from the execution substrate, exactly as for every other compiled
+// workflow, so composed Atlas workflows keep the sweep determinism
+// contract.
+//
+// PipelineSpec implements the compose.Compiler interface.
+type PipelineSpec struct {
+	Runs []SRARun
+	// Env selects the calibration column (Cloud or HPC); zero value = Cloud.
+	Env Environment
+	// Cores is the per-step core request; zero = 2 (t3.medium-like).
+	Cores int
+}
+
+// Compile flattens the spec into a validated DAG. Task names are the tool
+// names (prefetch, fasterq-dump, salmon, deseq2) shared across runs, so CWS
+// predictors profile them exactly like natively scheduled Atlas steps.
+func (p PipelineSpec) Compile() (*dag.Workflow, error) {
+	if len(p.Runs) == 0 {
+		return nil, fmt.Errorf("atlas: pipeline over an empty catalog")
+	}
+	cores := p.Cores
+	if cores <= 0 {
+		cores = 2
+	}
+	w := dag.New(fmt.Sprintf("atlas-salmon-%s-%d", p.Env, len(p.Runs)))
+	for _, run := range p.Runs {
+		if run.Accession == "" {
+			return nil, fmt.Errorf("atlas: catalog entry without accession")
+		}
+		var prev dag.TaskID
+		for _, st := range Steps() {
+			pr := profiles[st]
+			mean := pr.cloudMeanSec
+			if p.Env == HPC {
+				mean = pr.hpcMeanSec
+			}
+			scale := 1.0
+			if pr.sizeScaled && run.Bytes > 0 {
+				scale = run.Bytes / MeanSRABytes
+			}
+			dur := mean * scale
+			if dur < 1 {
+				dur = 1
+			}
+			t := &dag.Task{
+				ID:           dag.TaskID(run.Accession + "/" + st.String()),
+				Name:         st.String(),
+				Cores:        cores,
+				MemBytes:     pr.memMean * 1.25, // users over-request (§3.1)
+				PeakMemBytes: pr.memMean,
+				NominalDur:   dur,
+				IOFrac:       pr.iowaitMean / 100,
+				Params:       map[string]string{"accession": run.Accession},
+			}
+			switch st {
+			case Prefetch:
+				t.InputBytes = run.Bytes
+				t.OutputBytes = run.Bytes
+			case FasterqDump:
+				t.InputBytes = run.Bytes
+				t.OutputBytes = 2 * run.Bytes // FASTQ decompression roughly doubles
+			case Salmon:
+				t.InputBytes = 2 * run.Bytes
+				t.OutputBytes = 0.02 * run.Bytes // quantification tables
+			case DESeq2:
+				t.InputBytes = 0.02 * run.Bytes
+				t.OutputBytes = 1e6
+			}
+			if prev != "" {
+				t.Deps = []dag.TaskID{prev}
+			}
+			w.Add(t)
+			prev = t.ID
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

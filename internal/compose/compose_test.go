@@ -1,0 +1,360 @@
+package compose_test
+
+import (
+	"strings"
+	"testing"
+
+	"hhcw/internal/atlas"
+	"hhcw/internal/compose"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/entk"
+	"hhcw/internal/exaam"
+	"hhcw/internal/jaws"
+	"hhcw/internal/llmwf"
+	"hhcw/internal/randx"
+)
+
+// Every subsystem front-end must satisfy the Compiler interface — this is
+// the composition spine's contract.
+var (
+	_ compose.Compiler = atlas.PipelineSpec{}
+	_ compose.Compiler = (*entk.Pipeline)(nil)
+	_ compose.Compiler = (*jaws.WorkflowDef)(nil)
+	_ compose.Compiler = llmwf.WorkflowTemplate{}
+	_ compose.Compiler = llmwf.Timed{}
+	_ compose.Compiler = cwsi.Workload{}
+	_ compose.Compiler = compose.Workflow{}
+	_ compose.Compiler = compose.Func(nil)
+)
+
+func chain(name string, ids ...string) *dag.Workflow {
+	w := dag.New(name)
+	var prev dag.TaskID
+	for _, id := range ids {
+		t := &dag.Task{ID: dag.TaskID(id), Name: id, NominalDur: 10, OutputBytes: 100}
+		if prev != "" {
+			t.Deps = []dag.TaskID{prev}
+		}
+		w.Add(t)
+		prev = t.ID
+	}
+	return w
+}
+
+func TestEmbedNamespacing(t *testing.T) {
+	dst := chain("dst", "a", "b")
+	sub := chain("sub", "x", "y")
+	leaves, err := compose.Embed(dst, "ns", sub, []dag.TaskID{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 1 || leaves[0] != "ns/y" {
+		t.Fatalf("leaves = %v, want [ns/y]", leaves)
+	}
+	if dst.Len() != 4 {
+		t.Fatalf("dst has %d tasks, want 4", dst.Len())
+	}
+	root := dst.Task("ns/x")
+	if root == nil {
+		t.Fatal("namespaced root ns/x missing")
+	}
+	if len(root.Deps) != 1 || root.Deps[0] != "b" {
+		t.Fatalf("root deps = %v, want [b]", root.Deps)
+	}
+	// Data-flow stitch: root input grew by b's output bytes.
+	if root.InputBytes != 100 {
+		t.Fatalf("root InputBytes = %v, want 100", root.InputBytes)
+	}
+	y := dst.Task("ns/y")
+	if len(y.Deps) != 1 || y.Deps[0] != "ns/x" {
+		t.Fatalf("internal dep not rewritten: %v", y.Deps)
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original sub-workflow is untouched.
+	if sub.Task("x").InputBytes != 0 || len(sub.Task("y").Deps) != 1 {
+		t.Fatal("embed mutated the sub-workflow")
+	}
+}
+
+func TestEmbedEmptySubRejected(t *testing.T) {
+	dst := chain("dst", "a")
+	if _, err := compose.Embed(dst, "ns", dag.New("empty"), nil); err == nil {
+		t.Fatal("embedding an empty sub-workflow should fail")
+	}
+}
+
+func TestEmbedCollisionRejected(t *testing.T) {
+	dst := chain("dst", "ns/x")
+	sub := chain("sub", "x")
+	before := dst.Len()
+	if _, err := compose.Embed(dst, "ns", sub, nil); err == nil {
+		t.Fatal("task ID collision should fail")
+	} else if !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if dst.Len() != before {
+		t.Fatal("failed embed must not partially mutate the destination")
+	}
+}
+
+func TestEmbedUnknownAfterRejected(t *testing.T) {
+	dst := chain("dst", "a")
+	sub := chain("sub", "x")
+	if _, err := compose.Embed(dst, "ns", sub, []dag.TaskID{"ghost"}); err == nil {
+		t.Fatal("unknown stitch source should fail")
+	}
+}
+
+func TestStitchCycleRejectedByValidate(t *testing.T) {
+	w := chain("w", "a", "b", "c")
+	// Stitch c → a: each AddEdge succeeds (no incremental cycle check),
+	// Validate rejects the composed graph.
+	if err := compose.Stitch(w, "c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err == nil {
+		t.Fatal("cycle-introducing stitch must be caught by Validate")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStitchDataFlow(t *testing.T) {
+	w := dag.New("w")
+	w.Add(&dag.Task{ID: "src", NominalDur: 1, OutputBytes: 42})
+	w.Add(&dag.Task{ID: "dst", NominalDur: 1, InputBytes: 8})
+	if err := compose.Stitch(w, "src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Task("dst").InputBytes; got != 50 {
+		t.Fatalf("InputBytes = %v, want 50", got)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	ok := compose.Workflow{W: chain("sub", "x")}
+	cases := []struct {
+		name   string
+		stages []compose.Stage
+		want   string
+	}{
+		{"no stages", nil, "no stages"},
+		{"unnamed", []compose.Stage{{From: ok}}, "no name"},
+		{"slash", []compose.Stage{{Name: "a/b", From: ok}}, "namespace separator"},
+		{"dup", []compose.Stage{{Name: "a", From: ok}, {Name: "a", From: ok}}, "duplicate"},
+		{"nil compiler", []compose.Stage{{Name: "a"}}, "no compiler"},
+		{"unknown after", []compose.Stage{{Name: "a", From: ok, After: []string{"zz"}}}, "unknown stage"},
+		{"stage cycle", []compose.Stage{
+			{Name: "a", From: ok, After: []string{"b"}},
+			{Name: "b", From: ok, After: []string{"a"}},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		if _, err := compose.Compose("w", tc.stages...); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestComposeCompileErrorCarriesStage(t *testing.T) {
+	bad := compose.Func(func() (*dag.Workflow, error) {
+		return nil, &stageErr{}
+	})
+	_, err := compose.Compose("w", compose.Stage{Name: "broken", From: bad})
+	if err == nil || !strings.Contains(err.Error(), `stage "broken"`) {
+		t.Fatalf("error should name the failing stage, got %v", err)
+	}
+}
+
+type stageErr struct{}
+
+func (*stageErr) Error() string { return "boom" }
+
+func TestComposeFanInFanOut(t *testing.T) {
+	mk := func(name string) compose.Stage {
+		return compose.Stage{Name: name, From: compose.Func(func() (*dag.Workflow, error) {
+			return chain(name, "t"), nil
+		})}
+	}
+	a, b, c, d := mk("a"), mk("b"), mk("c"), mk("d")
+	b.After = []string{"a"}
+	c.After = []string{"a"}
+	d.After = []string{"b", "c"}
+	// Declare out of dependency order: Compose must sort stages itself.
+	w, err := compose.Compose("diamond", d, c, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("tasks = %d, want 4", w.Len())
+	}
+	dt := w.Task("d/t")
+	if len(dt.Deps) != 2 {
+		t.Fatalf("fan-in deps = %v, want 2 entries", dt.Deps)
+	}
+	// d's root input grew by both upstream leaves' outputs.
+	if dt.InputBytes != 200 {
+		t.Fatalf("fan-in InputBytes = %v, want 200", dt.InputBytes)
+	}
+	if got := len(w.Roots()); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+}
+
+func TestPipelineLinearChaining(t *testing.T) {
+	w, err := compose.Pipeline("p",
+		compose.Stage{Name: "s1", From: compose.Workflow{W: chain("a", "t")}},
+		compose.Stage{Name: "s2", From: compose.Workflow{W: chain("b", "t")}},
+		compose.Stage{Name: "s3", From: compose.Workflow{W: chain("c", "t")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Task("s3/t").Deps; len(got) != 1 || got[0] != "s2/t" {
+		t.Fatalf("s3 deps = %v, want [s2/t]", got)
+	}
+	cp, path := w.CriticalPath(dag.NominalDur)
+	if cp != 30 || len(path) != 3 {
+		t.Fatalf("critical path = %v over %v, want 30 over 3 tasks", cp, path)
+	}
+}
+
+// TestComposeAtlasEnTK is the flagship composition: the §5 salmon pipeline
+// feeding the §4 ExaAM UQ ensemble, each compiled by its own subsystem.
+func TestComposeAtlasEnTK(t *testing.T) {
+	rng := randx.New(7)
+	catalog := atlas.GenerateCatalog(rng, 2)
+	cfg := exaam.Config{
+		GridDim: 2, GridLevel: 1, MeltPoolCases: 1,
+		MicroParams: 1, LoadingDirections: 2, Temperatures: 1, RVEs: 2,
+		Seed: 7,
+	}
+	w, err := compose.Pipeline("atlas-uq",
+		compose.Stage{Name: "atlas", From: atlas.PipelineSpec{Runs: catalog}},
+		compose.Stage{Name: "uq", From: exaam.Stage3Pipeline(cfg)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTasks := 2*4 + cfg.PropertyTasks()
+	if w.Len() != wantTasks {
+		t.Fatalf("tasks = %d, want %d", w.Len(), wantTasks)
+	}
+	// Every UQ task is a root of its sub-workflow (single-stage ensemble), so
+	// each depends on both atlas deseq2 leaves.
+	uq := 0
+	for _, task := range w.Tasks() {
+		if !strings.HasPrefix(string(task.ID), "uq/") {
+			continue
+		}
+		uq++
+		if len(task.Deps) != 2 {
+			t.Fatalf("uq task %s deps = %v, want the 2 atlas leaves", task.ID, task.Deps)
+		}
+		for _, d := range task.Deps {
+			if !strings.HasSuffix(string(d), "/deseq2") {
+				t.Fatalf("uq task %s depends on %s, want a deseq2 leaf", task.ID, d)
+			}
+		}
+	}
+	if uq != cfg.PropertyTasks() {
+		t.Fatalf("uq tasks = %d, want %d", uq, cfg.PropertyTasks())
+	}
+}
+
+func TestEnTKPostExecRejected(t *testing.T) {
+	p := &entk.Pipeline{Name: "dyn"}
+	st := p.AddStage(&entk.Stage{Name: "s"})
+	st.AddTask(&entk.Task{ID: "t", DurationSec: 1})
+	st.PostExec = func(*entk.Pipeline, *entk.Stage) {}
+	if _, err := p.Compile(); err == nil {
+		t.Fatal("PostExec pipelines must not compile statically")
+	}
+}
+
+func TestCWSIWorkloadCompile(t *testing.T) {
+	wl := cwsi.Workload{Name: "tenants", Workflows: []*dag.Workflow{
+		chain("alice", "a1", "a2"),
+		chain("bob", "b1"),
+	}}
+	w, err := wl.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("tasks = %d, want 3", w.Len())
+	}
+	if w.Task("alice/a2").Deps[0] != "alice/a1" {
+		t.Fatal("workload namespacing broke internal deps")
+	}
+	if got := len(w.Roots()); got != 2 {
+		t.Fatalf("roots = %d, want 2 (tenants stay independent)", got)
+	}
+	dup := cwsi.Workload{Name: "dup", Workflows: []*dag.Workflow{chain("w", "t"), chain("w", "t")}}
+	if _, err := dup.Compile(); err == nil {
+		t.Fatal("duplicate tenant workflow names must be rejected")
+	}
+}
+
+func TestJAWSCompileMatchesBridge(t *testing.T) {
+	def := &jaws.WorkflowDef{Name: "align", Tasks: []*jaws.TaskDef{
+		{Name: "split", Cores: 1, DurationSec: 10, OverheadSec: 2},
+		{Name: "map", Cores: 2, DurationSec: 30, OverheadSec: 2, Scatter: 4, After: []string{"split"}},
+		{Name: "merge", Cores: 1, DurationSec: 5, OverheadSec: 2, After: []string{"map"}},
+	}}
+	w, err := def.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 6 {
+		t.Fatalf("tasks = %d, want 6 (1 + 4 shards + 1)", w.Len())
+	}
+	merge := w.Task("merge")
+	if len(merge.Deps) != 4 {
+		t.Fatalf("gather deps = %d, want all 4 shards", len(merge.Deps))
+	}
+}
+
+func TestLLMTemplateCompile(t *testing.T) {
+	tpl := llmwf.WorkflowTemplate{Name: "etl", Goal: "nightly etl", Steps: []string{"extract", "transform", "load"}}
+	w, err := llmwf.Timed{Template: tpl, Durations: map[string]float64{"transform": 120}}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("tasks = %d, want 3", w.Len())
+	}
+	cp, _ := w.CriticalPath(dag.NominalDur)
+	if want := float64(llmwf.DefaultStepDurationSec*2 + 120); cp != want {
+		t.Fatalf("critical path = %v, want %v", cp, want)
+	}
+	if _, err := (llmwf.WorkflowTemplate{Name: "empty"}).Compile(); err == nil {
+		t.Fatal("template without steps must not compile")
+	}
+}
+
+func TestAtlasCompileDeterministic(t *testing.T) {
+	catalog := []atlas.SRARun{{Accession: "SRR1", Bytes: atlas.MeanSRABytes}}
+	w1, err := atlas.PipelineSpec{Runs: catalog}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := atlas.PipelineSpec{Runs: catalog}.Compile()
+	if w1.Len() != 4 || w2.Len() != 4 {
+		t.Fatalf("lens = %d, %d; want 4", w1.Len(), w2.Len())
+	}
+	for i, task := range w1.Tasks() {
+		o := w2.Tasks()[i]
+		if task.ID != o.ID || task.NominalDur != o.NominalDur {
+			t.Fatalf("compile not deterministic at %d: %v vs %v", i, task, o)
+		}
+	}
+}

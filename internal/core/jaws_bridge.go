@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"hhcw/internal/dag"
 	"hhcw/internal/jaws"
 )
@@ -10,72 +8,10 @@ import (
 // FromJAWS compiles a JAWS workflow description into an executable DAG, so
 // workflows written in the §6 mini-WDL run on any core environment —
 // bridging the centralized-service world and the composable-core world.
-// Scatters expand into shards; a shard of a scattered task depends on ALL
-// shards of each scattered dependency (WDL's gather semantics) and the
-// per-shard overhead is folded into the duration.
+//
+// Deprecated: the compilation now lives on the definition itself as
+// (*jaws.WorkflowDef).Compile, the compose.Compiler interface every
+// subsystem implements. This wrapper remains for existing callers.
 func FromJAWS(def *jaws.WorkflowDef) (*dag.Workflow, error) {
-	if err := def.Validate(); err != nil {
-		return nil, err
-	}
-	w := dag.New(def.Name)
-	shardIDs := map[string][]dag.TaskID{}
-	for _, t := range def.Tasks {
-		shardIDs[t.Name] = make([]dag.TaskID, t.Shards())
-		for s := 0; s < t.Shards(); s++ {
-			if t.Shards() == 1 {
-				shardIDs[t.Name][s] = dag.TaskID(t.Name)
-			} else {
-				shardIDs[t.Name][s] = dag.TaskID(fmt.Sprintf("%s/shard%04d", t.Name, s))
-			}
-		}
-	}
-	// def.Tasks is already validated acyclic; add in an order where deps
-	// exist first (topological by Kahn over names).
-	indeg := map[string]int{}
-	children := map[string][]string{}
-	for _, t := range def.Tasks {
-		indeg[t.Name] = len(t.After)
-		for _, d := range t.After {
-			children[d] = append(children[d], t.Name)
-		}
-	}
-	var ready []string
-	for _, t := range def.Tasks {
-		if indeg[t.Name] == 0 {
-			ready = append(ready, t.Name)
-		}
-	}
-	byName := map[string]*jaws.TaskDef{}
-	for _, t := range def.Tasks {
-		byName[t.Name] = t
-	}
-	for len(ready) > 0 {
-		name := ready[0]
-		ready = ready[1:]
-		t := byName[name]
-		var deps []dag.TaskID
-		for _, d := range t.After {
-			deps = append(deps, shardIDs[d]...)
-		}
-		for s := 0; s < t.Shards(); s++ {
-			w.Add(&dag.Task{
-				ID:         shardIDs[t.Name][s],
-				Name:       t.Name,
-				Cores:      t.Cores,
-				MemBytes:   t.MemBytes,
-				NominalDur: t.DurationSec + t.OverheadSec,
-				Deps:       deps,
-			})
-		}
-		for _, c := range children[name] {
-			indeg[c]--
-			if indeg[c] == 0 {
-				ready = append(ready, c)
-			}
-		}
-	}
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	return w, nil
+	return def.Compile()
 }

@@ -1,0 +1,65 @@
+package cwsi
+
+import (
+	"fmt"
+	"strings"
+
+	"hhcw/internal/dag"
+)
+
+// Workload is the multi-tenant view a §3 scheduler sees: several workflows —
+// typically from different WMS instances — sharing one cluster. Compiling a
+// Workload unions them into a single DAG whose task IDs are namespaced by
+// source workflow, so the whole tenant mix runs through one environment and
+// composes with any other subsystem's workflow.
+//
+// Workload implements the compose.Compiler interface. The namespacing here
+// is deliberately local: compose depends on cwsi (the Kubernetes environment
+// schedules via Strategy), so this package cannot import compose.
+type Workload struct {
+	Name      string
+	Workflows []*dag.Workflow
+}
+
+// Compile unions the member workflows under per-workflow namespaces
+// ("<workflow-name>/<task-id>") and validates the result. Member workflows
+// remain independent — no cross-workflow edges — which is exactly the
+// multi-tenant contention scenario the CWS predictors are built for.
+func (wl Workload) Compile() (*dag.Workflow, error) {
+	if wl.Name == "" {
+		return nil, fmt.Errorf("cwsi: cannot compile a workload without a name")
+	}
+	if len(wl.Workflows) == 0 {
+		return nil, fmt.Errorf("cwsi: workload %q has no workflows", wl.Name)
+	}
+	out := dag.New(wl.Name)
+	seen := map[string]bool{}
+	for _, w := range wl.Workflows {
+		if w == nil || w.Len() == 0 {
+			return nil, fmt.Errorf("cwsi: workload %q contains an empty workflow", wl.Name)
+		}
+		if strings.Contains(w.Name, "/") {
+			return nil, fmt.Errorf("cwsi: workflow name %q may not contain %q", w.Name, "/")
+		}
+		if seen[w.Name] {
+			return nil, fmt.Errorf("cwsi: duplicate workflow %q in workload %q", w.Name, wl.Name)
+		}
+		seen[w.Name] = true
+		for _, t := range w.Tasks() {
+			nt := *t
+			nt.ID = dag.TaskID(w.Name) + "/" + t.ID
+			nt.Deps = make([]dag.TaskID, len(t.Deps))
+			for i, d := range t.Deps {
+				nt.Deps[i] = dag.TaskID(w.Name) + "/" + d
+			}
+			if out.Task(nt.ID) != nil {
+				return nil, fmt.Errorf("cwsi: task ID collision on %q in workload %q", nt.ID, wl.Name)
+			}
+			out.Add(&nt)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -103,6 +103,31 @@ func (w *Workflow) Add(t *Task) *Task {
 // Task returns the task with the given ID, or nil.
 func (w *Workflow) Task(id TaskID) *Task { return w.tasks[id] }
 
+// AddEdge records that `to` depends on `from`, after both tasks have been
+// inserted — the stitching primitive sub-workflow composition builds on.
+// Duplicate edges are ignored. AddEdge does not check for cycles (that would
+// be quadratic during bulk stitching); call Validate once stitching is done.
+func (w *Workflow) AddEdge(from, to TaskID) error {
+	if w.tasks[from] == nil {
+		return fmt.Errorf("dag: edge from unknown task %q", from)
+	}
+	t := w.tasks[to]
+	if t == nil {
+		return fmt.Errorf("dag: edge to unknown task %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-edge on task %q", from)
+	}
+	for _, d := range t.Deps {
+		if d == from {
+			return nil
+		}
+	}
+	t.Deps = append(t.Deps, from)
+	w.children[from] = append(w.children[from], to)
+	return nil
+}
+
 // Len returns the number of tasks.
 func (w *Workflow) Len() int { return len(w.order) }
 

@@ -6,21 +6,30 @@ import (
 	"strings"
 )
 
+// escapeDOT makes a string safe for interpolation inside a double-quoted
+// Graphviz string: backslashes and double quotes are escaped. Task IDs and
+// names are user-controlled (composed workflows namespace IDs with arbitrary
+// stage names), so labels must be escaped, not spliced in with %s.
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
 // ToDOT renders the workflow as a Graphviz digraph: one box per task
 // (labelled with name and nominal duration), one edge per dependency. Handy
 // for inspecting generated or composed workflows.
 func (w *Workflow) ToDOT() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", w.Name)
+	fmt.Fprintf(&b, "digraph \"%s\" {\n  rankdir=TB;\n  node [shape=box];\n", escapeDOT(w.Name))
 	for _, t := range w.Tasks() {
-		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s (%.0fs, %dc)\"];\n",
-			t.ID, t.ID, t.Name, t.NominalDur, t.Cores)
+		fmt.Fprintf(&b, "  \"%s\" [label=\"%s\\n%s (%.0fs, %dc)\"];\n",
+			escapeDOT(string(t.ID)), escapeDOT(string(t.ID)), escapeDOT(t.Name), t.NominalDur, t.Cores)
 	}
 	// Deterministic edge order.
 	var edges []string
 	for _, t := range w.Tasks() {
 		for _, d := range t.Deps {
-			edges = append(edges, fmt.Sprintf("  %q -> %q;", d, t.ID))
+			edges = append(edges, fmt.Sprintf("  \"%s\" -> \"%s\";", escapeDOT(string(d)), escapeDOT(string(t.ID))))
 		}
 	}
 	sort.Strings(edges)

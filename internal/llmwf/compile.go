@@ -1,0 +1,76 @@
+package llmwf
+
+import (
+	"fmt"
+
+	"hhcw/internal/dag"
+)
+
+// DefaultStepDurationSec is the per-step duration Compile assigns when no
+// explicit timing is given — the registration default the §2 experiments
+// use for synthetic pipeline steps.
+const DefaultStepDurationSec = 10
+
+// Timed pairs a workflow template with per-step durations for compilation.
+// It implements the compose.Compiler interface.
+type Timed struct {
+	Template WorkflowTemplate
+	// Durations maps step name → seconds; steps not present use
+	// DefaultStepDurationSec.
+	Durations map[string]float64
+}
+
+// Compile flattens the template into a validated linear DAG: the steps the
+// LLM would chain through AppFuture IDs become an explicit dependency chain,
+// so an LLM-composed workflow executes on any core environment — free of
+// the §2.1 prototype's token-limit and recovery limitations — and composes
+// with every other subsystem.
+func (c Timed) Compile() (*dag.Workflow, error) {
+	t := c.Template
+	if t.Name == "" {
+		return nil, fmt.Errorf("llmwf: cannot compile a template without a name")
+	}
+	if len(t.Steps) == 0 {
+		return nil, fmt.Errorf("llmwf: template %q has no steps", t.Name)
+	}
+	w := dag.New(t.Name)
+	var prev dag.TaskID
+	for i, step := range t.Steps {
+		if step == "" {
+			return nil, fmt.Errorf("llmwf: template %q has an empty step name", t.Name)
+		}
+		dur := c.Durations[step]
+		if dur == 0 {
+			dur = DefaultStepDurationSec
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("llmwf: step %q has non-positive duration", step)
+		}
+		id := dag.TaskID(fmt.Sprintf("step%02d-%s", i, step))
+		if w.Task(id) != nil {
+			return nil, fmt.Errorf("llmwf: duplicate step %q in template %q", step, t.Name)
+		}
+		task := &dag.Task{
+			ID:         id,
+			Name:       step,
+			Cores:      1,
+			NominalDur: dur,
+			Params:     map[string]string{"goal": t.Goal},
+		}
+		if prev != "" {
+			task.Deps = []dag.TaskID{prev}
+		}
+		w.Add(task)
+		prev = id
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Compile implements the compose.Compiler interface with default step
+// durations; use Timed for calibrated timings.
+func (t WorkflowTemplate) Compile() (*dag.Workflow, error) {
+	return Timed{Template: t}.Compile()
+}
