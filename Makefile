@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos sweep bench experiments examples compose clean
+.PHONY: all build vet test test-race chaos sweep bench bench-json bench-json-short experiments examples compose clean
 
 all: build vet test test-race chaos
 
@@ -36,6 +36,19 @@ chaos:
 # One benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf-regression gate: run the tracked suite, write BENCH_<timestamp>.json,
+# and fail if any gated metric (allocs/op, B/op, domain metrics) regressed
+# vs the committed baseline. To refresh the baseline after a deliberate
+# change: `go run ./cmd/benchreport -out BENCH_baseline.json` and commit it
+# (see docs/bench-schema.md).
+bench-json:
+	$(GO) run ./cmd/benchreport -baseline BENCH_baseline.json
+
+# Quick validity smoke for CI: reduced workloads, no baseline comparison
+# (short and full reports are not comparable), self-consistency only.
+bench-json-short:
+	$(GO) run ./cmd/benchreport -short -out BENCH_short.json
 
 # Regenerate every experiment's human-readable output.
 experiments:

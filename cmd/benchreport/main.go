@@ -1,0 +1,131 @@
+// Command benchreport is the perf-regression gate. It runs the tracked
+// benchmark suite in-process, writes a schema-versioned `hhcw-bench/v1`
+// JSON report (docs/bench-schema.md), and — when given a baseline — diffs
+// the fresh run against it under the per-metric tolerance policy, exiting
+// nonzero if any gated metric regressed. It can also diff two existing
+// report files without running anything.
+//
+// Usage:
+//
+//	benchreport [-short] [-out BENCH_<ts>.json] [-baseline BENCH_baseline.json] [-json]
+//	benchreport -diff OLD.json NEW.json [-json]
+//
+// -out FILE   sets the report path (default BENCH_<timestamp>.json);
+//
+//	-no-out suppresses the file entirely.
+//
+// -baseline F compares the fresh run against F; a regression exits 1.
+// -diff       compares two existing reports instead of benchmarking.
+// -short      runs reduced workloads (comparable only to other -short reports).
+//
+// The tolerance policy gates allocs/op and B/op (machine-independent) and
+// every domain metric (deterministic virtual-time output, exact match);
+// ns/op is reported but informational — wall-clock is not comparable
+// across machines. See docs/bench-schema.md for the baseline-update
+// procedure.
+package main
+
+import (
+	"os"
+	"time"
+
+	"hhcw/internal/compose"
+	"hhcw/internal/driver"
+	"hhcw/internal/perf"
+)
+
+func main() {
+	app := driver.New("benchreport",
+		"benchreport [-short] [-out FILE] [-baseline FILE] [-json] | benchreport -diff OLD.json NEW.json [-json]")
+	short := app.Bool("short", false, "run reduced workloads (comparable only to other -short reports)")
+	out := app.String("out", "", "report output path (default BENCH_<timestamp>.json)")
+	baseline := app.String("baseline", "", "baseline report to gate against; any regression exits 1")
+	diff := app.Bool("diff", false, "compare two existing report files (positional args) instead of benchmarking")
+	noOut := app.Bool("no-out", false, "do not write a report file")
+	app.NoFaults()
+	app.Parse()
+
+	rep := app.NewReport()
+
+	if *diff {
+		args := app.Args()
+		if len(args) != 2 {
+			app.Usagef("-diff needs exactly two report files, got %d args", len(args))
+		}
+		old := load(app, args[0])
+		cur := load(app, args[1])
+		cmp, err := perf.Compare(old, cur, perf.DefaultPolicy())
+		app.Check(err)
+		emitComparison(app, rep, args[0], args[1], cmp)
+		return
+	}
+
+	// Load the baseline before spending wall-clock on the suite, so a bad
+	// path or corrupt file fails in milliseconds.
+	var base *perf.Report
+	if *baseline != "" {
+		base = load(app, *baseline)
+	}
+
+	run, err := perf.Collect(*short, app.Logf)
+	app.Check(err)
+	raw, err := run.JSON()
+	app.Check(err)
+
+	if !*noOut {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+		}
+		app.Check(os.WriteFile(path, raw, 0o644))
+		app.Logf("wrote %s (%d benchmarks, schema %s)", path, len(run.Benchmarks), perf.Schema)
+	}
+
+	s := rep.Section("benchmark suite")
+	s.Addf("schema %s  %s %s/%s  cpus=%d  short=%v",
+		perf.Schema, run.GoVersion, run.GoOS, run.GoArch, run.CPUs, run.Short)
+	s.AddTable(run.Table())
+	for i := range run.Benchmarks {
+		b := &run.Benchmarks[i]
+		s.Set(b.Name+"/allocs_per_op", b.AllocsPerOp)
+	}
+
+	if base == nil {
+		app.Emit(rep)
+		return
+	}
+	cmp, err := perf.Compare(base, run, perf.DefaultPolicy())
+	app.Check(err)
+	emitComparison(app, rep, *baseline, "this run", cmp)
+}
+
+func load(app *driver.App, path string) *perf.Report {
+	data, err := os.ReadFile(path)
+	app.Check(err)
+	r, err := perf.Parse(data)
+	if err != nil {
+		app.Fatalf("%s: %v", path, err)
+	}
+	return r
+}
+
+// emitComparison renders the diff into the report, emits it, and exits 1
+// when a gated metric regressed — the CI contract.
+func emitComparison(app *driver.App, rep *compose.Report, baseName, curName string, cmp *perf.Comparison) {
+	s := rep.Section("comparison vs " + baseName)
+	s.Addf("current: %s", curName)
+	s.Addf("%s", cmp.Summary())
+	if tbl := cmp.Table(); tbl != "" {
+		s.AddTable(tbl)
+	} else {
+		s.Addf("no metric moved outside tolerance")
+	}
+	s.Set("regressions", float64(cmp.Regressions))
+	s.Set("improvements", float64(cmp.Improvements))
+	app.Emit(rep)
+	if cmp.Failed() {
+		app.Logf("FAIL: %d gated metric(s) regressed vs %s", cmp.Regressions, baseName)
+		os.Exit(1)
+	}
+	app.Logf("PASS: no gated metric regressed vs %s", baseName)
+}

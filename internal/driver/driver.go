@@ -106,6 +106,9 @@ func (a *App) Parse() {
 	a.faults = faults
 }
 
+// Args returns the positional arguments left after flag parsing.
+func (a *App) Args() []string { return a.fs.Args() }
+
 // Seed returns the common -seed value.
 func (a *App) Seed() int64 { return *a.seed }
 

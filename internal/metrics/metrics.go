@@ -247,25 +247,41 @@ func (s Summary) Mean() float64 {
 
 // Summarize computes a Summary over values. Empty (or all-non-finite) input
 // yields a zero Summary with the Dropped count preserved; a single sample
-// makes every order statistic that sample.
+// makes every order statistic that sample. The input is left untouched (it
+// is copied before sorting); hot paths that own their slice should call
+// SummarizeInPlace instead and skip the copy.
 func Summarize(values []float64) Summary {
-	finite := make([]float64, 0, len(values))
+	buf := make([]float64, len(values))
+	copy(buf, values)
+	return SummarizeInPlace(buf)
+}
+
+// SummarizeInPlace is Summarize without the defensive copy: it compacts the
+// finite values to the front of the slice and sorts them there, so the
+// caller's slice is reordered (and truncated of non-finite values in its
+// prefix). It allocates nothing — the sweep engine calls it once per cell
+// metric on a reused scratch slice. The statistics are bit-identical to
+// Summarize's: the fold order of Sum and the sort are unchanged.
+func SummarizeInPlace(values []float64) Summary {
 	var s Summary
+	n := 0
 	for _, v := range values {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			s.Dropped++
 			continue
 		}
-		finite = append(finite, v)
+		values[n] = v
+		n++
 		s.Sum += v
 	}
-	s.N = len(finite)
-	if s.N == 0 {
+	finite := values[:n]
+	s.N = n
+	if n == 0 {
 		return s
 	}
 	sort.Float64s(finite)
 	s.Min = finite[0]
-	s.Max = finite[len(finite)-1]
+	s.Max = finite[n-1]
 	s.Median = quantileSorted(finite, 0.5)
 	s.P90 = quantileSorted(finite, 0.9)
 	return s

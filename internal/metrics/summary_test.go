@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -103,5 +104,60 @@ func TestAggEmptyAndSingle(t *testing.T) {
 	a.Observe(-7)
 	if a.N != 1 || a.Mean() != -7 || a.Max() != -7 || a.Min != -7 {
 		t.Fatalf("single observation: %+v", a)
+	}
+}
+
+// TestSummarizeInPlaceEquivalence: SummarizeInPlace must produce bit-identical
+// statistics to Summarize on the same input, for random mixtures of finite and
+// non-finite values — it is the zero-alloc twin, not a different estimator.
+func TestSummarizeInPlaceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch rng.Intn(8) {
+			case 0:
+				vals[i] = math.NaN()
+			case 1:
+				vals[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				vals[i] = rng.NormFloat64() * 1e3
+			}
+		}
+		want := Summarize(vals)
+		got := SummarizeInPlace(append([]float64(nil), vals...))
+		if got != want {
+			t.Fatalf("iter %d: in-place %+v != copying %+v", iter, got, want)
+		}
+	}
+}
+
+// TestSummarizeInPlaceCompacts: the in-place variant reorders the caller's
+// slice (finite values sorted at the front) — the documented contract.
+func TestSummarizeInPlaceCompacts(t *testing.T) {
+	vals := []float64{3, math.NaN(), 1, 2}
+	s := SummarizeInPlace(vals)
+	if s.N != 3 || s.Dropped != 1 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if vals[i] != want {
+			t.Fatalf("prefix not compact-sorted: %v", vals)
+		}
+	}
+}
+
+// TestSummarizeInPlaceAllocs: the whole point — zero allocations.
+func TestSummarizeInPlaceAllocs(t *testing.T) {
+	vals := make([]float64, 512)
+	rng := rand.New(rand.NewSource(22))
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		SummarizeInPlace(vals)
+	}); avg != 0 {
+		t.Fatalf("SummarizeInPlace allocates %.1f per call, want 0", avg)
 	}
 }

@@ -1,0 +1,296 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MetricClass says how a metric's change is judged.
+type MetricClass int
+
+const (
+	// LowerIsBetter gates cost metrics (ns/op, allocs/op): growth beyond
+	// tolerance is a regression, shrinkage beyond it an improvement.
+	LowerIsBetter MetricClass = iota
+	// HigherIsBetter gates throughput-style metrics.
+	HigherIsBetter
+	// Exact gates deterministic virtual-time metrics (makespan, utilization,
+	// simulated rates): any drift beyond tolerance — in either direction —
+	// is a regression, because the simulation's behaviour changed.
+	Exact
+	// Informational metrics are tracked in the report and shown in diffs but
+	// never gate: wall-clock timings compared across different machines.
+	Informational
+)
+
+func (c MetricClass) String() string {
+	switch c {
+	case LowerIsBetter:
+		return "lower-is-better"
+	case HigherIsBetter:
+		return "higher-is-better"
+	case Exact:
+		return "exact"
+	default:
+		return "informational"
+	}
+}
+
+// Rule is one metric's comparison policy. A current value is within
+// tolerance of a baseline b when it is inside b ± (|b|·Tol + Abs); the Abs
+// term keeps zero baselines meaningful, where a pure relative tolerance
+// would make any nonzero value an infinite-percent change.
+type Rule struct {
+	Class MetricClass
+	Tol   float64 // relative tolerance, as a fraction of |baseline|
+	Abs   float64 // absolute slack added on top
+}
+
+// Policy maps metric names to rules. Keys are either a bare metric name
+// ("allocs_per_op", "util_pct") or "benchmark/metric" for a single
+// benchmark's override; the more specific key wins. Metrics with no rule
+// use Default.
+type Policy struct {
+	Rules   map[string]Rule
+	Default Rule
+}
+
+// DefaultPolicy is the committed-baseline gate:
+//
+//   - allocs/op and B/op are machine-independent, so they gate with modest
+//     slack for b.N-dependent amortization jitter;
+//   - ns/op is wall-clock on whatever machine ran the suite, so it is
+//     informational — tracked in every report and shown in diffs, but a
+//     laptop comparing against a CI baseline must not fail on hardware;
+//   - everything else (the domain metrics) is deterministic virtual-time
+//     output and gates exactly: if the makespan or simulated rate moved,
+//     simulation behaviour changed, which is a correctness event, not noise.
+func DefaultPolicy() Policy {
+	return Policy{
+		Rules: map[string]Rule{
+			MetricNsPerOp:     {Class: Informational},
+			MetricAllocsPerOp: {Class: LowerIsBetter, Tol: 0.15, Abs: 2},
+			MetricBytesPerOp:  {Class: LowerIsBetter, Tol: 0.25, Abs: 128},
+			// sims_per_s is wall-clock throughput — same machine dependence
+			// as ns/op, so it never gates.
+			"sims_per_s": {Class: Informational},
+		},
+		Default: Rule{Class: Exact, Tol: 1e-9, Abs: 1e-9},
+	}
+}
+
+// Rule resolves the policy for one benchmark's metric.
+func (p *Policy) Rule(benchmark, metric string) Rule {
+	if r, ok := p.Rules[benchmark+"/"+metric]; ok {
+		return r
+	}
+	if r, ok := p.Rules[metric]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// Verdict classifies one metric's change.
+type Verdict string
+
+const (
+	Unchanged   Verdict = "unchanged"
+	Regression  Verdict = "REGRESSION"
+	Improvement Verdict = "improvement"
+	Info        Verdict = "info"
+	// Missing: the baseline tracks the metric (or whole benchmark) but the
+	// current report lacks it. Losing a tracked metric silently would make
+	// the gate blind, so Missing counts as a regression unless the rule is
+	// Informational.
+	Missing Verdict = "MISSING"
+	// Added: present now, absent from the baseline — surfaced so the
+	// baseline can be refreshed, never gating.
+	Added Verdict = "added"
+)
+
+// Delta is one metric's comparison.
+type Delta struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	Cur       float64 `json:"cur"`
+	Class     string  `json:"class"`
+	Verdict   Verdict `json:"verdict"`
+}
+
+// ChangePct is the signed relative change in percent (0 for a zero
+// baseline).
+func (d Delta) ChangePct() float64 {
+	if d.Base == 0 {
+		return 0
+	}
+	return (d.Cur - d.Base) / d.Base * 100
+}
+
+// Comparison is a full report diff in deterministic order: baseline
+// benchmarks sorted by name, each metric in MetricNames order, then
+// benchmarks only present in the current report.
+type Comparison struct {
+	Deltas       []Delta `json:"deltas"`
+	Regressions  int     `json:"regressions"`
+	Improvements int     `json:"improvements"`
+}
+
+// Failed reports whether any gated metric regressed (or went missing).
+func (c *Comparison) Failed() bool { return c.Regressions > 0 }
+
+func classify(rule Rule, base, cur float64) Verdict {
+	slack := base*rule.Tol + rule.Abs
+	if base < 0 {
+		slack = -base*rule.Tol + rule.Abs
+	}
+	switch rule.Class {
+	case Informational:
+		return Info
+	case LowerIsBetter:
+		if cur > base+slack {
+			return Regression
+		}
+		if cur < base-slack {
+			return Improvement
+		}
+	case HigherIsBetter:
+		if cur < base-slack {
+			return Regression
+		}
+		if cur > base+slack {
+			return Improvement
+		}
+	case Exact:
+		if cur > base+slack || cur < base-slack {
+			return Regression
+		}
+	}
+	return Unchanged
+}
+
+// Compare diffs current against baseline under the policy. Both reports
+// must validate, and must have matching Short flags — a reduced workload
+// measures different things than the full one, so the numbers are not
+// comparable. NaN never reaches the tolerance math: Validate rejects it.
+func Compare(baseline, current *Report, pol Policy) (*Comparison, error) {
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := current.Validate(); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if baseline.Short != current.Short {
+		return nil, fmt.Errorf("perf: short-mode report and full report are not comparable (baseline short=%v, current short=%v)",
+			baseline.Short, current.Short)
+	}
+	c := &Comparison{}
+	add := func(d Delta) {
+		c.Deltas = append(c.Deltas, d)
+		switch d.Verdict {
+		case Regression, Missing:
+			c.Regressions++
+		case Improvement:
+			c.Improvements++
+		}
+	}
+	for i := range baseline.Benchmarks {
+		bb := &baseline.Benchmarks[i]
+		cb := current.Benchmark(bb.Name)
+		if cb == nil {
+			v := Missing
+			if pol.Rule(bb.Name, "").Class == Informational {
+				v = Info
+			}
+			add(Delta{Benchmark: bb.Name, Metric: "", Verdict: v})
+			continue
+		}
+		for _, m := range bb.MetricNames() {
+			base, _ := bb.Metric(m)
+			rule := pol.Rule(bb.Name, m)
+			cur, ok := cb.Metric(m)
+			if !ok {
+				v := Missing
+				if rule.Class == Informational {
+					v = Info
+				}
+				add(Delta{Benchmark: bb.Name, Metric: m, Base: base, Class: rule.Class.String(), Verdict: v})
+				continue
+			}
+			add(Delta{Benchmark: bb.Name, Metric: m, Base: base, Cur: cur,
+				Class: rule.Class.String(), Verdict: classify(rule, base, cur)})
+		}
+		// Metrics the current run added.
+		for _, m := range cb.MetricNames() {
+			if _, ok := bb.Metric(m); !ok {
+				cur, _ := cb.Metric(m)
+				add(Delta{Benchmark: bb.Name, Metric: m, Cur: cur,
+					Class: pol.Rule(bb.Name, m).Class.String(), Verdict: Added})
+			}
+		}
+	}
+	// Benchmarks the current run added.
+	names := make([]string, 0, len(current.Benchmarks))
+	for i := range current.Benchmarks {
+		if baseline.Benchmark(current.Benchmarks[i].Name) == nil {
+			names = append(names, current.Benchmarks[i].Name)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		add(Delta{Benchmark: n, Metric: "", Verdict: Added})
+	}
+	return c, nil
+}
+
+// Summary is the one-line outcome ("412 metrics: 2 REGRESSED, 5 improved").
+func (c *Comparison) Summary() string {
+	return fmt.Sprintf("%d metrics compared: %d regressed, %d improved",
+		len(c.Deltas), c.Regressions, c.Improvements)
+}
+
+// Table renders the noteworthy rows — everything except Unchanged and
+// unchanged-Info — most severe first (regressions/missing, then
+// improvements, then info/added), each group in delta order. An empty
+// string means nothing moved.
+func (c *Comparison) Table() string {
+	severity := func(v Verdict) int {
+		switch v {
+		case Regression, Missing:
+			return 0
+		case Improvement:
+			return 1
+		default:
+			return 2
+		}
+	}
+	var rows []Delta
+	for _, d := range c.Deltas {
+		if d.Verdict == Unchanged {
+			continue
+		}
+		if d.Verdict == Info && d.ChangePct() == 0 {
+			continue
+		}
+		rows = append(rows, d)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return severity(rows[i].Verdict) < severity(rows[j].Verdict)
+	})
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-20s %14s %14s %9s  %s\n",
+		"benchmark", "metric", "base", "current", "change", "verdict")
+	for _, d := range rows {
+		metric := d.Metric
+		if metric == "" {
+			metric = "(benchmark)"
+		}
+		fmt.Fprintf(&b, "%-22s %-20s %14.4g %14.4g %8.1f%%  %s\n",
+			d.Benchmark, metric, d.Base, d.Cur, d.ChangePct(), d.Verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package perf
+
+// Schema round-trip, validation rejection paths, the tolerance math at its
+// edges (zero baselines, missing metrics, NaN, sign flips), and the verdict
+// classification table — the harness that gates CI must itself be the
+// best-tested code in the repo, or a false green is one bad float away.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport(false)
+	r.Benchmarks = []Benchmark{
+		{Name: "Alpha", Iterations: 100, NsPerOp: 250, AllocsPerOp: 3, BytesPerOp: 96,
+			Extra: map[string]float64{"util_pct": 88.5, "zero_metric": 0}},
+		{Name: "Beta", Iterations: 5, NsPerOp: 1e6, AllocsPerOp: 0.004, BytesPerOp: 1.5},
+	}
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.GoVersion != r.GoVersion || got.CPUs != r.CPUs {
+		t.Fatalf("context lost in round trip: %+v", got)
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %d", len(got.Benchmarks))
+	}
+	a := got.Benchmark("Alpha")
+	if a == nil || a.AllocsPerOp != 3 || a.Extra["util_pct"] != 88.5 {
+		t.Fatalf("Alpha corrupted: %+v", a)
+	}
+	// Sub-one allocs/op must survive with full float precision — that is the
+	// entire reason the schema doesn't use testing's integer accessors.
+	if b := got.Benchmark("Beta"); b.AllocsPerOp != 0.004 {
+		t.Fatalf("fractional allocs/op lost: %v", b.AllocsPerOp)
+	}
+	// Re-encode must be byte-stable.
+	data2, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("JSON not deterministic across a round trip")
+	}
+}
+
+func TestJSONSortsBenchmarks(t *testing.T) {
+	r := sampleReport()
+	r.Benchmarks[0], r.Benchmarks[1] = r.Benchmarks[1], r.Benchmarks[0]
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmarks[0].Name != "Alpha" {
+		t.Fatal("JSON did not sort benchmarks")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "hhcw-bench/v0" }, "schema"},
+		{"empty name", func(r *Report) { r.Benchmarks[0].Name = "" }, "no name"},
+		{"unsorted", func(r *Report) { r.Benchmarks[0].Name = "Zeta" }, "sorted"},
+		{"duplicate", func(r *Report) { r.Benchmarks[1].Name = "Alpha" }, "sorted"},
+		{"zero iterations", func(r *Report) { r.Benchmarks[0].Iterations = 0 }, "iterations"},
+		{"NaN builtin", func(r *Report) { r.Benchmarks[0].NsPerOp = math.NaN() }, "not finite"},
+		{"Inf extra", func(r *Report) { r.Benchmarks[0].Extra["util_pct"] = math.Inf(1) }, "not finite"},
+	}
+	for _, tc := range cases {
+		r := sampleReport()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := sampleReport().Validate(); err != nil {
+		t.Fatalf("unmutated sample invalid: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("parsed garbage")
+	}
+	if _, err := Parse([]byte(`{"schema":"other/v1","benchmarks":[]}`)); err == nil {
+		t.Fatal("accepted wrong schema")
+	}
+	// NaN can't appear in JSON literally, but null→0 iterations must trip
+	// validation rather than slipping through as a valid benchmark.
+	bad := `{"schema":"hhcw-bench/v1","benchmarks":[{"name":"X"}]}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatal("accepted benchmark with zero iterations")
+	}
+}
+
+func TestClassifyEdges(t *testing.T) {
+	lower := Rule{Class: LowerIsBetter, Tol: 0.10, Abs: 1}
+	higher := Rule{Class: HigherIsBetter, Tol: 0.10, Abs: 1}
+	exact := Rule{Class: Exact, Tol: 1e-9, Abs: 1e-9}
+	info := Rule{Class: Informational}
+	cases := []struct {
+		name      string
+		rule      Rule
+		base, cur float64
+		want      Verdict
+	}{
+		// LowerIsBetter: slack = base*0.1 + 1 = 11 around base 100.
+		{"lower within", lower, 100, 110, Unchanged},
+		{"lower at edge", lower, 100, 111, Unchanged},
+		{"lower regress", lower, 100, 112, Regression},
+		{"lower improve", lower, 100, 88, Improvement},
+		// Zero baseline: pure relative tolerance would flag any nonzero
+		// current as an infinite regression; Abs gives it room.
+		{"zero base within abs", lower, 0, 0.5, Unchanged},
+		{"zero base beyond abs", lower, 0, 1.5, Regression},
+		{"zero base zero cur", exact, 0, 0, Unchanged},
+		// Negative baseline: slack must stay positive.
+		{"negative base within", lower, -100, -95, Unchanged},
+		{"negative base regress", lower, -100, -80, Regression},
+		// HigherIsBetter mirrors.
+		{"higher regress", higher, 100, 88, Regression},
+		{"higher improve", higher, 100, 112, Improvement},
+		// Exact: both directions regress.
+		{"exact up", exact, 100, 100.001, Regression},
+		{"exact down", exact, 100, 99.999, Regression},
+		{"exact same", exact, 100, 100, Unchanged},
+		// Informational never gates.
+		{"info wild swing", info, 100, 100000, Info},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.rule, tc.base, tc.cur); got != tc.want {
+			t.Errorf("%s: classify(%v, %v) = %s, want %s", tc.name, tc.base, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyLookupPrecedence(t *testing.T) {
+	p := Policy{
+		Rules: map[string]Rule{
+			"allocs_per_op":       {Class: LowerIsBetter, Tol: 0.15},
+			"Alpha/allocs_per_op": {Class: Informational},
+		},
+		Default: Rule{Class: Exact},
+	}
+	if r := p.Rule("Alpha", "allocs_per_op"); r.Class != Informational {
+		t.Fatalf("benchmark-specific override lost: %v", r.Class)
+	}
+	if r := p.Rule("Beta", "allocs_per_op"); r.Class != LowerIsBetter {
+		t.Fatalf("metric-wide rule lost: %v", r.Class)
+	}
+	if r := p.Rule("Beta", "util_pct"); r.Class != Exact {
+		t.Fatalf("default rule lost: %v", r.Class)
+	}
+}
+
+func TestCompareClassification(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Benchmarks[0].AllocsPerOp = 30        // ×10: allocs regression
+	cur.Benchmarks[1].AllocsPerOp = 0         // improvement... but below Abs slack → unchanged
+	cur.Benchmarks[0].NsPerOp = 9999          // informational
+	cur.Benchmarks[0].Extra["util_pct"] = 70  // exact-gated domain drift
+	cur.Benchmarks[0].Extra["new_metric"] = 1 // added
+	c, err := Compare(base, cur, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(bench, metric string) Delta {
+		for _, d := range c.Deltas {
+			if d.Benchmark == bench && d.Metric == metric {
+				return d
+			}
+		}
+		t.Fatalf("no delta for %s/%s", bench, metric)
+		return Delta{}
+	}
+	if d := find("Alpha", MetricAllocsPerOp); d.Verdict != Regression {
+		t.Fatalf("allocs ×10 = %s", d.Verdict)
+	}
+	if d := find("Alpha", MetricNsPerOp); d.Verdict != Info {
+		t.Fatalf("ns/op swing = %s, want info (machine-dependent)", d.Verdict)
+	}
+	if d := find("Alpha", "util_pct"); d.Verdict != Regression {
+		t.Fatalf("domain drift = %s, want exact regression", d.Verdict)
+	}
+	if d := find("Alpha", "new_metric"); d.Verdict != Added {
+		t.Fatalf("new metric = %s", d.Verdict)
+	}
+	if d := find("Beta", MetricAllocsPerOp); d.Verdict != Unchanged {
+		t.Fatalf("0.004→0 allocs = %s, want unchanged (inside Abs slack)", d.Verdict)
+	}
+	if !c.Failed() || c.Regressions != 2 {
+		t.Fatalf("Failed=%v Regressions=%d, want true/2", c.Failed(), c.Regressions)
+	}
+	tbl := c.Table()
+	if !strings.Contains(tbl, "REGRESSION") || !strings.Contains(tbl, "util_pct") {
+		t.Fatalf("table missing regression rows:\n%s", tbl)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// Drop a tracked extra metric and a whole benchmark from the current run.
+	delete(cur.Benchmarks[0].Extra, "util_pct")
+	cur.Benchmarks = cur.Benchmarks[:1]
+	c, err := Compare(base, cur, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metricMissing, benchMissing bool
+	for _, d := range c.Deltas {
+		if d.Benchmark == "Alpha" && d.Metric == "util_pct" && d.Verdict == Missing {
+			metricMissing = true
+		}
+		if d.Benchmark == "Beta" && d.Metric == "" && d.Verdict == Missing {
+			benchMissing = true
+		}
+	}
+	if !metricMissing || !benchMissing {
+		t.Fatalf("missing not flagged (metric=%v bench=%v): %+v", metricMissing, benchMissing, c.Deltas)
+	}
+	if !c.Failed() {
+		t.Fatal("losing tracked metrics must fail the gate")
+	}
+}
+
+func TestCompareIdentityPasses(t *testing.T) {
+	base := sampleReport()
+	c, err := Compare(base, sampleReport(), DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Failed() || c.Improvements != 0 {
+		t.Fatalf("self-compare not clean: %s", c.Summary())
+	}
+	if tbl := c.Table(); tbl != "" {
+		t.Fatalf("self-compare table not empty:\n%s", tbl)
+	}
+}
+
+func TestCompareRefusesShortMismatch(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Short = true
+	if _, err := Compare(base, cur, DefaultPolicy()); err == nil ||
+		!strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("short/full mismatch accepted: %v", err)
+	}
+}
+
+func TestCompareRejectsInvalidInput(t *testing.T) {
+	base := sampleReport()
+	bad := sampleReport()
+	bad.Benchmarks[0].Extra["util_pct"] = math.NaN()
+	if _, err := Compare(base, bad, DefaultPolicy()); err == nil {
+		t.Fatal("NaN current report accepted — tolerance math would silently pass (NaN fails every comparison)")
+	}
+	if _, err := Compare(bad, base, DefaultPolicy()); err == nil {
+		t.Fatal("NaN baseline accepted")
+	}
+}
+
+// TestCollectSmoke runs collect on a tiny injected spec — the real suite is
+// exercised by cmd/benchreport and the CI smoke job, not the unit tests.
+func TestCollectSmoke(t *testing.T) {
+	specs := []Spec{{Name: "Noop", Bench: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(42, "answer")
+	}}}
+	rep, err := collect(specs, true, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "Noop" {
+		t.Fatalf("report: %+v", rep)
+	}
+	if v, ok := rep.Benchmarks[0].Metric("answer"); !ok || v != 42 {
+		t.Fatalf("extra metric lost: %v %v", v, ok)
+	}
+	if !rep.Short {
+		t.Fatal("short flag not stamped")
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	// Suite specs must have unique, non-empty names in both modes.
+	for _, short := range []bool{false, true} {
+		seen := map[string]bool{}
+		for _, s := range Suite(short) {
+			if s.Name == "" || seen[s.Name] || s.Bench == nil {
+				t.Fatalf("bad suite spec %q (short=%v)", s.Name, short)
+			}
+			seen[s.Name] = true
+		}
+	}
+}

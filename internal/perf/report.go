@@ -1,0 +1,193 @@
+// Package perf is the repository's performance-regression harness. It runs
+// the tracked benchmark suite in-process (via testing.Benchmark), collects
+// wall-clock cost (ns/op), allocation cost (allocs/op, B/op), and the
+// domain metrics the benchmarks attach with b.ReportMetric (virtual-time
+// throughput, utilization, makespan cuts), and serializes everything as a
+// schema-versioned `hhcw-bench/v1` JSON report (docs/bench-schema.md).
+// Two reports can be diffed under a per-metric tolerance policy; the diff
+// classifies every tracked metric as unchanged, improved, or regressed, and
+// cmd/benchreport turns a regression into a nonzero exit — the CI gate the
+// paper's own before/after methodology (§3.5, §4.3) needs.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+)
+
+// Schema identifies the benchmark report format. See docs/bench-schema.md.
+const Schema = "hhcw-bench/v1"
+
+// Built-in metric names every benchmark reports. Domain metrics attached
+// via b.ReportMetric appear under their own names next to these.
+const (
+	MetricNsPerOp     = "ns_per_op"
+	MetricAllocsPerOp = "allocs_per_op"
+	MetricBytesPerOp  = "bytes_per_op"
+)
+
+// Report is one run of the tracked suite on one machine.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GoOS      string `json:"goos"`
+	GoArch    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Short marks a reduced-workload run. Short and full reports measure
+	// different workloads, so Compare refuses to mix them.
+	Short bool `json:"short,omitempty"`
+	// Benchmarks are sorted by name; JSON output is deterministic up to the
+	// measured values.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one tracked benchmark's measurements.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp keep full precision (unlike
+	// testing.BenchmarkResult's integer accessors): sub-one averages are
+	// exactly where slab/pool wins live.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Extra carries the domain metrics the benchmark attached with
+	// b.ReportMetric — virtual-time rates, utilization, makespan figures.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Metric returns the named metric's value (built-in or extra) and whether
+// the benchmark carries it.
+func (b *Benchmark) Metric(name string) (float64, bool) {
+	switch name {
+	case MetricNsPerOp:
+		return b.NsPerOp, true
+	case MetricAllocsPerOp:
+		return b.AllocsPerOp, true
+	case MetricBytesPerOp:
+		return b.BytesPerOp, true
+	}
+	v, ok := b.Extra[name]
+	return v, ok
+}
+
+// MetricNames returns the benchmark's metric names: the built-ins followed
+// by the extra keys in sorted order.
+func (b *Benchmark) MetricNames() []string {
+	names := []string{MetricNsPerOp, MetricAllocsPerOp, MetricBytesPerOp}
+	extras := make([]string, 0, len(b.Extra))
+	for k := range b.Extra {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	return append(names, extras...)
+}
+
+// NewReport returns an empty report stamped with the running toolchain and
+// machine context (informational only — comparisons never read it).
+func NewReport(short bool) *Report {
+	return &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Short:     short,
+	}
+}
+
+// Validate checks the report's invariants: correct schema tag, sorted
+// unique benchmark names, positive iteration counts, and every value finite
+// — a NaN or Inf measurement is a harness bug and must never enter a
+// baseline, where it would poison every later comparison.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("perf: schema %q, want %q", r.Schema, Schema)
+	}
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		if b.Name == "" {
+			return fmt.Errorf("perf: benchmark %d has no name", i)
+		}
+		if i > 0 && r.Benchmarks[i-1].Name >= b.Name {
+			return fmt.Errorf("perf: benchmarks not sorted/unique at %q", b.Name)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("perf: benchmark %q ran %d iterations", b.Name, b.Iterations)
+		}
+		for _, m := range b.MetricNames() {
+			v, _ := b.Metric(m)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("perf: benchmark %q metric %q is not finite", b.Name, m)
+			}
+		}
+	}
+	return nil
+}
+
+// Benchmark returns the named benchmark, or nil.
+func (r *Report) Benchmark(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// JSON validates and renders the report. Benchmarks are kept sorted by
+// name, so the bytes are deterministic given the measured values.
+func (r *Report) JSON() ([]byte, error) {
+	sort.Slice(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("perf: marshal report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse decodes and validates a report. It rejects wrong schemas, unsorted
+// or duplicate benchmarks, and non-finite values.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Table renders the measurements as a fixed-width table, one benchmark per
+// row, with the domain metrics appended as name=value pairs.
+func (r *Report) Table() string {
+	out := fmt.Sprintf("%-22s %12s %12s %10s %10s  %s\n",
+		"benchmark", "iterations", "ns/op", "allocs/op", "B/op", "domain metrics")
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		extras := ""
+		keys := make([]string, 0, len(b.Extra))
+		for k := range b.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if extras != "" {
+				extras += " "
+			}
+			extras += fmt.Sprintf("%s=%.4g", k, b.Extra[k])
+		}
+		out += fmt.Sprintf("%-22s %12d %12.1f %10.3f %10.1f  %s\n",
+			b.Name, b.Iterations, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, extras)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/core"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/entk"
+	"hhcw/internal/exaam"
+	"hhcw/internal/metrics"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+	"hhcw/internal/sweep"
+)
+
+// Spec is one tracked benchmark: a name and a standard Go benchmark body.
+// Bodies must call b.ReportAllocs() so allocation metrics land in the
+// report, and attach domain metrics via b.ReportMetric.
+type Spec struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Suite returns the tracked benchmarks: the event-core microbenchmarks the
+// optimization trajectory gates on, the aggregation primitive the reducers
+// lean on, and representative sweep / EnTK / CWSI workloads whose domain
+// metrics are deterministic virtual-time outputs (so they gate exactly).
+// short trims iteration-independent workload sizes — the resulting report
+// is only comparable to other short reports.
+func Suite(short bool) []Spec {
+	depth, seeds, cwsSeeds := 16384, 60, 2
+	if short {
+		depth, seeds, cwsSeeds = 4096, 10, 1
+	}
+	return []Spec{
+		{Name: "EngineThroughput", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			e := sim.NewEngine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.At(e.Now()+1, func() {})
+				e.Step()
+			}
+		}},
+		{Name: "EngineDeepQueue", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			e := sim.NewEngine()
+			for i := 0; i < depth; i++ {
+				e.At(sim.Time(1e9+float64(i)), func() {})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.At(sim.Time(float64(i)+1), func() {})
+				e.Step()
+			}
+		}},
+		{Name: "EngineCancel", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			e := sim.NewEngine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := e.At(sim.Time(i)+1, func() {})
+				ev.Cancel()
+				e.Step()
+			}
+		}},
+		{Name: "MetricsSummarize", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			r := randx.New(11)
+			vals := make([]float64, 1000)
+			for i := range vals {
+				vals[i] = r.Float64() * 1e4
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				metrics.Summarize(vals)
+			}
+		}},
+		{Name: "SweepMontage", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+			cfg := sweep.Config{
+				Workflows: []sweep.WorkflowSpec{{
+					Name: "montage-8",
+					Gen:  func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, 8, opts) },
+				}},
+				Envs: []sweep.EnvSpec{
+					{Name: "k8s", New: func() core.Environment {
+						return &core.KubernetesEnv{Nodes: 4, CoresPerNode: 8}
+					}},
+					{Name: "k8s-cws", New: func() core.Environment {
+						return &core.KubernetesEnv{Nodes: 4, CoresPerNode: 8, Strategy: cwsi.Rank{}}
+					}},
+				},
+				Seeds:    sweep.Seeds(1, seeds),
+				Baseline: "k8s",
+			}
+			var rep *sweep.Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = sweep.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cws := &rep.Cells[1]
+			b.ReportMetric(float64(seeds*2*b.N)/b.Elapsed().Seconds(), "sims_per_s")
+			b.ReportMetric(cws.Makespan.Median, "median_makespan_s")
+			b.ReportMetric(cws.UtilMean*100, "util_mean_pct")
+			b.ReportMetric(cws.CutMeanPct, "cut_mean_pct")
+		}},
+		{Name: "EnTKStage3", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			var rep *entk.Report
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				cl := cluster.Frontier(eng, 128)
+				bm := rm.NewBatchManager(cl, rm.FrontierPolicy)
+				cfg := exaam.Config{GridDim: 2, GridLevel: 1, MeltPoolCases: 4, MicroParams: 2,
+					LoadingDirections: 2, Temperatures: 1, RVEs: 1, Seed: 3}
+				am := entk.NewAppManager(cl, bm, entk.FrontierResource(128, 12*3600))
+				am.Policy = rm.FrontierPolicy
+				var err error
+				rep, err = am.Run(exaam.Stage3Pipeline(cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.TasksExecuted), "tasks_executed")
+			b.ReportMetric(rep.Utilization*100, "util_pct")
+			b.ReportMetric(rep.MeasuredSchedRate, "sched_tasks_per_s")
+			b.ReportMetric(rep.MeasuredLaunchRate, "launch_tasks_per_s")
+		}},
+		{Name: "CWSMakespanCut", Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+			var meanCut float64
+			for i := 0; i < b.N; i++ {
+				sum, n := 0.0, 0
+				for seed := int64(0); seed < int64(cwsSeeds); seed++ {
+					seed := seed
+					buildCl := func() *cluster.Cluster {
+						return cluster.New(sim.NewEngine(), "flat", cluster.Spec{
+							Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 64e9},
+							Count: 2,
+						})
+					}
+					buildWf := func() *dag.Workflow { return dag.MontageLike(randx.New(seed*977+1), 16, opts) }
+					res, err := cwsi.CompareStrategies(buildCl, buildWf, cwsi.Rank{}, cwsi.FileSize{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					fifo := float64(res["fifo"])
+					best := fifo
+					for _, k := range []string{"rank", "filesize-desc"} {
+						if v := float64(res[k]); v < best {
+							best = v
+						}
+					}
+					sum += 1 - best/fifo
+					n++
+				}
+				meanCut = sum / float64(n) * 100
+			}
+			b.ReportMetric(meanCut, "mean_cut_pct")
+		}},
+	}
+}
+
+// Collect runs the given benchmarks in-process via testing.Benchmark and
+// assembles a report. logf (optional) narrates progress.
+func collect(specs []Spec, short bool, logf func(string, ...any)) (*Report, error) {
+	rep := NewReport(short)
+	for _, s := range specs {
+		if logf != nil {
+			logf("bench %s ...", s.Name)
+		}
+		r := testing.Benchmark(s.Bench)
+		if r.N <= 0 {
+			return nil, fmt.Errorf("perf: benchmark %s did not run", s.Name)
+		}
+		bench := Benchmark{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+			BytesPerOp:  float64(r.MemBytes) / float64(r.N),
+		}
+		if len(r.Extra) > 0 {
+			bench.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				bench.Extra[k] = v
+			}
+		}
+		if logf != nil {
+			logf("bench %s: %d iterations, %.1f ns/op, %.3f allocs/op",
+				s.Name, bench.Iterations, bench.NsPerOp, bench.AllocsPerOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bench)
+	}
+	if _, err := rep.JSON(); err != nil { // sorts and validates
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Collect runs the full tracked suite (reduced workloads when short) and
+// returns the populated, validated report.
+func Collect(short bool, logf func(string, ...any)) (*Report, error) {
+	return collect(Suite(short), short, logf)
+}

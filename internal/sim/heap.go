@@ -1,0 +1,88 @@
+package sim
+
+// entry is one queued event with its ordering key inlined. Keeping (at, seq)
+// next to the pointer means every heap comparison reads memory that is
+// already in the cache line being swapped, instead of chasing *Event.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+func (e entry) less(o entry) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
+
+// heap4 is a 4-ary min-heap of entries ordered by (at, seq). Compared to the
+// previous container/heap queue it is monomorphic (no `any` boxing, no
+// interface dispatch per comparison) and index-free: Cancel never removes an
+// event from the queue — cancelled events are discarded at pop — so there is
+// no heap-position bookkeeping at all. The wider fan-out roughly halves tree
+// depth, trading a few extra comparisons per level (cheap, cache-resident)
+// for fewer cache-missing levels on deep queues.
+type heap4 struct {
+	a []entry
+}
+
+func (h *heap4) len() int { return len(h.a) }
+
+// min returns the smallest entry without removing it. Callers must check
+// len() > 0 first.
+func (h *heap4) min() entry { return h.a[0] }
+
+func (h *heap4) push(x entry) {
+	a := append(h.a, x)
+	h.a = a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !a[i].less(a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *heap4) pop() entry {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	x := a[n]
+	a[n] = entry{} // drop the *Event reference so the slab can be collected
+	h.a = a[:n]
+	if n > 0 {
+		h.siftDown(x)
+	}
+	return top
+}
+
+// siftDown re-inserts x starting from the root, moving the smallest child up
+// into the hole instead of swapping — one store per level rather than three.
+func (h *heap4) siftDown(x entry) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if a[j].less(a[m]) {
+				m = j
+			}
+		}
+		if !a[m].less(x) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = x
+}

@@ -1,0 +1,398 @@
+package sim
+
+// Cross-check tests for the typed 4-ary event queue. A reference engine
+// built on container/heap (the pre-optimization implementation, kept here
+// verbatim in miniature) runs the same randomized schedules as the real
+// Engine; the observable firing sequences must match event for event. These
+// tests are the license to optimize the hot path: any ordering bug the
+// rework could introduce — tie-break, cancellation, batching, deadline —
+// shows up as a divergence from the reference.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue / refEngine mirror the original container/heap-based
+// kernel: an `any`-boxed binary heap ordered by (at, seq).
+type refEvent struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue refQueue
+	fired uint64
+}
+
+func (e *refEngine) at(t Time, fn func()) *refEvent {
+	e.seq++
+	ev := &refEvent{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *refEngine) runUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if deadline != Never && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// firing is one observed event execution.
+type firing struct {
+	at Time
+	id int
+}
+
+// TestHeapCrossCheckFIFO runs hundreds of random schedules with dense
+// timestamp collisions on both engines and requires identical firing
+// sequences — the FIFO tie-break property checked against the reference
+// implementation rather than against itself.
+func TestHeapCrossCheckFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 400; iter++ {
+		e := NewEngine()
+		ref := &refEngine{}
+		n := 1 + rng.Intn(60)
+		distinct := 1 + rng.Intn(6)
+		var got, want []firing
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(distinct))
+			e.At(at, func() { got = append(got, firing{at, i}) })
+			ref.at(at, func() { want = append(want, firing{at, i}) })
+		}
+		e.Run()
+		ref.runUntil(Never)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: fired %d events, reference fired %d", iter, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iter %d: firing %d = %+v, reference %+v", iter, j, got[j], want[j])
+			}
+		}
+		if e.Now() != ref.now || e.Fired() != ref.fired {
+			t.Fatalf("iter %d: clock/fired = %v/%d, reference %v/%d",
+				iter, e.Now(), e.Fired(), ref.now, ref.fired)
+		}
+	}
+}
+
+// TestHeapCrossCheckCancel randomly cancels a subset of events — some before
+// any run, some from inside handlers — and requires both engines to fire the
+// identical surviving sequence.
+func TestHeapCrossCheckCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 400; iter++ {
+		e := NewEngine()
+		ref := &refEngine{}
+		n := 2 + rng.Intn(50)
+		distinct := 1 + rng.Intn(6)
+		var got, want []firing
+		evs := make([]*Event, n)
+		refs := make([]*refEvent, n)
+		// cancelFrom[i] >= 0 means handler i cancels that event when it fires.
+		cancelFrom := make([]int, n)
+		for i := range cancelFrom {
+			cancelFrom[i] = -1
+			if rng.Intn(3) == 0 {
+				cancelFrom[i] = rng.Intn(n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(distinct))
+			evs[i] = e.At(at, func() {
+				got = append(got, firing{at, i})
+				if c := cancelFrom[i]; c >= 0 {
+					evs[c].Cancel()
+				}
+			})
+			refs[i] = ref.at(at, func() {
+				want = append(want, firing{at, i})
+				if c := cancelFrom[i]; c >= 0 {
+					refs[c].cancel = true
+				}
+			})
+		}
+		// Up-front cancellations too.
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				evs[i].Cancel()
+				refs[i].cancel = true
+			}
+		}
+		e.Run()
+		ref.runUntil(Never)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: fired %d events, reference fired %d", iter, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iter %d: firing %d = %+v, reference %+v", iter, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestHeapCrossCheckInterleaved drives both engines through random
+// interleavings of scheduling-from-handlers and RunUntil segments with
+// random deadlines — the access pattern of the real substrates.
+func TestHeapCrossCheckInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		e := NewEngine()
+		ref := &refEngine{}
+		var got, want []firing
+		id := 0
+		var spawnGot func(depth, myID int) func()
+		var spawnWant func(depth, myID int) func()
+		// Both engines replay the same decision tape.
+		type decision struct {
+			n      int
+			delays []Time
+		}
+		tape := map[int]decision{}
+		decide := func(myID int) decision {
+			d, ok := tape[myID]
+			if !ok {
+				d.n = rng.Intn(3)
+				for k := 0; k < d.n; k++ {
+					d.delays = append(d.delays, Time(rng.Intn(7)))
+				}
+				tape[myID] = d
+			}
+			return d
+		}
+		nextID := func() int { id++; return id }
+		spawnGot = func(depth, myID int) func() {
+			return func() {
+				got = append(got, firing{e.Now(), myID})
+				if depth <= 0 {
+					return
+				}
+				d := decide(myID)
+				for k := 0; k < d.n; k++ {
+					e.After(d.delays[k], spawnGot(depth-1, myID*100+k+1))
+				}
+			}
+		}
+		spawnWant = func(depth, myID int) func() {
+			return func() {
+				want = append(want, firing{ref.now, myID})
+				if depth <= 0 {
+					return
+				}
+				d := decide(myID)
+				for k := 0; k < d.n; k++ {
+					at := ref.now + d.delays[k]
+					ref.at(at, spawnWant(depth-1, myID*100+k+1))
+				}
+			}
+		}
+		nRoots := 1 + rng.Intn(5)
+		for i := 0; i < nRoots; i++ {
+			at := Time(rng.Intn(5))
+			rootID := nextID() * 1000000
+			e.At(at, spawnGot(3, rootID))
+			ref.at(at, spawnWant(3, rootID))
+		}
+		// Run in randomly sized deadline segments, then drain.
+		deadline := Time(0)
+		for seg := 0; seg < 4; seg++ {
+			deadline += Time(rng.Intn(10))
+			e.RunUntil(deadline)
+			ref.runUntil(deadline)
+			if e.Now() != ref.now {
+				t.Fatalf("iter %d seg %d: clock %v vs reference %v", iter, seg, e.Now(), ref.now)
+			}
+			if e.Pending() != len(ref.queue) {
+				t.Fatalf("iter %d seg %d: pending %d vs reference %d", iter, seg, e.Pending(), len(ref.queue))
+			}
+		}
+		e.Run()
+		ref.runUntil(Never)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: fired %d events, reference fired %d", iter, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iter %d: firing %d = %+v, reference %+v", iter, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestBatchHaltMidCohort halts the engine in the middle of a same-timestamp
+// cohort; the remainder must stay pending, survive a RunUntil with an
+// earlier deadline untouched, and then drain in FIFO order via both Step and
+// Run.
+func TestBatchHaltMidCohort(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.At(5, func() {
+			fired = append(fired, i)
+			if i == 1 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if len(fired) != 2 || e.Pending() != 4 {
+		t.Fatalf("after halt: fired=%v pending=%d", fired, e.Pending())
+	}
+	// An earlier deadline must not fire the t=5 remainder.
+	e.RunUntil(3)
+	if len(fired) != 2 {
+		t.Fatalf("earlier deadline fired batch remainder: %v", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+	// Step drains the remainder one at a time, in order.
+	if !e.Step() || len(fired) != 3 || fired[2] != 2 {
+		t.Fatalf("Step on remainder: fired=%v", fired)
+	}
+	e.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(fired) != 6 {
+		t.Fatalf("drain: fired=%v", fired)
+	}
+	for i, v := range want {
+		if fired[i] != v {
+			t.Fatalf("order after halt/resume: %v", fired)
+		}
+	}
+}
+
+// TestBatchCancelWithinCohort: an early cohort member cancelling a later one
+// must suppress it even though both were popped in the same batch.
+func TestBatchCancelWithinCohort(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var evs [4]*Event
+	for i := 0; i < 4; i++ {
+		i := i
+		evs[i] = e.At(1, func() {
+			fired = append(fired, i)
+			if i == 0 {
+				evs[2].Cancel()
+			}
+		})
+	}
+	e.Run()
+	if len(fired) != 3 || fired[0] != 0 || fired[1] != 1 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [0 1 3]", fired)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+// TestBatchSameTimeScheduling: events scheduled at the current timestamp
+// from inside a cohort fire after the whole cohort, in scheduling order.
+func TestBatchSameTimeScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.At(2, func() {
+			fired = append(fired, i)
+			e.At(e.Now(), func() { fired = append(fired, 10+i) })
+		})
+	}
+	e.Run()
+	want := []int{0, 1, 2, 10, 11, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestEventAllocsAmortized locks in the slab-pooling win: scheduling and
+// firing an event must cost well under one allocation on average (one slab
+// allocation per eventSlabSize events, plus rare queue growth), where the
+// pre-rework queue paid one heap-allocated Event per At.
+func TestEventAllocsAmortized(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the queue slice so steady-state growth doesn't pollute the count.
+	for i := 0; i < 1024; i++ {
+		e.At(e.Now()+1, fn)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(4096, func() {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	})
+	if avg > 0.25 {
+		t.Fatalf("allocs per schedule+fire = %.3f, want amortized < 0.25", avg)
+	}
+}
+
+// TestEventSlabNoAliasing: a handle to a long-fired event must stay inert —
+// cancelling it cannot affect any event scheduled later, even after the
+// engine has cycled through many slabs.
+func TestEventSlabNoAliasing(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run()
+	fired := 0
+	for i := 0; i < eventSlabSize*3; i++ {
+		e.At(e.Now()+1, func() { fired++ })
+		stale.Cancel() // must never hit a recycled slot
+		if !e.Step() {
+			t.Fatal("live event did not fire")
+		}
+	}
+	if fired != eventSlabSize*3 {
+		t.Fatalf("fired %d of %d despite stale Cancel", fired, eventSlabSize*3)
+	}
+}

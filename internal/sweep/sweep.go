@@ -114,6 +114,15 @@ type job struct {
 	wi, ei, si int
 }
 
+// jobAt maps a flat index to its (workflow, env, seed) coordinates. Job
+// order is the reduction order: workflow-major, then env, then seed —
+// computed on demand instead of materializing a jobs slice.
+func jobAt(cfg *Config, idx int) job {
+	nSeeds := len(cfg.Seeds)
+	perWf := len(cfg.Envs) * nSeeds
+	return job{wi: idx / perWf, ei: idx % perWf / nSeeds, si: idx % nSeeds}
+}
+
 // Run executes the ensemble and reduces it. Any simulation error aborts the
 // sweep; when several workers fail, the error of the lowest job index is
 // returned so failures are as deterministic as successes.
@@ -136,17 +145,7 @@ func Run(cfg Config) (*Report, error) {
 		workers = runtime.NumCPU()
 	}
 
-	// Job order is the reduction order: workflow-major, then env, then seed.
 	total := len(cfg.Workflows) * len(cfg.Envs) * len(cfg.Seeds)
-	jobs := make([]job, 0, total)
-	for wi := range cfg.Workflows {
-		for ei := range cfg.Envs {
-			for si := range cfg.Seeds {
-				jobs = append(jobs, job{wi, ei, si})
-			}
-		}
-	}
-
 	results := make([]RunResult, total) // each index written by exactly one worker
 	errs := make([]error, total)
 	var (
@@ -154,14 +153,20 @@ func Run(cfg Config) (*Report, error) {
 		mu   sync.Mutex
 		done int
 	)
-	ch := make(chan int)
+	// The full index range is buffered up front so workers never block on
+	// the producer: job dispatch costs one channel receive, not a rendezvous
+	// per job.
+	ch := make(chan int, total)
+	for idx := 0; idx < total; idx++ {
+		ch <- idx
+	}
+	close(ch)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range ch {
-				j := jobs[idx]
-				results[idx], errs[idx] = runOne(cfg, j)
+				results[idx], errs[idx] = runOne(cfg, jobAt(&cfg, idx))
 				if cfg.Progress != nil {
 					mu.Lock()
 					done++
@@ -171,15 +176,11 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}()
 	}
-	for idx := range jobs {
-		ch <- idx
-	}
-	close(ch)
 	wg.Wait()
 
 	for idx, err := range errs {
 		if err != nil {
-			j := jobs[idx]
+			j := jobAt(&cfg, idx)
 			return nil, fmt.Errorf("sweep: %s on %s seed %d: %w",
 				cfg.Workflows[j.wi].Name, cfg.Envs[j.ei].Name, cfg.Seeds[j.si], err)
 		}
@@ -222,7 +223,11 @@ func runOne(cfg Config, j job) (rr RunResult, err error) {
 	return RunResult{Workflow: spec.Name, Env: cfg.Envs[j.ei].Name, Seed: seed, Result: r}, nil
 }
 
-// reduce folds results in job order into per-(workflow, env) cells.
+// reduce folds results in job order into per-(workflow, env) cells. Per-cell
+// order statistics are computed through one reused scratch slice (filled in
+// run order, summarized in place), so reduction allocates the Cells slice
+// and two scratch buffers regardless of how many cells × metrics it folds —
+// the previous version paid five fresh slices per cell.
 func reduce(cfg Config, results []RunResult) *Report {
 	rep := &Report{Runs: results}
 	nSeeds := len(cfg.Seeds)
@@ -236,45 +241,48 @@ func reduce(cfg Config, results []RunResult) *Report {
 			baseIdx = ei
 		}
 	}
+	rep.Cells = make([]Cell, 0, len(cfg.Workflows)*len(cfg.Envs))
+	scratch := make([]float64, nSeeds)
+	baseMakespans := make([]float64, nSeeds)
 	for wi := range cfg.Workflows {
-		var baseMakespans []float64
 		if baseIdx >= 0 {
-			for _, r := range group(wi, baseIdx) {
-				baseMakespans = append(baseMakespans, r.Result.MakespanSec)
+			for i, r := range group(wi, baseIdx) {
+				baseMakespans[i] = r.Result.MakespanSec
 			}
 		}
 		for ei := range cfg.Envs {
 			runs := group(wi, ei)
-			makespans := make([]float64, nSeeds)
-			failed := make([]float64, nSeeds)
-			retries := make([]float64, nSeeds)
-			terminal := make([]float64, nSeeds)
-			backoff := make([]float64, nSeeds)
+			summarize := func(get func(*core.Result) float64) metrics.Summary {
+				for i := range runs {
+					scratch[i] = get(&runs[i].Result)
+				}
+				return metrics.SummarizeInPlace(scratch)
+			}
 			var util metrics.Agg
-			for i, r := range runs {
-				makespans[i] = r.Result.MakespanSec
-				failed[i] = float64(r.Result.FailedAttempts)
-				retries[i] = float64(r.Result.Retries)
-				terminal[i] = float64(r.Result.TerminalFailures)
-				backoff[i] = r.Result.BackoffSec
-				util.Observe(r.Result.UtilizationCore)
+			for i := range runs {
+				util.Observe(runs[i].Result.UtilizationCore)
 			}
 			c := Cell{
-				Workflow:         cfg.Workflows[wi].Name,
-				Env:              cfg.Envs[ei].Name,
-				Makespan:         metrics.Summarize(makespans),
-				UtilMean:         util.Mean(),
-				FailedAttempts:   metrics.Summarize(failed),
-				Retries:          metrics.Summarize(retries),
-				TerminalFailures: metrics.Summarize(terminal),
-				BackoffSec:       metrics.Summarize(backoff),
+				Workflow: cfg.Workflows[wi].Name,
+				Env:      cfg.Envs[ei].Name,
+				Makespan: summarize(func(r *core.Result) float64 { return r.MakespanSec }),
+				UtilMean: util.Mean(),
+				FailedAttempts: summarize(func(r *core.Result) float64 {
+					return float64(r.FailedAttempts)
+				}),
+				Retries: summarize(func(r *core.Result) float64 { return float64(r.Retries) }),
+				TerminalFailures: summarize(func(r *core.Result) float64 {
+					return float64(r.TerminalFailures)
+				}),
+				BackoffSec: summarize(func(r *core.Result) float64 { return r.BackoffSec }),
 			}
 			if baseIdx >= 0 && ei != baseIdx {
 				var speedup, cut metrics.Agg
-				for i := range makespans {
-					if makespans[i] > 0 && baseMakespans[i] > 0 {
-						speedup.Observe(baseMakespans[i] / makespans[i])
-						cut.Observe((1 - makespans[i]/baseMakespans[i]) * 100)
+				for i := range runs {
+					m := runs[i].Result.MakespanSec
+					if m > 0 && baseMakespans[i] > 0 {
+						speedup.Observe(baseMakespans[i] / m)
+						cut.Observe((1 - m/baseMakespans[i]) * 100)
 					}
 				}
 				c.SpeedupMean = speedup.Mean()
