@@ -17,6 +17,9 @@
 // -baseline F compares the fresh run against F; a regression exits 1.
 // -diff       compares two existing reports instead of benchmarking.
 // -short      runs reduced workloads (comparable only to other -short reports).
+// -domains-only gates only the Exact-class domain metrics (allocs/op and
+//
+//	B/op become informational) — the CI smoke profile for shared runners.
 //
 // The tolerance policy gates allocs/op and B/op (machine-independent) and
 // every domain metric (deterministic virtual-time output, exact match);
@@ -42,8 +45,14 @@ func main() {
 	baseline := app.String("baseline", "", "baseline report to gate against; any regression exits 1")
 	diff := app.Bool("diff", false, "compare two existing report files (positional args) instead of benchmarking")
 	noOut := app.Bool("no-out", false, "do not write a report file")
+	domainsOnly := app.Bool("domains-only", false, "gate only Exact-class domain metrics (allocs/op and B/op informational)")
 	app.NoFaults()
 	app.Parse()
+
+	pol := perf.DefaultPolicy()
+	if *domainsOnly {
+		pol = perf.DomainOnlyPolicy()
+	}
 
 	rep := app.NewReport()
 
@@ -54,7 +63,7 @@ func main() {
 		}
 		old := load(app, args[0])
 		cur := load(app, args[1])
-		cmp, err := perf.Compare(old, cur, perf.DefaultPolicy())
+		cmp, err := perf.Compare(old, cur, pol)
 		app.Check(err)
 		emitComparison(app, rep, args[0], args[1], cmp)
 		return
@@ -94,7 +103,7 @@ func main() {
 		app.Emit(rep)
 		return
 	}
-	cmp, err := perf.Compare(base, run, perf.DefaultPolicy())
+	cmp, err := perf.Compare(base, run, pol)
 	app.Check(err)
 	emitComparison(app, rep, *baseline, "this run", cmp)
 }

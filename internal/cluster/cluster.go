@@ -43,6 +43,10 @@ type Node struct {
 	// they were granted in so releases from before a crash cannot credit
 	// capacity the repair already reset.
 	epoch int
+	// name memoizes Name(): the scheduler hot path records placements by
+	// node name, and re-rendering it per record was a measurable share of
+	// steady-state allocations.
+	name string
 }
 
 // FreeCores returns currently unallocated cores.
@@ -58,7 +62,12 @@ func (n *Node) FreeMem() float64 { return n.freeMem }
 func (n *Node) Down() bool { return n.down }
 
 // Name returns a stable human-readable node name.
-func (n *Node) Name() string { return fmt.Sprintf("%s-%04d", n.Type.Name, n.ID) }
+func (n *Node) Name() string {
+	if n.name == "" {
+		n.name = fmt.Sprintf("%s-%04d", n.Type.Name, n.ID)
+	}
+	return n.name
+}
 
 // Alloc is a resource reservation on a single node.
 type Alloc struct {
@@ -81,6 +90,7 @@ type Cluster struct {
 	Name  string
 	nodes []*Node
 	types []*NodeType
+	idx   *capIndex
 
 	eng *sim.Engine
 
@@ -119,20 +129,24 @@ func New(eng *sim.Engine, name string, specs ...Spec) *Cluster {
 		}
 		tcopy := nt
 		c.types = append(c.types, &tcopy)
+		// One slab per spec instead of one heap object per node: large
+		// clusters (the paper's 8,000-node Frontier runs) are rebuilt per
+		// simulation, and per-node allocation dominated construction.
+		slab := make([]Node, s.Count)
 		for i := 0; i < s.Count; i++ {
-			n := &Node{
-				ID:        id,
-				Type:      &tcopy,
-				freeCores: tcopy.Cores,
-				freeGPUs:  tcopy.GPUs,
-				freeMem:   tcopy.MemBytes,
-			}
+			n := &slab[i]
+			n.ID = id
+			n.Type = &tcopy
+			n.freeCores = tcopy.Cores
+			n.freeGPUs = tcopy.GPUs
+			n.freeMem = tcopy.MemBytes
 			id++
 			c.nodes = append(c.nodes, n)
 			c.totalCores += tcopy.Cores
 			c.totalGPUs += tcopy.GPUs
 		}
 	}
+	c.idx = newCapIndex(c.nodes)
 	return c
 }
 
@@ -194,9 +208,71 @@ func (c *Cluster) Allocate(n *Node, cores, gpus int, mem float64) (*Alloc, error
 	n.freeCores -= cores
 	n.freeGPUs -= gpus
 	n.freeMem -= mem
+	c.idx.update(n)
 	c.usedCores.AddDelta(c.eng.Now(), float64(cores))
 	c.usedGPUs.AddDelta(c.eng.Now(), float64(gpus))
 	return &Alloc{Node: n, Cores: cores, GPUs: gpus, Mem: mem, epoch: n.epoch}, nil
+}
+
+// AllocateInto is Allocate backed by a caller-provided record: dst is
+// overwritten with the new reservation on success and untouched on error.
+// It lets a manager that grants and releases one reservation per task
+// recycle records instead of heap-allocating each. The caller must own dst
+// exclusively and must not reuse it until the previous reservation written
+// through it has been released.
+func (c *Cluster) AllocateInto(dst *Alloc, n *Node, cores, gpus int, mem float64) error {
+	if n.down {
+		return fmt.Errorf("cluster: node %s is down", n.Name())
+	}
+	if cores < 0 || gpus < 0 || mem < 0 {
+		return fmt.Errorf("cluster: negative resource request (%d cores, %d gpus, %.0f mem)", cores, gpus, mem)
+	}
+	if cores > n.freeCores || gpus > n.freeGPUs || mem > n.freeMem {
+		return fmt.Errorf("cluster: node %s cannot fit %d cores/%d gpus/%.0fB (free %d/%d/%.0fB)",
+			n.Name(), cores, gpus, mem, n.freeCores, n.freeGPUs, n.freeMem)
+	}
+	n.freeCores -= cores
+	n.freeGPUs -= gpus
+	n.freeMem -= mem
+	c.idx.update(n)
+	c.usedCores.AddDelta(c.eng.Now(), float64(cores))
+	c.usedGPUs.AddDelta(c.eng.Now(), float64(gpus))
+	*dst = Alloc{Node: n, Cores: cores, GPUs: gpus, Mem: mem, epoch: n.epoch}
+	return nil
+}
+
+// AllocateAll reserves every listed node in full (the whole-node grants a
+// batch manager hands out), backing all reservations with one slab instead
+// of one heap object per node. On any failure it rolls the granted prefix
+// back and returns the error, leaving the cluster unchanged.
+func (c *Cluster) AllocateAll(nodes []*Node) ([]*Alloc, error) {
+	slab := make([]Alloc, len(nodes))
+	out := make([]*Alloc, len(nodes))
+	now := c.eng.Now()
+	for i, n := range nodes {
+		if n.down {
+			for _, a := range out[:i] {
+				c.Release(a)
+			}
+			return nil, fmt.Errorf("cluster: node %s is down", n.Name())
+		}
+		if n.freeCores < n.Type.Cores || n.freeGPUs < n.Type.GPUs || n.freeMem < n.Type.MemBytes {
+			for _, a := range out[:i] {
+				c.Release(a)
+			}
+			return nil, fmt.Errorf("cluster: node %s is not wholly free (%d/%d/%.0fB free)",
+				n.Name(), n.freeCores, n.freeGPUs, n.freeMem)
+		}
+		n.freeCores -= n.Type.Cores
+		n.freeGPUs -= n.Type.GPUs
+		n.freeMem -= n.Type.MemBytes
+		c.idx.update(n)
+		c.usedCores.AddDelta(now, float64(n.Type.Cores))
+		c.usedGPUs.AddDelta(now, float64(n.Type.GPUs))
+		slab[i] = Alloc{Node: n, Cores: n.Type.Cores, GPUs: n.Type.GPUs, Mem: n.Type.MemBytes, epoch: n.epoch}
+		out[i] = &slab[i]
+	}
+	return out, nil
 }
 
 // Release returns an allocation's resources. Releasing twice is a no-op, so
@@ -217,6 +293,7 @@ func (c *Cluster) Release(a *Alloc) {
 	a.Node.freeCores += a.Cores
 	a.Node.freeGPUs += a.GPUs
 	a.Node.freeMem += a.Mem
+	c.idx.update(a.Node)
 }
 
 // OnNodeDown registers a callback invoked when any node fails.
@@ -235,6 +312,7 @@ func (c *Cluster) FailNode(n *Node) {
 	}
 	n.down = true
 	n.epoch++
+	c.idx.update(n)
 	c.downNodes.AddDelta(c.eng.Now(), 1)
 	for _, fn := range c.onNodeDown {
 		fn(n)
@@ -253,6 +331,7 @@ func (c *Cluster) RepairNode(n *Node) {
 	n.freeCores = n.Type.Cores
 	n.freeGPUs = n.Type.GPUs
 	n.freeMem = n.Type.MemBytes
+	c.idx.update(n)
 	c.downNodes.AddDelta(c.eng.Now(), -1)
 	for _, fn := range c.onNodeUp {
 		fn(n)

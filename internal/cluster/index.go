@@ -1,0 +1,208 @@
+package cluster
+
+// Incrementally maintained free-capacity index. Scheduling a dense pending
+// queue previously rescanned every node per submission — O(pending × nodes)
+// per dispatch round. The index is a binary segment tree over the node array
+// (leaves in node-ID order); each internal segment stores the per-dimension
+// maxima (free cores, free GPUs, free memory) of its subtree, with down
+// nodes contributing zero capacity, plus a "whole node idle" flag for the
+// batch manager's node-granular backfill.
+//
+// Queries descend only into segments whose maxima can satisfy the request,
+// so they visit feasible nodes in exactly the order the old full scan did —
+// ascending node ID — which is what keeps first-fit, round-robin, and every
+// other deterministic tie-break byte-identical to the rescan kernel. Updates
+// are O(log n) and hang off the only four mutation points (Allocate,
+// Release, FailNode, RepairNode), so the tree can never drift from the
+// per-node free counters it summarizes.
+type capIndex struct {
+	nodes []*Node // leaves, in ID order
+	base  int     // first leaf position (power of two ≥ len(nodes))
+
+	// Per-segment maxima over the subtree, indexed like a binary heap:
+	// segment i has children 2i and 2i+1; leaves start at base.
+	maxCores []int
+	maxGPUs  []int
+	maxMem   []float64
+	// anyIdle is 1 when some subtree leaf is an up node with every core
+	// free — the batch manager's definition of a free node.
+	anyIdle []uint8
+}
+
+func newCapIndex(nodes []*Node) *capIndex {
+	base := 1
+	for base < len(nodes) {
+		base *= 2
+	}
+	ix := &capIndex{
+		nodes:    nodes,
+		base:     base,
+		maxCores: make([]int, 2*base),
+		maxGPUs:  make([]int, 2*base),
+		maxMem:   make([]float64, 2*base),
+		anyIdle:  make([]uint8, 2*base),
+	}
+	for i, n := range nodes {
+		ix.writeLeaf(i, n)
+	}
+	for i := base - 1; i >= 1; i-- {
+		ix.pull(i)
+	}
+	return ix
+}
+
+func (ix *capIndex) writeLeaf(i int, n *Node) {
+	p := ix.base + i
+	if n.down {
+		ix.maxCores[p], ix.maxGPUs[p], ix.maxMem[p], ix.anyIdle[p] = 0, 0, 0, 0
+		return
+	}
+	ix.maxCores[p] = n.freeCores
+	ix.maxGPUs[p] = n.freeGPUs
+	ix.maxMem[p] = n.freeMem
+	// Mirrors the batch manager's historical predicate exactly: a node is
+	// "idle" when all cores are free, regardless of GPU/memory state.
+	if n.freeCores == n.Type.Cores {
+		ix.anyIdle[p] = 1
+	} else {
+		ix.anyIdle[p] = 0
+	}
+}
+
+func (ix *capIndex) pull(i int) {
+	l, r := 2*i, 2*i+1
+	c := ix.maxCores[l]
+	if ix.maxCores[r] > c {
+		c = ix.maxCores[r]
+	}
+	ix.maxCores[i] = c
+	g := ix.maxGPUs[l]
+	if ix.maxGPUs[r] > g {
+		g = ix.maxGPUs[r]
+	}
+	ix.maxGPUs[i] = g
+	m := ix.maxMem[l]
+	if ix.maxMem[r] > m {
+		m = ix.maxMem[r]
+	}
+	ix.maxMem[i] = m
+	ix.anyIdle[i] = ix.anyIdle[l] | ix.anyIdle[r]
+}
+
+// update refreshes node n's leaf and the path to the root.
+func (ix *capIndex) update(n *Node) {
+	ix.writeLeaf(n.ID, n)
+	for i := (ix.base + n.ID) / 2; i >= 1; i /= 2 {
+		ix.pull(i)
+	}
+}
+
+// visitFeasible walks the subtree rooted at seg in leaf order, invoking
+// visit on every up node that can fit the request. It returns false when
+// visit aborted the walk.
+func (ix *capIndex) visitFeasible(seg, cores, gpus int, mem float64, visit func(*Node) bool) bool {
+	if ix.maxCores[seg] < cores || ix.maxGPUs[seg] < gpus || ix.maxMem[seg] < mem {
+		return true
+	}
+	if seg >= ix.base {
+		i := seg - ix.base
+		if i >= len(ix.nodes) {
+			return true
+		}
+		return visit(ix.nodes[i])
+	}
+	if !ix.visitFeasible(2*seg, cores, gpus, mem, visit) {
+		return false
+	}
+	return ix.visitFeasible(2*seg+1, cores, gpus, mem, visit)
+}
+
+// appendFeasible is visitFeasible's collecting form: recursion carries the
+// destination slice instead of a capturing closure, so the dispatch hot path
+// allocates nothing per query.
+func (ix *capIndex) appendFeasible(dst []*Node, seg, cores, gpus int, mem float64) []*Node {
+	if ix.maxCores[seg] < cores || ix.maxGPUs[seg] < gpus || ix.maxMem[seg] < mem {
+		return dst
+	}
+	if seg >= ix.base {
+		if i := seg - ix.base; i < len(ix.nodes) {
+			dst = append(dst, ix.nodes[i])
+		}
+		return dst
+	}
+	dst = ix.appendFeasible(dst, 2*seg, cores, gpus, mem)
+	return ix.appendFeasible(dst, 2*seg+1, cores, gpus, mem)
+}
+
+// appendIdle is visitIdle's collecting form.
+func (ix *capIndex) appendIdle(dst []*Node, seg int) []*Node {
+	if ix.anyIdle[seg] == 0 {
+		return dst
+	}
+	if seg >= ix.base {
+		if i := seg - ix.base; i < len(ix.nodes) {
+			dst = append(dst, ix.nodes[i])
+		}
+		return dst
+	}
+	dst = ix.appendIdle(dst, 2*seg)
+	return ix.appendIdle(dst, 2*seg+1)
+}
+
+// visitIdle walks wholly-idle up nodes in leaf order.
+func (ix *capIndex) visitIdle(seg int, visit func(*Node) bool) bool {
+	if ix.anyIdle[seg] == 0 {
+		return true
+	}
+	if seg >= ix.base {
+		i := seg - ix.base
+		if i >= len(ix.nodes) {
+			return true
+		}
+		return visit(ix.nodes[i])
+	}
+	if !ix.visitIdle(2*seg, visit) {
+		return false
+	}
+	return ix.visitIdle(2*seg+1, visit)
+}
+
+// Candidates visits every up node that can currently fit (cores, gpus, mem),
+// in ascending node-ID order — the same order the historical full scan over
+// Nodes() produced — skipping whole subtrees that cannot satisfy the
+// request. visit returning false stops the walk early.
+func (c *Cluster) Candidates(cores, gpus int, mem float64, visit func(*Node) bool) {
+	if len(c.nodes) == 0 {
+		return
+	}
+	c.idx.visitFeasible(1, cores, gpus, mem, visit)
+}
+
+// AppendCandidates appends the nodes Candidates would visit to dst and
+// returns it — the closure-free form the dispatch hot path uses with a
+// reusable scratch slice.
+func (c *Cluster) AppendCandidates(dst []*Node, cores, gpus int, mem float64) []*Node {
+	if len(c.nodes) == 0 {
+		return dst
+	}
+	return c.idx.appendFeasible(dst, 1, cores, gpus, mem)
+}
+
+// IdleNodes visits every up node with all cores free (the batch manager's
+// whole-node-free predicate) in ascending node-ID order. visit returning
+// false stops the walk early.
+func (c *Cluster) IdleNodes(visit func(*Node) bool) {
+	if len(c.nodes) == 0 {
+		return
+	}
+	c.idx.visitIdle(1, visit)
+}
+
+// AppendIdleNodes appends the nodes IdleNodes would visit to dst and
+// returns it.
+func (c *Cluster) AppendIdleNodes(dst []*Node) []*Node {
+	if len(c.nodes) == 0 {
+		return dst
+	}
+	return c.idx.appendIdle(dst, 1)
+}

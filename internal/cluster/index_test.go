@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"testing"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// The capacity index must be indistinguishable from a naive rescan of the
+// node array at every moment — the scheduler's determinism guarantee rests
+// on it. These tests drive random mutation tapes (allocate / release / fail
+// / repair, including a full-outage storm) and compare every query form
+// against the rescan oracle, plus a structural invariant check that
+// recomputes the segment tree from the leaves.
+
+func oracleFeasible(c *Cluster, cores, gpus int, mem float64) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.Down() {
+			continue
+		}
+		if n.FreeCores() >= cores && n.FreeGPUs() >= gpus && n.FreeMem() >= mem {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func oracleIdle(c *Cluster) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if !n.Down() && n.FreeCores() == n.Type.Cores {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func sameNodes(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkIndexInvariants rebuilds every internal segment from the leaves and
+// compares it against the incrementally maintained tree.
+func checkIndexInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	ix := c.idx
+	// Leaves must mirror the node free counters (down nodes contribute zero).
+	for i, n := range ix.nodes {
+		p := ix.base + i
+		wantCores, wantGPUs, wantMem, wantIdle := 0, 0, 0.0, uint8(0)
+		if !n.down {
+			wantCores, wantGPUs, wantMem = n.freeCores, n.freeGPUs, n.freeMem
+			if n.freeCores == n.Type.Cores {
+				wantIdle = 1
+			}
+		}
+		if ix.maxCores[p] != wantCores || ix.maxGPUs[p] != wantGPUs ||
+			ix.maxMem[p] != wantMem || ix.anyIdle[p] != wantIdle {
+			t.Fatalf("leaf %d stale: (%d,%d,%v,%d), node has (%d,%d,%v,%d)",
+				i, ix.maxCores[p], ix.maxGPUs[p], ix.maxMem[p], ix.anyIdle[p],
+				wantCores, wantGPUs, wantMem, wantIdle)
+		}
+	}
+	for i := ix.base - 1; i >= 1; i-- {
+		l, r := 2*i, 2*i+1
+		maxI := func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		maxF := func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		if ix.maxCores[i] != maxI(ix.maxCores[l], ix.maxCores[r]) ||
+			ix.maxGPUs[i] != maxI(ix.maxGPUs[l], ix.maxGPUs[r]) ||
+			ix.maxMem[i] != maxF(ix.maxMem[l], ix.maxMem[r]) ||
+			ix.anyIdle[i] != ix.anyIdle[l]|ix.anyIdle[r] {
+			t.Fatalf("segment %d inconsistent with children", i)
+		}
+	}
+}
+
+// compareAllQueries checks every query form against the oracle for a set of
+// request shapes spanning trivial to infeasible.
+func compareAllQueries(t *testing.T, c *Cluster) {
+	t.Helper()
+	shapes := []struct {
+		cores, gpus int
+		mem         float64
+	}{
+		{1, 0, 0},
+		{2, 1, 8e9},
+		{8, 0, 32e9},
+		{16, 2, 64e9},
+		{1000, 0, 0}, // infeasible everywhere
+	}
+	for _, q := range shapes {
+		want := oracleFeasible(c, q.cores, q.gpus, q.mem)
+		got := c.AppendCandidates(nil, q.cores, q.gpus, q.mem)
+		if !sameNodes(want, got) {
+			t.Fatalf("AppendCandidates(%d,%d,%v) = %d nodes, oracle %d",
+				q.cores, q.gpus, q.mem, len(got), len(want))
+		}
+		var visited []*Node
+		c.Candidates(q.cores, q.gpus, q.mem, func(n *Node) bool {
+			visited = append(visited, n)
+			return true
+		})
+		if !sameNodes(want, visited) {
+			t.Fatalf("Candidates(%d,%d,%v) visited %d nodes, oracle %d",
+				q.cores, q.gpus, q.mem, len(visited), len(want))
+		}
+	}
+	wantIdle := oracleIdle(c)
+	if got := c.AppendIdleNodes(nil); !sameNodes(wantIdle, got) {
+		t.Fatalf("AppendIdleNodes = %d nodes, oracle %d", len(got), len(wantIdle))
+	}
+	var idleVisited []*Node
+	c.IdleNodes(func(n *Node) bool {
+		idleVisited = append(idleVisited, n)
+		return true
+	})
+	if !sameNodes(wantIdle, idleVisited) {
+		t.Fatalf("IdleNodes visited %d nodes, oracle %d", len(idleVisited), len(wantIdle))
+	}
+}
+
+func TestIndexMatchesRescanUnderChaos(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		eng := sim.NewEngine()
+		c := Heterogeneous(eng, 7) // 21 nodes, 3 families, not a power of two
+		r := randx.New(seed)
+		var live []*Alloc
+		for op := 0; op < 600; op++ {
+			switch r.Intn(5) {
+			case 0, 1: // allocate (twice the weight: keeps the cluster busy)
+				n := c.Nodes()[r.Intn(c.NodeCount())]
+				a, err := c.Allocate(n, 1+r.Intn(8), r.Intn(3), float64(r.Intn(16))*4e9)
+				if err == nil {
+					live = append(live, a)
+				}
+			case 2: // release
+				if len(live) > 0 {
+					i := r.Intn(len(live))
+					c.Release(live[i])
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			case 3: // node failure
+				c.FailNode(c.Nodes()[r.Intn(c.NodeCount())])
+			case 4: // repair
+				c.RepairNode(c.Nodes()[r.Intn(c.NodeCount())])
+			}
+			compareAllQueries(t, c)
+			if op%100 == 0 {
+				checkIndexInvariants(t, c)
+			}
+		}
+		checkIndexInvariants(t, c)
+	}
+}
+
+// TestIndexStormProfile is the correlated-failure profile: every node fails,
+// then everything is repaired at once, with straggling releases of revoked
+// allocations in between — the sequence most likely to desynchronize an
+// incremental index from the truth.
+func TestIndexStormProfile(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Heterogeneous(eng, 6) // 18 nodes
+	r := randx.New(99)
+	var live []*Alloc
+	for i := 0; i < 40; i++ {
+		n := c.Nodes()[r.Intn(c.NodeCount())]
+		if a, err := c.Allocate(n, 1+r.Intn(4), 0, 1e9); err == nil {
+			live = append(live, a)
+		}
+	}
+	for _, n := range c.Nodes() {
+		c.FailNode(n)
+		compareAllQueries(t, c)
+	}
+	if got := c.AppendCandidates(nil, 1, 0, 0); len(got) != 0 {
+		t.Fatalf("storm: %d candidates on a fully failed cluster", len(got))
+	}
+	if got := c.AppendIdleNodes(nil); len(got) != 0 {
+		t.Fatalf("storm: %d idle nodes on a fully failed cluster", len(got))
+	}
+	checkIndexInvariants(t, c)
+	// Straggling releases of revoked allocations must not resurrect capacity.
+	for _, a := range live[:len(live)/2] {
+		c.Release(a)
+		compareAllQueries(t, c)
+	}
+	for _, n := range c.Nodes() {
+		c.RepairNode(n)
+		compareAllQueries(t, c)
+	}
+	// Remaining stragglers release after repair; the epoch check must keep
+	// them from crediting the reset counters.
+	for _, a := range live[len(live)/2:] {
+		c.Release(a)
+		compareAllQueries(t, c)
+	}
+	checkIndexInvariants(t, c)
+	if got := c.AppendIdleNodes(nil); len(got) != c.NodeCount() {
+		t.Fatalf("after full repair %d/%d nodes idle", len(got), c.NodeCount())
+	}
+}
+
+func TestCandidatesEarlyStop(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Heterogeneous(eng, 4)
+	visits := 0
+	c.Candidates(1, 0, 0, func(n *Node) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("early-stop visit count = %d, want 1", visits)
+	}
+	visits = 0
+	c.IdleNodes(func(n *Node) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("idle early-stop visit count = %d, want 3", visits)
+	}
+}

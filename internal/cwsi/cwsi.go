@@ -12,6 +12,8 @@ package cwsi
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 
 	"hhcw/internal/cluster"
 	"hhcw/internal/dag"
@@ -44,8 +46,17 @@ type TaskRequest struct {
 	Runtime func(t *dag.Task, n *cluster.Node) float64
 	// Done is invoked with the terminal result (after provenance capture).
 	Done func(rm.Result)
+	// Handler, consulted when Done is nil, receives the terminal result
+	// without a per-task closure — a driver submitting many tasks
+	// implements it once and the task identity rides along as an argument.
+	Handler TaskDoneHandler
 	// Params are task-invocation parameters, stored for provenance.
 	Params map[string]string
+}
+
+// TaskDoneHandler is the closure-free completion callback of a TaskRequest.
+type TaskDoneHandler interface {
+	OnTaskDone(taskID dag.TaskID, r rm.Result)
 }
 
 // Context gives strategies access to everything the CWS knows: the DAG, the
@@ -95,25 +106,10 @@ func (c *Context) PredictRuntime(wfID string, taskID dag.TaskID, n *cluster.Node
 }
 
 // ObservedMeanRuntime returns the provenance-store mean reference runtime
-// for a process name (ok=false before any successful execution).
+// for a process name (ok=false before any successful execution). The store
+// maintains the mean as a running aggregate, so this is O(1) per call.
 func (c *Context) ObservedMeanRuntime(name string) (float64, bool) {
-	recs := c.cws.prov.ByTaskName(name)
-	sum, n := 0.0, 0
-	for _, r := range recs {
-		if r.Failed {
-			continue
-		}
-		sf := r.SpeedFactor
-		if sf <= 0 {
-			sf = 1
-		}
-		sum += float64(r.Runtime()) * sf
-		n++
-	}
-	if n == 0 {
-		return 0, false
-	}
-	return sum / float64(n), true
+	return c.cws.prov.MeanRefRuntime(name)
 }
 
 // Strategy is a workflow-aware scheduling policy.
@@ -144,7 +140,19 @@ type CWS struct {
 
 	// Data-plane model (see locality.go).
 	dataBW  float64
-	outputs map[string]*cluster.Node
+	outputs map[outKey]*cluster.Node
+
+	// prioGen is the priority-cache generation: strategies' Priority values
+	// are memoized per submission under this generation and recomputed only
+	// after it advances — which happens whenever the knowledge Priority may
+	// depend on changes (provenance records, data locality, new workflows).
+	prioGen uint64
+	// idScratch builds submission IDs without fmt.
+	idScratch []byte
+	// freeRuns recycles taskRun attempt records: an attempt is dead once its
+	// Done hook returns (the manager drops every reference before invoking
+	// it), so steady-state submission allocates only at peak concurrency.
+	freeRuns []*taskRun
 
 	// Measured machine characteristics (see profiling.go).
 	measuredSpeed map[string]float64
@@ -176,6 +184,7 @@ func New(mgr *rm.TaskManager, strategy Strategy, predictor predict.RuntimePredic
 		predictor: predictor,
 		strategy:  strategy,
 		workflows: map[string]*wfState{},
+		prioGen:   1, // generation 0 is the rm.Submission "never cached" sentinel
 	}
 	c.ctx = &Context{cws: c}
 	mgr.SetStrategy(&rmAdapter{cws: c})
@@ -237,6 +246,7 @@ func (c *CWS) RegisterWorkflow(id string, w *dag.Workflow) error {
 		attempts: map[dag.TaskID]int{},
 	}
 	c.prov.RegisterWorkflow(id, w)
+	c.prioGen++
 	return nil
 }
 
@@ -266,9 +276,19 @@ func (c *CWS) SubmitTask(req TaskRequest) error {
 			mem = pred
 		}
 	}
-	grantedMem := mem
-	c.mgr.Submit(&rm.Submission{
-		ID:         fmt.Sprintf("%s/%s#%d", req.WorkflowID, req.TaskID, attempt),
+	var tr *taskRun
+	if n := len(c.freeRuns); n > 0 {
+		tr = c.freeRuns[n-1]
+		c.freeRuns = c.freeRuns[:n-1]
+	} else {
+		tr = new(taskRun)
+	}
+	*tr = taskRun{
+		c: c, req: req, t: t, attempt: attempt,
+		grantedMem: mem, submittedAt: submittedAt, runtime: runtime,
+	}
+	tr.sub = rm.Submission{
+		ID:         c.subID(req.WorkflowID, req.TaskID, attempt),
 		WorkflowID: req.WorkflowID,
 		TaskID:     req.TaskID,
 		Name:       t.Name,
@@ -276,34 +296,80 @@ func (c *CWS) SubmitTask(req TaskRequest) error {
 		GPUs:       t.GPUs,
 		Mem:        mem,
 		InputBytes: t.InputBytes,
-		Runtime: func(n *cluster.Node) float64 {
-			d := runtime(t, n)
-			if c.dataBW > 0 {
-				d += c.remoteInputBytes(req.WorkflowID, t, n) / c.dataBW
-			}
-			return d
-		},
-		Validate: func(n *cluster.Node) error {
-			if grantedMem < t.PeakMem() {
-				return fmt.Errorf("cwsi: task %s OOM-killed: granted %.0fB, peak %.0fB",
-					req.TaskID, grantedMem, t.PeakMem())
-			}
-			if c.injectFail != nil && c.injectFail(req.WorkflowID, req.TaskID, attempt) {
-				return fmt.Errorf("cwsi: injected transient failure of %s (attempt %d)", req.TaskID, attempt)
-			}
-			return nil
-		},
-		Done: func(r rm.Result) {
-			if !r.Failed {
-				c.noteOutput(req.WorkflowID, req.TaskID, r.Node)
-			}
-			c.record(req, t, attempt, submittedAt, r)
-			if req.Done != nil {
-				req.Done(r)
-			}
-		},
-	})
+		Hooks:      tr,
+	}
+	c.mgr.Submit(&tr.sub)
 	return nil
+}
+
+// taskRun bundles one CWSI task attempt — the rm.Submission plus every
+// callback's state — into a single allocation implementing
+// rm.SubmissionHooks, replacing three per-task closures and their captures.
+type taskRun struct {
+	c           *CWS
+	req         TaskRequest
+	t           *dag.Task
+	attempt     int
+	grantedMem  float64
+	submittedAt sim.Time
+	runtime     func(*dag.Task, *cluster.Node) float64
+	sub         rm.Submission
+}
+
+// RuntimeOn implements rm.SubmissionHooks: execution time plus staging of
+// non-local input bytes when the data-plane model is on.
+func (tr *taskRun) RuntimeOn(n *cluster.Node) float64 {
+	d := tr.runtime(tr.t, n)
+	if tr.c.dataBW > 0 {
+		d += tr.c.remoteInputBytes(tr.req.WorkflowID, tr.t, n) / tr.c.dataBW
+	}
+	return d
+}
+
+// ValidateOn implements rm.SubmissionHooks: OOM enforcement and injected
+// transient failures.
+func (tr *taskRun) ValidateOn(n *cluster.Node) error {
+	if tr.grantedMem < tr.t.PeakMem() {
+		return fmt.Errorf("cwsi: task %s OOM-killed: granted %.0fB, peak %.0fB",
+			tr.req.TaskID, tr.grantedMem, tr.t.PeakMem())
+	}
+	if tr.c.injectFail != nil && tr.c.injectFail(tr.req.WorkflowID, tr.req.TaskID, tr.attempt) {
+		return fmt.Errorf("cwsi: injected transient failure of %s (attempt %d)", tr.req.TaskID, tr.attempt)
+	}
+	return nil
+}
+
+// Done implements rm.SubmissionHooks: provenance capture, locality notes,
+// then the requester's callback.
+func (tr *taskRun) Done(r rm.Result) {
+	c := tr.c
+	if !r.Failed {
+		c.noteOutput(tr.req.WorkflowID, tr.req.TaskID, r.Node)
+	}
+	c.record(tr.req, tr.t, tr.attempt, tr.submittedAt, r)
+	if tr.req.Done != nil {
+		tr.req.Done(r)
+	} else if tr.req.Handler != nil {
+		tr.req.Handler.OnTaskDone(tr.req.TaskID, r)
+	}
+	// The attempt is dead: the manager dropped its references before calling
+	// Done and the requester's callback has returned (r.Submission must not
+	// be retained past it — see rm.Result). Recycle the record so
+	// steady-state submission allocates only at peak concurrency.
+	*tr = taskRun{}
+	c.freeRuns = append(c.freeRuns, tr)
+}
+
+// subID renders "wf/task#attempt" on a reusable scratch buffer — one string
+// allocation instead of fmt's boxing and formatting.
+func (c *CWS) subID(wfID string, taskID dag.TaskID, attempt int) string {
+	b := append(c.idScratch[:0], wfID...)
+	b = append(b, '/')
+	b = append(b, taskID...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(attempt), 10)
+	c.idScratch = b
+	return string(b)
 }
 
 func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.Time, r rm.Result) {
@@ -338,6 +404,7 @@ func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.
 		Params:      req.Params,
 	}
 	c.prov.AddTask(rec)
+	c.prioGen++ // provenance advanced; memoized priorities may be stale
 	if c.memPred != nil && !r.Failed {
 		c.memPred.Observe(predict.Observation{TaskName: t.Name, PeakMem: t.PeakMem()})
 	}
@@ -360,34 +427,50 @@ func (c *CWS) WorkflowDone(id string) {
 	}
 }
 
-// rmAdapter bridges the CWS strategy into rm.Strategy.
+// rmAdapter bridges the CWS strategy into rm.Strategy. It doubles as the
+// sort.Interface over (subs, keys) so a dispatch round sorts the manager's
+// scratch slice in place with memoized priority keys — no per-round slice
+// allocations and no O(n²) insertion sort.
 type rmAdapter struct {
-	cws *CWS
+	cws  *CWS
+	subs []*rm.Submission
+	keys []float64
 }
 
 func (a *rmAdapter) Name() string { return "cws/" + a.cws.strategy.Name() }
 
+func (a *rmAdapter) Len() int { return len(a.subs) }
+func (a *rmAdapter) Swap(i, j int) {
+	a.subs[i], a.subs[j] = a.subs[j], a.subs[i]
+	a.keys[i], a.keys[j] = a.keys[j], a.keys[i]
+}
+
+// Less orders by descending priority; sort.Stable keeps equal keys in
+// submission order — the same (priority desc, submission order asc) total
+// order the historical insertion sort produced.
+func (a *rmAdapter) Less(i, j int) bool { return a.keys[i] > a.keys[j] }
+
 func (a *rmAdapter) Prioritize(pending []*rm.Submission) []*rm.Submission {
-	type scored struct {
-		s *rm.Submission
-		p float64
-		i int
+	if len(pending) <= 1 {
+		return pending // nothing to order; skip key filling entirely
 	}
-	xs := make([]scored, len(pending))
+	gen := a.cws.prioGen
+	if cap(a.keys) < len(pending) {
+		a.keys = make([]float64, len(pending))
+	}
+	a.keys = a.keys[:len(pending)]
 	for i, s := range pending {
-		xs[i] = scored{s: s, p: a.cws.strategy.Priority(s, a.cws.ctx), i: i}
-	}
-	// Stable sort by descending priority, submission order as tiebreak.
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && (xs[j].p > xs[j-1].p || (xs[j].p == xs[j-1].p && xs[j].i < xs[j-1].i)); j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
+		k, ok := s.PriorityCache(gen)
+		if !ok {
+			k = a.cws.strategy.Priority(s, a.cws.ctx)
+			s.SetPriorityCache(k, gen)
 		}
+		a.keys[i] = k
 	}
-	out := make([]*rm.Submission, len(xs))
-	for i, x := range xs {
-		out[i] = x.s
-	}
-	return out
+	a.subs = pending
+	sort.Stable(a)
+	a.subs = nil
+	return pending
 }
 
 func (a *rmAdapter) PickNode(s *rm.Submission, candidates []*cluster.Node) *cluster.Node {
@@ -413,101 +496,128 @@ func (c *CWS) StartWorkflow(id string, maxRetries int, onDone func(sim.Time, err
 	}
 	w := st.wf
 	eng := c.mgr.Cluster().Engine()
-	start := eng.Now()
-	remaining := w.Len()
-	remainingDeps := make(map[dag.TaskID]int, w.Len())
-	retries := map[dag.TaskID]int{}
-	skipped := map[dag.TaskID]bool{}
-	finished := false
-	limit := maxRetries
-	var breaker *fault.Breaker
+	run := &wfRun{
+		c:             c,
+		id:            id,
+		w:             w,
+		eng:           eng,
+		start:         eng.Now(),
+		remaining:     w.Len(),
+		remainingDeps: make(map[dag.TaskID]int, w.Len()),
+		retries:       map[dag.TaskID]int{},
+		skipped:       map[dag.TaskID]bool{},
+		maxRetries:    maxRetries,
+		limit:         maxRetries,
+		onDone:        onDone,
+	}
 	if c.recovery != nil {
-		limit = c.recovery.Attempts() - 1
-		breaker = c.recovery.NewBreaker()
-	}
-	fail := func(err error) {
-		if !finished {
-			finished = true
-			onDone(0, err)
-		}
-	}
-	completeOne := func() {
-		remaining--
-		if remaining == 0 && !finished {
-			finished = true
-			c.WorkflowDone(id)
-			onDone(eng.Now()-start, nil)
-		}
-	}
-	var skip func(t *dag.Task)
-	skip = func(t *dag.Task) {
-		for _, child := range w.Children(t.ID) {
-			if skipped[child.ID] {
-				continue
-			}
-			skipped[child.ID] = true
-			c.recStats.Skipped++
-			completeOne()
-			skip(child)
-		}
-	}
-
-	var submit func(t *dag.Task)
-	submit = func(t *dag.Task) {
-		task := t
-		err := c.SubmitTask(TaskRequest{
-			WorkflowID: id,
-			TaskID:     task.ID,
-			Done: func(r rm.Result) {
-				if r.Failed {
-					c.recStats.FailedAttempts++
-					breaker.Record(true)
-					if retries[task.ID] < limit && !breaker.Open() {
-						retries[task.ID]++
-						if c.recovery == nil {
-							submit(task)
-							return
-						}
-						d := c.recovery.Backoff(retries[task.ID], c.recoveryRNG)
-						c.recStats.Retries++
-						c.recStats.BackoffSec += float64(d)
-						c.prov.AnnotateRetry(id, task.ID, float64(d), c.recovery.String())
-						eng.After(d, func() { submit(task) })
-						return
-					}
-					c.recStats.TerminalFailures++
-					if c.recovery == nil {
-						fail(fmt.Errorf("cwsi: task %s failed after %d retries: %v", task.ID, maxRetries, r.Err))
-						return
-					}
-					completeOne()
-					skip(task)
-					return
-				}
-				breaker.Record(false)
-				completeOne()
-				if finished {
-					return
-				}
-				for _, child := range w.Children(task.ID) {
-					remainingDeps[child.ID]--
-					if remainingDeps[child.ID] == 0 && !skipped[child.ID] {
-						submit(child)
-					}
-				}
-			},
-		})
-		if err != nil {
-			fail(err)
-		}
+		run.limit = c.recovery.Attempts() - 1
+		run.breaker = c.recovery.NewBreaker()
 	}
 	for _, t := range w.Tasks() {
-		remainingDeps[t.ID] = len(t.Deps)
+		run.remainingDeps[t.ID] = len(t.Deps)
 	}
 	for _, t := range w.Roots() {
-		submit(t)
+		run.submit(t)
 	}
 	return nil
+}
+
+// wfRun is one StartWorkflow execution: the dependency bookkeeping plus the
+// shared completion handler (TaskDoneHandler), so driving a task costs one
+// TaskRequest instead of a fresh Done closure per submission.
+type wfRun struct {
+	c             *CWS
+	id            string
+	w             *dag.Workflow
+	eng           *sim.Engine
+	start         sim.Time
+	remaining     int
+	remainingDeps map[dag.TaskID]int
+	retries       map[dag.TaskID]int
+	skipped       map[dag.TaskID]bool
+	finished      bool
+	maxRetries    int
+	limit         int
+	breaker       *fault.Breaker
+	onDone        func(sim.Time, error)
+}
+
+func (run *wfRun) fail(err error) {
+	if !run.finished {
+		run.finished = true
+		run.onDone(0, err)
+	}
+}
+
+func (run *wfRun) completeOne() {
+	run.remaining--
+	if run.remaining == 0 && !run.finished {
+		run.finished = true
+		run.c.WorkflowDone(run.id)
+		run.onDone(run.eng.Now()-run.start, nil)
+	}
+}
+
+func (run *wfRun) skip(t *dag.Task) {
+	for _, cid := range run.w.ChildIDs(t.ID) {
+		if run.skipped[cid] {
+			continue
+		}
+		run.skipped[cid] = true
+		run.c.recStats.Skipped++
+		run.completeOne()
+		run.skip(run.w.Task(cid))
+	}
+}
+
+func (run *wfRun) submit(t *dag.Task) {
+	err := run.c.SubmitTask(TaskRequest{WorkflowID: run.id, TaskID: t.ID, Handler: run})
+	if err != nil {
+		run.fail(err)
+	}
+}
+
+// OnTaskDone implements TaskDoneHandler.
+func (run *wfRun) OnTaskDone(taskID dag.TaskID, r rm.Result) {
+	c := run.c
+	task := run.w.Task(taskID)
+	if r.Failed {
+		c.recStats.FailedAttempts++
+		run.breaker.Record(true)
+		if run.retries[taskID] < run.limit && !run.breaker.Open() {
+			run.retries[taskID]++
+			if c.recovery == nil {
+				run.submit(task)
+				return
+			}
+			d := c.recovery.Backoff(run.retries[taskID], c.recoveryRNG)
+			c.recStats.Retries++
+			c.recStats.BackoffSec += float64(d)
+			c.prov.AnnotateRetry(run.id, taskID, float64(d), c.recovery.String())
+			run.eng.After(d, func() { run.submit(task) })
+			return
+		}
+		c.recStats.TerminalFailures++
+		if c.recovery == nil {
+			run.fail(fmt.Errorf("cwsi: task %s failed after %d retries: %v", taskID, run.maxRetries, r.Err))
+			return
+		}
+		run.completeOne()
+		run.skip(task)
+		return
+	}
+	run.breaker.Record(false)
+	run.completeOne()
+	if run.finished {
+		return
+	}
+	for _, cid := range run.w.ChildIDs(taskID) {
+		run.remainingDeps[cid]--
+		if run.remainingDeps[cid] == 0 && !run.skipped[cid] {
+			run.submit(run.w.Task(cid))
+		}
+	}
 }
 
 // RunWorkflow drives a registered workflow through the CWS: tasks are

@@ -19,12 +19,21 @@ import (
 // disables; node-local inputs are free, as on node-local NVMe).
 func (c *CWS) SetDataBandwidth(bps float64) { c.dataBW = bps }
 
+// outKey identifies one task's output location. A struct key keeps the hot
+// lookup paths (remoteInputBytes runs per placement) free of the string
+// concatenation a composite "wf/task" key would allocate.
+type outKey struct {
+	wf   string
+	task dag.TaskID
+}
+
 // outputNode records where a task's outputs live after completion.
 func (c *CWS) noteOutput(wfID string, taskID dag.TaskID, node *cluster.Node) {
 	if c.outputs == nil {
-		c.outputs = map[string]*cluster.Node{}
+		c.outputs = make(map[outKey]*cluster.Node, 64)
 	}
-	c.outputs[wfID+"/"+string(taskID)] = node
+	c.outputs[outKey{wfID, taskID}] = node
+	c.prioGen++ // locality changed; memoized priorities may be stale
 }
 
 // LocalInputBytes returns how many of the task's input bytes are already on
@@ -42,7 +51,7 @@ func (ctx *Context) LocalInputBytes(wfID string, taskID dag.TaskID, n *cluster.N
 	}
 	local := 0.0
 	for _, dep := range t.Deps {
-		if c.outputs[wfID+"/"+string(dep)] == n {
+		if c.outputs[outKey{wfID, dep}] == n {
 			if dt := st.wf.Task(dep); dt != nil {
 				local += dt.OutputBytes
 			}
@@ -66,7 +75,7 @@ func (c *CWS) remoteInputBytes(wfID string, t *dag.Task, n *cluster.Node) float6
 			continue
 		}
 		fromDeps += dt.OutputBytes
-		if c.outputs == nil || c.outputs[wfID+"/"+string(dep)] != n {
+		if c.outputs == nil || c.outputs[outKey{wfID, dep}] != n {
 			remote += dt.OutputBytes
 		}
 	}

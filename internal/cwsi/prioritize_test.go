@@ -1,0 +1,127 @@
+package cwsi
+
+import (
+	"fmt"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+// The dispatch overhaul replaced the CWS adapter's O(n²) insertion sort with
+// a cached-key stable sort. These tests pin the two contracts that replace
+// rested on: a length ≤ 1 queue must not touch the strategy at all, and the
+// produced order must match the historical insertion-sort kernel exactly —
+// including tie handling, where equal priorities keep submission order.
+
+// keyedStrategy returns per-submission priorities from a map and counts how
+// often Priority is consulted.
+type keyedStrategy struct {
+	keys  map[string]float64
+	calls int
+}
+
+func (s *keyedStrategy) Name() string { return "keyed" }
+func (s *keyedStrategy) Priority(sub *rm.Submission, _ *Context) float64 {
+	s.calls++
+	return s.keys[sub.ID]
+}
+func (s *keyedStrategy) PickNode(_ *rm.Submission, candidates []*cluster.Node, _ *Context) *cluster.Node {
+	return candidates[0]
+}
+
+func newTestAdapter(strat Strategy) *rmAdapter {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "t", cluster.Spec{
+		Type:  cluster.NodeType{Name: "n", Cores: 8, MemBytes: 64e9},
+		Count: 1,
+	})
+	mgr := rm.NewTaskManager(cl, nil)
+	return &rmAdapter{cws: New(mgr, strat, nil)}
+}
+
+func TestPrioritizeSingletonFastPath(t *testing.T) {
+	strat := &keyedStrategy{keys: map[string]float64{"a": 5}}
+	a := newTestAdapter(strat)
+	if got := a.Prioritize(nil); got != nil {
+		t.Fatalf("Prioritize(nil) = %v", got)
+	}
+	one := []*rm.Submission{{ID: "a"}}
+	got := a.Prioritize(one)
+	if len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("singleton reordered: %v", got)
+	}
+	if strat.calls != 0 {
+		t.Fatalf("Priority consulted %d times for queues of length <= 1, want 0", strat.calls)
+	}
+}
+
+// referencePrioritize is the historical O(n²) kernel, kept verbatim as the
+// test-only reference: stable insertion into descending-priority order, so
+// equal keys stay in submission order.
+func referencePrioritize(pending []*rm.Submission, prio func(*rm.Submission) float64) []*rm.Submission {
+	out := append([]*rm.Submission(nil), pending...)
+	for i := 1; i < len(out); i++ {
+		s := out[i]
+		k := prio(s)
+		j := i - 1
+		for j >= 0 && prio(out[j]) < k {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = s
+	}
+	return out
+}
+
+func TestPrioritizeMatchesInsertionSortReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := randx.New(seed)
+		for _, n := range []int{2, 3, 7, 16, 40} {
+			strat := &keyedStrategy{keys: map[string]float64{}}
+			a := newTestAdapter(strat)
+			pending := make([]*rm.Submission, n)
+			for i := range pending {
+				id := fmt.Sprintf("s%02d", i)
+				pending[i] = &rm.Submission{ID: id}
+				// Few distinct keys forces heavy ties, the case where an
+				// unstable sort would diverge from the insertion kernel.
+				strat.keys[id] = float64(r.Intn(4))
+			}
+			want := referencePrioritize(pending, func(s *rm.Submission) float64 {
+				return strat.keys[s.ID]
+			})
+			got := a.Prioritize(append([]*rm.Submission(nil), pending...))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d n %d: order diverges at %d: got %s want %s",
+						seed, n, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestPrioritizeCacheInvalidation pins the memoization contract: priorities
+// are computed once per submission per generation, and recomputed after the
+// generation advances (provenance or locality updates bump it).
+func TestPrioritizeCacheInvalidation(t *testing.T) {
+	strat := &keyedStrategy{keys: map[string]float64{"a": 1, "b": 2, "c": 3}}
+	a := newTestAdapter(strat)
+	pending := []*rm.Submission{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	a.Prioritize(pending)
+	if strat.calls != 3 {
+		t.Fatalf("first pass consulted Priority %d times, want 3", strat.calls)
+	}
+	a.Prioritize(pending)
+	if strat.calls != 3 {
+		t.Fatalf("second pass re-consulted Priority (calls=%d): cache not hit", strat.calls)
+	}
+	a.cws.prioGen++ // what noteOutput / provenance updates do
+	a.Prioritize(pending)
+	if strat.calls != 6 {
+		t.Fatalf("post-invalidation pass consulted Priority %d times, want 6", strat.calls)
+	}
+}

@@ -233,17 +233,19 @@ func RunConcurrent(cl *cluster.Cluster, wfs []*dag.Workflow, strategy Strategy) 
 // CompareStrategies runs the same workflow shape under each strategy on
 // fresh identical clusters and returns makespans keyed by strategy name,
 // with "fifo" as the oblivious baseline. buildCluster must return an
-// identical cluster each call (fresh engine included); buildWorkflow must
-// regenerate the workflow deterministically.
+// identical cluster each call (fresh engine included). buildWorkflow is
+// called once — Workflow accessors are read-only during runs, so every
+// strategy executes the very same DAG instead of regenerating it per run.
 func CompareStrategies(buildCluster func() *cluster.Cluster, buildWorkflow func() *dag.Workflow, strategies ...Strategy) (map[string]sim.Time, error) {
 	out := map[string]sim.Time{}
-	base, err := RunNextflowStyle("nextflow", buildCluster(), buildWorkflow(), nil)
+	w := buildWorkflow()
+	base, err := RunNextflowStyle("nextflow", buildCluster(), w, nil)
 	if err != nil {
 		return nil, err
 	}
 	out["fifo"] = base.Makespan
 	for _, s := range strategies {
-		r, err := RunNextflowStyle("nextflow", buildCluster(), buildWorkflow(), s)
+		r, err := RunNextflowStyle("nextflow", buildCluster(), w, s)
 		if err != nil {
 			return nil, err
 		}

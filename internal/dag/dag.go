@@ -69,14 +69,32 @@ type Workflow struct {
 	tasks    map[TaskID]*Task
 	order    []TaskID // insertion order, for deterministic iteration
 	children map[TaskID][]TaskID
+	// validated memoizes a successful Validate; any structural change
+	// (Add, AddEdge) clears it. Runners validate per run, and revalidating
+	// an unchanged DAG rebuilt nothing but a topological sort.
+	validated bool
+	// topo and roots memoize TopoOrder and Roots under the same invalidation
+	// rule; every consumer (Validate, Levels, CriticalPath, UpwardRanks,
+	// runners) only reads them, and each workflow run re-derives both from
+	// the same unchanged DAG.
+	topo  []*Task
+	roots []*Task
 }
 
 // New returns an empty workflow.
 func New(name string) *Workflow {
+	return NewSized(name, 0)
+}
+
+// NewSized returns an empty workflow presized for about taskHint tasks, so
+// bulk construction (generators, format importers) skips the incremental map
+// and slice growth of one-Add-at-a-time building.
+func NewSized(name string, taskHint int) *Workflow {
 	return &Workflow{
 		Name:     name,
-		tasks:    make(map[TaskID]*Task),
-		children: make(map[TaskID][]TaskID),
+		tasks:    make(map[TaskID]*Task, taskHint),
+		order:    make([]TaskID, 0, taskHint),
+		children: make(map[TaskID][]TaskID, taskHint),
 	}
 }
 
@@ -97,6 +115,8 @@ func (w *Workflow) Add(t *Task) *Task {
 	for _, d := range t.Deps {
 		w.children[d] = append(w.children[d], t.ID)
 	}
+	w.validated = false
+	w.topo, w.roots = nil, nil
 	return t
 }
 
@@ -125,6 +145,8 @@ func (w *Workflow) AddEdge(from, to TaskID) error {
 	}
 	t.Deps = append(t.Deps, from)
 	w.children[from] = append(w.children[from], to)
+	w.validated = false
+	w.topo, w.roots = nil, nil
 	return nil
 }
 
@@ -150,6 +172,11 @@ func (w *Workflow) Children(id TaskID) []*Task {
 	return out
 }
 
+// ChildIDs returns the direct successor IDs of id without allocating. The
+// returned slice is the workflow's internal edge list — callers must treat
+// it as read-only.
+func (w *Workflow) ChildIDs(id TaskID) []TaskID { return w.children[id] }
+
 // Parents returns direct predecessors of id.
 func (w *Workflow) Parents(id TaskID) []*Task {
 	t := w.tasks[id]
@@ -165,14 +192,20 @@ func (w *Workflow) Parents(id TaskID) []*Task {
 	return out
 }
 
-// Roots returns tasks with no dependencies, in insertion order.
+// Roots returns tasks with no dependencies, in insertion order. The result
+// is memoized until the structure changes; callers must treat the returned
+// slice as read-only.
 func (w *Workflow) Roots() []*Task {
-	var out []*Task
-	for _, t := range w.Tasks() {
-		if len(t.Deps) == 0 {
+	if w.roots != nil {
+		return w.roots
+	}
+	out := make([]*Task, 0, 4)
+	for _, id := range w.order {
+		if t := w.tasks[id]; len(t.Deps) == 0 {
 			out = append(out, t)
 		}
 	}
+	w.roots = out
 	return out
 }
 
@@ -197,8 +230,12 @@ func (w *Workflow) EdgeCount() int {
 }
 
 // Validate checks that all dependencies reference existing tasks and that
-// the graph is acyclic.
+// the graph is acyclic. A successful result is memoized until the structure
+// changes, so repeated validation of a shared workflow is free.
 func (w *Workflow) Validate() error {
+	if w.validated {
+		return nil
+	}
 	for _, t := range w.Tasks() {
 		for _, d := range t.Deps {
 			if _, ok := w.tasks[d]; !ok {
@@ -209,12 +246,18 @@ func (w *Workflow) Validate() error {
 	if _, err := w.TopoOrder(); err != nil {
 		return err
 	}
+	w.validated = true
 	return nil
 }
 
 // TopoOrder returns tasks in a deterministic topological order (Kahn's
 // algorithm with insertion-order tie-breaking) or an error if a cycle exists.
+// The result is memoized until the structure changes; callers must treat the
+// returned slice as read-only.
 func (w *Workflow) TopoOrder() ([]*Task, error) {
+	if w.topo != nil {
+		return w.topo, nil
+	}
 	indeg := make(map[TaskID]int, len(w.tasks))
 	for _, t := range w.tasks {
 		indeg[t.ID] = len(t.Deps)
@@ -240,6 +283,7 @@ func (w *Workflow) TopoOrder() ([]*Task, error) {
 	if len(out) != len(w.tasks) {
 		return nil, fmt.Errorf("dag: workflow %q contains a cycle", w.Name)
 	}
+	w.topo = out
 	return out, nil
 }
 

@@ -39,7 +39,57 @@ func (o *GenOpts) defaults() {
 	}
 }
 
-func (o GenOpts) task(rng *randx.Source, id string, name string, deps ...TaskID) *Task {
+// arena slab-allocates one generated workflow's Task structs and dependency
+// lists, collapsing the per-task heap traffic of construction into two
+// amortized buffers. Task pointers are taken exactly once, immediately after
+// each append, and dependency slices are returned with clamped capacity, so
+// slab growth never aliases live data.
+type arena struct {
+	tasks []Task
+	deps  []TaskID
+}
+
+func newArena(taskHint, depHint int) *arena {
+	return &arena{
+		tasks: make([]Task, 0, taskHint),
+		deps:  make([]TaskID, 0, depHint),
+	}
+}
+
+// task hands out the next slab slot.
+func (a *arena) task() *Task {
+	a.tasks = append(a.tasks, Task{})
+	return &a.tasks[len(a.tasks)-1]
+}
+
+// deps1 and deps2 carve single- and double-element dependency lists out of
+// the shared slab. markDeps/takeDeps bracket variable-length lists built by
+// appending to a.deps directly.
+func (a *arena) deps1(x TaskID) []TaskID {
+	n := len(a.deps)
+	a.deps = append(a.deps, x)
+	return a.deps[n : n+1 : n+1]
+}
+
+func (a *arena) deps2(x, y TaskID) []TaskID {
+	n := len(a.deps)
+	a.deps = append(a.deps, x, y)
+	return a.deps[n : n+2 : n+2]
+}
+
+func (a *arena) markDeps() int { return len(a.deps) }
+
+func (a *arena) takeDeps(mark int) []TaskID {
+	if len(a.deps) == mark {
+		return nil
+	}
+	return a.deps[mark:len(a.deps):len(a.deps)]
+}
+
+// fill samples one task into t. The sampling order (cores, duration, memory,
+// I/O fraction, input size, output size) is load-bearing: it fixes the RNG
+// stream, and with it every golden fingerprint downstream.
+func (o GenOpts) fill(t *Task, rng *randx.Source, id string, name string, deps []TaskID) *Task {
 	cores := o.Cores
 	if o.MaxCores > o.Cores {
 		cores = o.Cores + rng.Intn(o.MaxCores-o.Cores+1)
@@ -49,7 +99,7 @@ func (o GenOpts) task(rng *randx.Source, id string, name string, deps ...TaskID)
 	// which is what makes size-aware scheduling (§3.5's "file size"
 	// strategy) informative in practice.
 	sizeScale := dur / o.MeanDur
-	return &Task{
+	*t = Task{
 		ID:          TaskID(id),
 		Name:        name,
 		Cores:       cores,
@@ -60,20 +110,26 @@ func (o GenOpts) task(rng *randx.Source, id string, name string, deps ...TaskID)
 		OutputBytes: rng.LogNormalMeanCV(o.MeanData*sizeScale, 0.2),
 		Deps:        deps,
 	}
+	return t
+}
+
+func (o GenOpts) task(rng *randx.Source, id string, name string, deps ...TaskID) *Task {
+	return o.fill(&Task{}, rng, id, name, deps)
 }
 
 // Chain generates a linear pipeline of n tasks.
 func Chain(rng *randx.Source, n int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("chain-%d", n))
+	w := NewSized(fmt.Sprintf("chain-%d", n), n)
+	ar := newArena(n, n)
 	var prev TaskID
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("t%03d", i)
 		var deps []TaskID
 		if prev != "" {
-			deps = []TaskID{prev}
+			deps = ar.deps1(prev)
 		}
-		w.Add(opts.task(rng, id, fmt.Sprintf("step%d", i), deps...))
+		w.Add(opts.fill(ar.task(), rng, id, fmt.Sprintf("step%d", i), deps))
 		prev = TaskID(id)
 	}
 	return w
@@ -84,21 +140,23 @@ func Chain(rng *randx.Source, n int, opts GenOpts) *Workflow {
 // strategy wasteful.
 func ForkJoin(rng *randx.Source, stages, width int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("forkjoin-%dx%d", stages, width))
+	n := stages * (width + 1)
+	w := NewSized(fmt.Sprintf("forkjoin-%dx%d", stages, width), n)
+	ar := newArena(n, 2*stages*width)
 	prev := TaskID("")
 	for s := 0; s < stages; s++ {
-		var stageIDs []TaskID
+		stageIDs := make([]TaskID, 0, width)
 		for i := 0; i < width; i++ {
 			id := fmt.Sprintf("s%02d-w%03d", s, i)
 			var deps []TaskID
 			if prev != "" {
-				deps = []TaskID{prev}
+				deps = ar.deps1(prev)
 			}
-			w.Add(opts.task(rng, id, fmt.Sprintf("fan%d", s), deps...))
+			w.Add(opts.fill(ar.task(), rng, id, fmt.Sprintf("fan%d", s), deps))
 			stageIDs = append(stageIDs, TaskID(id))
 		}
 		mid := fmt.Sprintf("s%02d-merge", s)
-		w.Add(opts.task(rng, mid, fmt.Sprintf("merge%d", s), stageIDs...))
+		w.Add(opts.fill(ar.task(), rng, mid, fmt.Sprintf("merge%d", s), stageIDs))
 		prev = TaskID(mid)
 	}
 	return w
@@ -107,11 +165,12 @@ func ForkJoin(rng *randx.Source, stages, width int, opts GenOpts) *Workflow {
 // Diamond generates the 4-task diamond: one source, two branches, one sink.
 func Diamond(rng *randx.Source, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New("diamond")
-	w.Add(opts.task(rng, "src", "src"))
-	w.Add(opts.task(rng, "left", "branch", "src"))
-	w.Add(opts.task(rng, "right", "branch", "src"))
-	w.Add(opts.task(rng, "sink", "sink", "left", "right"))
+	w := NewSized("diamond", 4)
+	ar := newArena(4, 4)
+	w.Add(opts.fill(ar.task(), rng, "src", "src", nil))
+	w.Add(opts.fill(ar.task(), rng, "left", "branch", ar.deps1("src")))
+	w.Add(opts.fill(ar.task(), rng, "right", "branch", ar.deps1("src")))
+	w.Add(opts.fill(ar.task(), rng, "sink", "sink", ar.deps2("left", "right")))
 	return w
 }
 
@@ -120,17 +179,18 @@ func Diamond(rng *randx.Source, opts GenOpts) *Workflow {
 // synthetic-DAG family used in scheduling studies.
 func RandomLayered(rng *randx.Source, levels, width int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("layered-%dx%d", levels, width))
+	w := NewSized(fmt.Sprintf("layered-%dx%d", levels, width), levels*width)
+	ar := newArena(levels*width, 3*levels*width)
 	var prevLayer []TaskID
 	for l := 0; l < levels; l++ {
 		n := 1 + rng.Intn(width)
 		if l == 0 {
 			n = width // full fan-out at the roots
 		}
-		var layer []TaskID
+		layer := make([]TaskID, 0, n)
 		for i := 0; i < n; i++ {
 			id := fmt.Sprintf("l%02d-t%03d", l, i)
-			var deps []TaskID
+			mark := ar.markDeps()
 			if len(prevLayer) > 0 {
 				k := 1 + rng.Intn(3)
 				if k > len(prevLayer) {
@@ -138,10 +198,10 @@ func RandomLayered(rng *randx.Source, levels, width int, opts GenOpts) *Workflow
 				}
 				perm := rng.Perm(len(prevLayer))
 				for j := 0; j < k; j++ {
-					deps = append(deps, prevLayer[perm[j]])
+					ar.deps = append(ar.deps, prevLayer[perm[j]])
 				}
 			}
-			w.Add(opts.task(rng, id, fmt.Sprintf("proc%d", l), deps...))
+			w.Add(opts.fill(ar.task(), rng, id, fmt.Sprintf("proc%d", l), ar.takeDeps(mark)))
 			layer = append(layer, TaskID(id))
 		}
 		prevLayer = layer
@@ -153,30 +213,31 @@ func RandomLayered(rng *randx.Source, levels, width int, opts GenOpts) *Workflow
 // overlap-pair fit, concat, background correction fan, gather, tile.
 func MontageLike(rng *randx.Source, width int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("montage-%d", width))
-	var projs []TaskID
+	w := NewSized(fmt.Sprintf("montage-%d", width), 3*width+4)
+	ar := newArena(3*width+4, 4*width+2)
+	projs := make([]TaskID, 0, width)
 	for i := 0; i < width; i++ {
 		id := fmt.Sprintf("mProject-%03d", i)
-		w.Add(opts.task(rng, id, "mProject"))
+		w.Add(opts.fill(ar.task(), rng, id, "mProject", nil))
 		projs = append(projs, TaskID(id))
 	}
-	var diffs []TaskID
+	diffs := make([]TaskID, 0, width)
 	for i := 0; i+1 < width; i++ {
 		id := fmt.Sprintf("mDiffFit-%03d", i)
-		w.Add(opts.task(rng, id, "mDiffFit", projs[i], projs[i+1]))
+		w.Add(opts.fill(ar.task(), rng, id, "mDiffFit", ar.deps2(projs[i], projs[i+1])))
 		diffs = append(diffs, TaskID(id))
 	}
-	w.Add(opts.task(rng, "mConcatFit", "mConcatFit", diffs...))
-	w.Add(opts.task(rng, "mBgModel", "mBgModel", TaskID("mConcatFit")))
-	var bgs []TaskID
+	w.Add(opts.fill(ar.task(), rng, "mConcatFit", "mConcatFit", diffs))
+	w.Add(opts.fill(ar.task(), rng, "mBgModel", "mBgModel", ar.deps1("mConcatFit")))
+	bgs := make([]TaskID, 0, width)
 	for i := 0; i < width; i++ {
 		id := fmt.Sprintf("mBackground-%03d", i)
-		w.Add(opts.task(rng, id, "mBackground", projs[i], TaskID("mBgModel")))
+		w.Add(opts.fill(ar.task(), rng, id, "mBackground", ar.deps2(projs[i], "mBgModel")))
 		bgs = append(bgs, TaskID(id))
 	}
-	w.Add(opts.task(rng, "mImgtbl", "mImgtbl", bgs...))
-	w.Add(opts.task(rng, "mAdd", "mAdd", TaskID("mImgtbl")))
-	w.Add(opts.task(rng, "mViewer", "mViewer", TaskID("mAdd")))
+	w.Add(opts.fill(ar.task(), rng, "mImgtbl", "mImgtbl", bgs))
+	w.Add(opts.fill(ar.task(), rng, "mAdd", "mAdd", ar.deps1("mImgtbl")))
+	w.Add(opts.fill(ar.task(), rng, "mViewer", "mViewer", ar.deps1("mAdd")))
 	return w
 }
 
@@ -184,24 +245,26 @@ func MontageLike(rng *randx.Source, width int, opts GenOpts) *Workflow {
 // linear pipelines that merge into a global final chain.
 func EpigenomicsLike(rng *randx.Source, lanes, depth int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("epigenomics-%dx%d", lanes, depth))
-	var tails []TaskID
+	n := lanes*depth + 3
+	w := NewSized(fmt.Sprintf("epigenomics-%dx%d", lanes, depth), n)
+	ar := newArena(n, lanes*depth+2)
+	tails := make([]TaskID, 0, lanes)
 	for l := 0; l < lanes; l++ {
 		var prev TaskID
 		for d := 0; d < depth; d++ {
 			id := fmt.Sprintf("lane%02d-s%02d", l, d)
 			var deps []TaskID
 			if prev != "" {
-				deps = []TaskID{prev}
+				deps = ar.deps1(prev)
 			}
-			w.Add(opts.task(rng, id, fmt.Sprintf("stage%d", d), deps...))
+			w.Add(opts.fill(ar.task(), rng, id, fmt.Sprintf("stage%d", d), deps))
 			prev = TaskID(id)
 		}
 		tails = append(tails, prev)
 	}
-	w.Add(opts.task(rng, "merge", "mergeSort", tails...))
-	w.Add(opts.task(rng, "map", "map", TaskID("merge")))
-	w.Add(opts.task(rng, "filter", "pileup", TaskID("map")))
+	w.Add(opts.fill(ar.task(), rng, "merge", "mergeSort", tails))
+	w.Add(opts.fill(ar.task(), rng, "map", "map", ar.deps1("merge")))
+	w.Add(opts.fill(ar.task(), rng, "filter", "pileup", ar.deps1("map")))
 	return w
 }
 
@@ -210,7 +273,8 @@ func EpigenomicsLike(rng *randx.Source, lanes, depth int, opts GenOpts) *Workflo
 // §5's "multiple independent pipelines processed in parallel".
 func RNASeqLike(rng *randx.Source, samples int, opts GenOpts) *Workflow {
 	opts.defaults()
-	w := New(fmt.Sprintf("rnaseq-%d", samples))
+	w := NewSized(fmt.Sprintf("rnaseq-%d", samples), samples*4)
+	ar := newArena(samples*4, samples*3)
 	steps := []string{"prefetch", "fasterq", "salmon", "deseq2"}
 	for s := 0; s < samples; s++ {
 		var prev TaskID
@@ -218,9 +282,9 @@ func RNASeqLike(rng *randx.Source, samples int, opts GenOpts) *Workflow {
 			id := fmt.Sprintf("%s-%04d", st, s)
 			var deps []TaskID
 			if prev != "" {
-				deps = []TaskID{prev}
+				deps = ar.deps1(prev)
 			}
-			w.Add(opts.task(rng, id, st, deps...))
+			w.Add(opts.fill(ar.task(), rng, id, st, deps))
 			prev = TaskID(id)
 		}
 	}

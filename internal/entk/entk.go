@@ -450,84 +450,16 @@ func (am *AppManager) startJob(res ResourceDesc, pipelines []*Pipeline, rep *Rep
 			idx++
 		}
 	}
-	failedByStage := make([][]*Task, idx)
 
-	active := len(pipelines)
-	var runStage func(pl *Pipeline, si int)
-	runStage = func(pl *Pipeline, si int) {
-		if si >= len(pl.Stages) {
-			active--
-			if active == 0 {
-				p.Release()
-			}
-			return
-		}
-		stage := pl.Stages[si]
-		if len(stage.Tasks) == 0 {
-			if stage.PostExec != nil && !stage.postExecFired {
-				stage.postExecFired = true
-				stage.PostExec(pl, stage)
-				for _, s := range pl.Stages {
-					if _, known := stageIndex[s]; !known {
-						stageIndex[s] = len(failedByStage)
-						failedByStage = append(failedByStage, nil)
-					}
-				}
-			}
-			runStage(pl, si+1)
-			return
-		}
-		remaining := len(stage.Tasks)
-		for _, t := range stage.Tasks {
-			task := t
-			task.state = Scheduling
-			task.attempts++
-			err := p.SubmitTask(&pilot.Task{
-				ID:           fmt.Sprintf("%s/%s/%s#%d", pl.Name, stage.Name, task.ID, task.attempts),
-				Nodes:        task.Nodes,
-				DurationSec:  task.DurationSec,
-				Fail:         task.attempts <= task.FailAttempts,
-				FailAfterSec: task.DurationSec / 2,
-				Done: func(r pilot.TaskResult) {
-					if r.Failed {
-						task.state = Failed
-						gi := stageIndex[stage]
-						failedByStage[gi] = append(failedByStage[gi], task)
-					} else {
-						task.state = Executed
-					}
-					remaining--
-					if remaining == 0 {
-						if stage.PostExec != nil && !stage.postExecFired {
-							stage.postExecFired = true
-							stage.PostExec(pl, stage)
-							// Register any appended stages for
-							// order-preserving resubmission.
-							for _, s := range pl.Stages {
-								if _, known := stageIndex[s]; !known {
-									stageIndex[s] = len(failedByStage)
-									failedByStage = append(failedByStage, nil)
-								}
-							}
-						}
-						runStage(pl, si+1)
-					}
-				},
-			})
-			if err != nil {
-				task.state = Failed
-				gi := stageIndex[stage]
-				failedByStage[gi] = append(failedByStage[gi], task)
-				remaining--
-				if remaining == 0 {
-					runStage(pl, si+1)
-				}
-			}
-		}
+	job := &jobRun{
+		p:             p,
+		stageIndex:    stageIndex,
+		failedByStage: make([][]*Task, idx),
+		active:        len(pipelines),
 	}
 	p.OnActive(func() {
 		for _, pl := range pipelines {
-			runStage(pl, 0)
+			job.runStage(pl, 0)
 		}
 	})
 	finish := func() ([][]*Task, error) {
@@ -550,9 +482,118 @@ func (am *AppManager) startJob(res ResourceDesc, pipelines []*Pipeline, rep *Rep
 			rep.Scheduled = copySeries(p.ScheduledSeries().Points())
 			rep.BusyNodes = copySeries(p.BusyNodesSeries().Points())
 		}
-		return failedByStage, nil
+		return job.failedByStage, nil
 	}
 	return finish, nil
+}
+
+// jobRun is one startJob invocation's dispatch state: the pilot, the global
+// stage index for order-preserving resubmission, and the count of pipelines
+// still executing. Bundling it lets stages and task attempts be plain
+// records instead of a lattice of capturing closures on the hot path.
+type jobRun struct {
+	p             *pilot.Pilot
+	stageIndex    map[*Stage]int
+	failedByStage [][]*Task
+	active        int
+}
+
+// recordFailed appends a task to its stage's global failure bucket.
+func (j *jobRun) recordFailed(stage *Stage, t *Task) {
+	gi := j.stageIndex[stage]
+	j.failedByStage[gi] = append(j.failedByStage[gi], t)
+}
+
+// firePostExec runs a stage's PostExec hook once and registers any stages
+// the hook appended, preserving resubmission order.
+func (j *jobRun) firePostExec(pl *Pipeline, stage *Stage) {
+	if stage.PostExec == nil || stage.postExecFired {
+		return
+	}
+	stage.postExecFired = true
+	stage.PostExec(pl, stage)
+	for _, s := range pl.Stages {
+		if _, known := j.stageIndex[s]; !known {
+			j.stageIndex[s] = len(j.failedByStage)
+			j.failedByStage = append(j.failedByStage, nil)
+		}
+	}
+}
+
+// runStage submits stage si of pipeline pl, advancing to the next stage when
+// it drains (or releasing the pilot when every pipeline has finished).
+func (j *jobRun) runStage(pl *Pipeline, si int) {
+	if si >= len(pl.Stages) {
+		j.active--
+		if j.active == 0 {
+			j.p.Release()
+		}
+		return
+	}
+	stage := pl.Stages[si]
+	if len(stage.Tasks) == 0 {
+		j.firePostExec(pl, stage)
+		j.runStage(pl, si+1)
+		return
+	}
+	sr := &stageRun{job: j, pl: pl, si: si, stage: stage, remaining: len(stage.Tasks)}
+	for _, task := range stage.Tasks {
+		task.state = Scheduling
+		task.attempts++
+		a := &taskAttempt{sr: sr, task: task}
+		a.pt = pilot.Task{
+			ID:           fmt.Sprintf("%s/%s/%s#%d", pl.Name, stage.Name, task.ID, task.attempts),
+			Nodes:        task.Nodes,
+			DurationSec:  task.DurationSec,
+			Fail:         task.attempts <= task.FailAttempts,
+			FailAfterSec: task.DurationSec / 2,
+			Handler:      a,
+		}
+		if err := j.p.SubmitTask(&a.pt); err != nil {
+			task.state = Failed
+			j.recordFailed(stage, task)
+			sr.remaining--
+			if sr.remaining == 0 {
+				// Mirrors the historical synchronous-rejection path, which
+				// advances without firing PostExec.
+				j.runStage(pl, si+1)
+			}
+		}
+	}
+}
+
+// stageRun tracks one in-flight stage: how many tasks are still outstanding
+// and where to go when the last one completes.
+type stageRun struct {
+	job       *jobRun
+	pl        *Pipeline
+	si        int
+	stage     *Stage
+	remaining int
+}
+
+// taskAttempt is one task submission: the pilot task embedded alongside the
+// completion context, so submitting a task costs a single allocation.
+type taskAttempt struct {
+	sr   *stageRun
+	task *Task
+	pt   pilot.Task
+}
+
+// OnTaskDone implements pilot.TaskHandler.
+func (a *taskAttempt) OnTaskDone(r pilot.TaskResult) {
+	sr, task := a.sr, a.task
+	if r.Failed {
+		task.state = Failed
+		sr.job.recordFailed(sr.stage, task)
+	} else {
+		task.state = Executed
+	}
+	sr.remaining--
+	if sr.remaining == 0 {
+		sr.job.firePostExec(sr.pl, sr.stage)
+		sr.job.runStage(sr.pl, sr.si+1)
+	}
 }
 
 // measuredRate returns events/second over the initial ramp of a cumulative

@@ -25,45 +25,56 @@ func SparseGrid(dim, level int) [][]float64 {
 	if dim <= 0 || level < 0 {
 		return nil
 	}
+	// 1-D node tables are shared across every index combination instead of
+	// recomputed per dimension, and each level-index tuple is expanded in
+	// place (grids[pos] rebinding during the walk) rather than materialized.
+	cc := make([][]float64, level+1)
+	for l := 0; l <= level; l++ {
+		cc[l] = ccPoints(l)
+	}
 	seen := map[string]bool{}
 	var out [][]float64
-
-	var indices [][]int
-	var walk func(prefix []int, remaining, budget int)
-	walk = func(prefix []int, remaining, budget int) {
-		if remaining == 0 {
-			idx := append([]int(nil), prefix...)
-			indices = append(indices, idx)
+	grids := make([][]float64, dim)
+	pt := make([]float64, dim)
+	var keyBuf []byte
+	emit := func(pt []float64) {
+		// Quantized-key lookup on a reused buffer; the key string is only
+		// materialized when the point is new.
+		keyBuf = appendPointKey(keyBuf[:0], pt)
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
+			out = append(out, append([]float64(nil), pt...))
+		}
+	}
+	var walk func(pos, budget int)
+	walk = func(pos, budget int) {
+		if pos == dim {
+			crossRec(pt, grids, 0, emit)
 			return
 		}
 		for l := 0; l <= budget; l++ {
-			walk(append(prefix, l), remaining-1, budget-l)
+			grids[pos] = cc[l]
+			walk(pos+1, budget-l)
 		}
 	}
-	walk(nil, dim, level)
-
-	for _, idx := range indices {
-		grids := make([][]float64, dim)
-		for i, l := range idx {
-			grids[i] = ccPoints(l)
-		}
-		cross(grids, func(pt []float64) {
-			k := pointKey(pt)
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, append([]float64(nil), pt...))
-			}
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
-	})
+	walk(0, level)
+	sort.Sort(pointsLex(out))
 	return out
+}
+
+// pointsLex sorts points lexicographically. Points are deduplicated before
+// sorting, so the (unstable) sort has a unique fixed point.
+type pointsLex [][]float64
+
+func (p pointsLex) Len() int      { return len(p) }
+func (p pointsLex) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p pointsLex) Less(i, j int) bool {
+	for k := range p[i] {
+		if p[i][k] != p[j][k] {
+			return p[i][k] < p[j][k]
+		}
+	}
+	return false
 }
 
 // ccPoints returns the 1-D Clenshaw-Curtis nodes at a level: 1 node at level
@@ -84,25 +95,22 @@ func ccPoints(level int) []float64 {
 	return pts
 }
 
-func cross(grids [][]float64, emit func([]float64)) {
-	pt := make([]float64, len(grids))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(grids) {
-			emit(pt)
-			return
-		}
-		for _, v := range grids[i] {
-			pt[i] = v
-			rec(i + 1)
-		}
+// crossRec emits every point of the cartesian product of grids into the pt
+// scratch buffer. A plain recursive function (not a closure pair) so the
+// walk itself allocates nothing.
+func crossRec(pt []float64, grids [][]float64, pos int, emit func([]float64)) {
+	if pos == len(grids) {
+		emit(pt)
+		return
 	}
-	rec(0)
+	for _, v := range grids[pos] {
+		pt[pos] = v
+		crossRec(pt, grids, pos+1, emit)
+	}
 }
 
-func pointKey(pt []float64) string {
-	// Quantize to avoid float-noise duplicates.
-	b := make([]byte, 0, len(pt)*9)
+// appendPointKey appends pt's quantized dedup key to b (reusable scratch).
+func appendPointKey(b []byte, pt []float64) []byte {
 	for _, v := range pt {
 		q := int64(math.Round(v * 1e9))
 		for i := 0; i < 8; i++ {
@@ -110,7 +118,12 @@ func pointKey(pt []float64) string {
 		}
 		b = append(b, ':')
 	}
-	return string(b)
+	return b
+}
+
+func pointKey(pt []float64) string {
+	// Quantize to avoid float-noise duplicates.
+	return string(appendPointKey(make([]byte, 0, len(pt)*9), pt))
 }
 
 // ScalePoint maps a [-1,1] grid point into physical parameter ranges

@@ -35,6 +35,12 @@ func (s *Series) Add(t sim.Time, v float64) {
 	if n := len(s.points); n > 0 && t < s.points[n-1].T {
 		panic(fmt.Sprintf("metrics: out-of-order sample on %q: %v after %v", s.Name, t, s.points[n-1].T))
 	}
+	if s.points == nil {
+		// Live series accumulate hundreds of samples; starting at a real
+		// capacity skips the first several append-doublings on the sampling
+		// hot path without bloating series that never record.
+		s.points = make([]Point, 0, 64)
+	}
 	s.points = append(s.points, Point{t, v})
 }
 

@@ -80,6 +80,18 @@ func DefaultPolicy() Policy {
 	}
 }
 
+// DomainOnlyPolicy gates only the Exact-class domain metrics: allocs/op and
+// B/op join ns/op as informational. This is the CI smoke profile — a shared
+// runner measuring the -short workloads sees allocator amortization jitter
+// the committed full-run baseline doesn't tolerate, but domain-metric drift
+// is a correctness event on any machine and still fails the gate.
+func DomainOnlyPolicy() Policy {
+	p := DefaultPolicy()
+	p.Rules[MetricAllocsPerOp] = Rule{Class: Informational}
+	p.Rules[MetricBytesPerOp] = Rule{Class: Informational}
+	return p
+}
+
 // Rule resolves the policy for one benchmark's metric.
 func (p *Policy) Rule(benchmark, metric string) Rule {
 	if r, ok := p.Rules[benchmark+"/"+metric]; ok {

@@ -33,8 +33,10 @@ type Spec struct {
 // is only comparable to other short reports.
 func Suite(short bool) []Spec {
 	depth, seeds, cwsSeeds := 16384, 60, 2
+	dqPerType, dqTasks, dqChurn := 40, 1500, 8
 	if short {
 		depth, seeds, cwsSeeds = 4096, 10, 1
+		dqPerType, dqTasks, dqChurn = 12, 400, 4
 	}
 	return []Spec{
 		{Name: "EngineThroughput", Bench: func(b *testing.B) {
@@ -136,6 +138,58 @@ func Suite(short bool) []Spec {
 			b.ReportMetric(rep.Utilization*100, "util_pct")
 			b.ReportMetric(rep.MeasuredSchedRate, "sched_tasks_per_s")
 			b.ReportMetric(rep.MeasuredLaunchRate, "launch_tasks_per_s")
+		}},
+		{Name: "ScheduleDenseQueue", Bench: func(b *testing.B) {
+			// The dispatch hot path under pressure: a dense pending queue on a
+			// heterogeneous cluster with node fail/repair churn, driven through
+			// rm.TaskManager — the workload the free-capacity index and the
+			// zero-alloc schedule pass exist for. All reported metrics are
+			// deterministic virtual-time outputs and gate exactly.
+			b.ReportAllocs()
+			var makespan, meanWait float64
+			var completed, failed int
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				cl := cluster.Heterogeneous(eng, dqPerType)
+				m := rm.NewTaskManager(cl, nil)
+				r := randx.New(4242)
+				for j := 0; j < dqTasks; j++ {
+					id := fmt.Sprintf("dq%04d", j)
+					cores := 1 + r.Intn(8)
+					mem := float64(1+r.Intn(8)) * 4e9
+					dur := 30 + r.Float64()*300
+					at := sim.Time(r.Float64() * 120)
+					eng.At(at, func() {
+						m.Submit(&rm.Submission{
+							ID:    id,
+							Cores: cores,
+							Mem:   mem,
+							Runtime: func(*cluster.Node) float64 {
+								return dur
+							},
+						})
+					})
+				}
+				nodes := cl.Nodes()
+				for k := 0; k < dqChurn; k++ {
+					n := nodes[(k*31+7)%len(nodes)]
+					eng.At(sim.Time(60+25*k), func() { cl.FailNode(n) })
+					eng.At(sim.Time(300+25*k), func() { cl.RepairNode(n) })
+				}
+				eng.Run()
+				makespan = float64(eng.Now())
+				completed, failed = m.Completed(), m.Failed()
+				sum := 0.0
+				waits := m.QueueWaits()
+				for _, w := range waits {
+					sum += w
+				}
+				meanWait = sum / float64(len(waits))
+			}
+			b.ReportMetric(makespan, "makespan_s")
+			b.ReportMetric(float64(completed), "tasks_completed")
+			b.ReportMetric(float64(failed), "tasks_failed")
+			b.ReportMetric(meanWait, "mean_wait_s")
 		}},
 		{Name: "CWSMakespanCut", Bench: func(b *testing.B) {
 			b.ReportAllocs()

@@ -1,0 +1,13 @@
+package perf
+
+import "testing"
+
+// BenchmarkSuite exposes every tracked spec as a standard sub-benchmark so
+// `go test -bench Suite/<Name>` can run one in isolation (with -short
+// selecting the reduced workloads). The gated path — cmd/benchreport —
+// drives the very same specs through testing.Benchmark.
+func BenchmarkSuite(b *testing.B) {
+	for _, s := range Suite(testing.Short()) {
+		b.Run(s.Name, s.Bench)
+	}
+}

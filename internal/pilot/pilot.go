@@ -50,6 +50,27 @@ type Task struct {
 	FailAfterSec float64
 	// Done receives the terminal result exactly once.
 	Done func(TaskResult)
+	// Handler is the interface form of Done, consulted only when Done is
+	// nil. Callers that submit many tasks can embed Task in a per-attempt
+	// record implementing TaskHandler, replacing the per-task closure (and
+	// its captured-variable boxes) with a single allocation.
+	Handler TaskHandler
+}
+
+// TaskHandler receives a task's terminal result exactly once.
+type TaskHandler interface {
+	OnTaskDone(TaskResult)
+}
+
+// notifyDone dispatches the terminal result to Done or, failing that,
+// Handler.
+func (t *Task) notifyDone(res TaskResult) {
+	switch {
+	case t.Done != nil:
+		t.Done(res)
+	case t.Handler != nil:
+		t.Handler.OnTaskDone(res)
+	}
 }
 
 // TaskResult is a pilot task's terminal record.
@@ -408,9 +429,7 @@ func (p *Pilot) finish(q *pending, failed bool, err error) {
 		Failed:      failed,
 		Err:         err,
 	}
-	if q.task.Done != nil {
-		q.task.Done(res)
-	}
+	q.task.notifyDone(res)
 	p.pumpLauncher()
 	p.pumpScheduler()
 }
@@ -425,9 +444,7 @@ func (p *Pilot) fail(q *pending, err error) {
 		Err:         err,
 	}
 	p.failCount++
-	if q.task.Done != nil {
-		q.task.Done(res)
-	}
+	q.task.notifyDone(res)
 }
 
 func (p *Pilot) onNodeDown(n *cluster.Node) {

@@ -60,11 +60,33 @@ type NodeEvent struct {
 	Kind string // "down" | "up"
 }
 
+// refAgg is the running reference-runtime aggregate for one process name:
+// speed-normalized runtimes of successful executions, accumulated in
+// insertion order so the mean is bit-identical to a rescan.
+type refAgg struct {
+	sum float64
+	n   int
+}
+
+// statAgg is the running StatsByName aggregate for one process name,
+// maintained incrementally so per-name summaries cost O(1) per query
+// instead of a full record scan.
+type statAgg struct {
+	execs    int
+	failures int
+	ok       int
+	sumRT    float64
+	sumMem   float64
+	maxRT    float64
+}
+
 // Store is the central provenance store.
 type Store struct {
 	records    []TaskRecord
 	byWorkflow map[string][]int
 	byName     map[string][]int
+	refByName  map[string]refAgg
+	statByName map[string]statAgg
 	nodeEvents []NodeEvent
 	workflows  map[string]*dag.Workflow
 }
@@ -72,8 +94,13 @@ type Store struct {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
+		// A store that records anything records at least a workflow's worth
+		// of tasks; skip the first several append-doublings.
+		records:    make([]TaskRecord, 0, 64),
 		byWorkflow: map[string][]int{},
 		byName:     map[string][]int{},
+		refByName:  map[string]refAgg{},
+		statByName: map[string]statAgg{},
 		workflows:  map[string]*dag.Workflow{},
 	}
 }
@@ -83,12 +110,50 @@ func (s *Store) RegisterWorkflow(id string, w *dag.Workflow) {
 	s.workflows[id] = w
 }
 
-// AddTask appends a task execution record.
+// AddTask appends a task execution record and folds it into the per-name
+// running aggregates.
 func (s *Store) AddTask(r TaskRecord) {
 	idx := len(s.records)
 	s.records = append(s.records, r)
 	s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
 	s.byName[r.Name] = append(s.byName[r.Name], idx)
+
+	st := s.statByName[r.Name]
+	st.execs++
+	if r.Failed {
+		st.failures++
+		s.statByName[r.Name] = st
+		return
+	}
+	rt := float64(r.Runtime())
+	st.ok++
+	st.sumRT += rt
+	st.sumMem += r.PeakMem
+	if rt > st.maxRT {
+		st.maxRT = rt
+	}
+	s.statByName[r.Name] = st
+
+	sf := r.SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	a := s.refByName[r.Name]
+	a.sum += float64(r.Runtime()) * sf
+	a.n++
+	s.refByName[r.Name] = a
+}
+
+// MeanRefRuntime returns the running mean of the speed-normalized runtimes
+// of name's successful executions (ok=false before any). Accumulation order
+// matches insertion order, so the result is bit-identical to rescanning the
+// records — but O(1) per call.
+func (s *Store) MeanRefRuntime(name string) (float64, bool) {
+	a := s.refByName[name]
+	if a.n == 0 {
+		return 0, false
+	}
+	return a.sum / float64(a.n), true
 }
 
 // AddNodeEvent appends a node trace entry.
@@ -192,7 +257,8 @@ type Stats struct {
 	MeanPeakMem float64
 }
 
-// StatsByName returns per-process summaries sorted by name.
+// StatsByName returns per-process summaries sorted by name, read from the
+// running aggregates — O(names), not O(records).
 func (s *Store) StatsByName() []Stats {
 	names := make([]string, 0, len(s.byName))
 	for n := range s.byName {
@@ -201,26 +267,16 @@ func (s *Store) StatsByName() []Stats {
 	sort.Strings(names)
 	out := make([]Stats, 0, len(names))
 	for _, n := range names {
-		st := Stats{Name: n}
-		sumRT, sumMem := 0.0, 0.0
-		ok := 0
-		for _, r := range s.ByTaskName(n) {
-			st.Executions++
-			if r.Failed {
-				st.Failures++
-				continue
-			}
-			ok++
-			rt := float64(r.Runtime())
-			sumRT += rt
-			sumMem += r.PeakMem
-			if rt > st.MaxRuntime {
-				st.MaxRuntime = rt
-			}
+		a := s.statByName[n]
+		st := Stats{
+			Name:       n,
+			Executions: a.execs,
+			Failures:   a.failures,
+			MaxRuntime: a.maxRT,
 		}
-		if ok > 0 {
-			st.MeanRuntime = sumRT / float64(ok)
-			st.MeanPeakMem = sumMem / float64(ok)
+		if a.ok > 0 {
+			st.MeanRuntime = a.sumRT / float64(a.ok)
+			st.MeanPeakMem = a.sumMem / float64(a.ok)
 		}
 		out = append(out, st)
 	}

@@ -111,6 +111,28 @@ type BatchManager struct {
 	started         *metrics.Counter
 	expired         *metrics.Counter
 	schedulePending bool
+	// Steady-state scratch, reused across schedule passes.
+	kickFn      func()
+	freeScratch []*cluster.Node
+	sorter      *batchQueueSorter
+}
+
+// batchQueueSorter orders the queue by fair share: ascending historical
+// account usage, FIFO within an account. Held as a prebuilt *sorter so
+// sort.Stable boxes no fresh interface value per pass.
+type batchQueueSorter struct {
+	jobs  []*BatchJob
+	usage map[string]float64
+}
+
+func (q *batchQueueSorter) Len() int      { return len(q.jobs) }
+func (q *batchQueueSorter) Swap(i, j int) { q.jobs[i], q.jobs[j] = q.jobs[j], q.jobs[i] }
+func (q *batchQueueSorter) Less(i, j int) bool {
+	ui, uj := q.usage[q.jobs[i].Account], q.usage[q.jobs[j].Account]
+	if ui != uj {
+		return ui < uj
+	}
+	return q.jobs[i].submittedAt < q.jobs[j].submittedAt
 }
 
 // NewBatchManager builds a batch manager over cl. policy may be nil (no
@@ -127,6 +149,11 @@ func NewBatchManager(cl *cluster.Cluster, policy WalltimePolicy) *BatchManager {
 		started:  metrics.NewCounter("batch.started"),
 		expired:  metrics.NewCounter("batch.expired"),
 	}
+	m.kickFn = func() {
+		m.schedulePending = false
+		m.schedule()
+	}
+	m.sorter = &batchQueueSorter{usage: m.usage}
 	cl.OnNodeDown(m.handleNodeDown)
 	cl.OnNodeUp(func(*cluster.Node) { m.kick() })
 	return m
@@ -206,33 +233,24 @@ func (m *BatchManager) kick() {
 		return
 	}
 	m.schedulePending = true
-	m.eng.After(0, func() {
-		m.schedulePending = false
-		m.schedule()
-	})
+	m.eng.After(0, m.kickFn)
 }
 
 // schedule orders the queue by fair share (ascending historical usage, FIFO
 // within an account) then first-fit backfills: any job whose node count fits
-// the currently idle nodes starts.
+// the currently idle nodes starts. Idle nodes come from the cluster's
+// capacity index — same predicate and node-ID order as the historical full
+// scan — and the pass compacts the queue in place on reusable scratch.
 func (m *BatchManager) schedule() {
 	if len(m.queue) == 0 {
 		return
 	}
-	sort.SliceStable(m.queue, func(i, j int) bool {
-		ui, uj := m.usage[m.queue[i].Account], m.usage[m.queue[j].Account]
-		if ui != uj {
-			return ui < uj
-		}
-		return m.queue[i].submittedAt < m.queue[j].submittedAt
-	})
-	var free []*cluster.Node
-	for _, n := range m.cl.Nodes() {
-		if !n.Down() && n.FreeCores() == n.Type.Cores {
-			free = append(free, n)
-		}
-	}
-	var rest []*BatchJob
+	m.sorter.jobs = m.queue
+	sort.Stable(m.sorter)
+	m.sorter.jobs = nil
+	free := m.cl.AppendIdleNodes(m.freeScratch[:0])
+	m.freeScratch = free[:0]
+	rest := m.queue[:0]
 	for _, j := range m.queue {
 		if j.Nodes > len(free) {
 			rest = append(rest, j)
@@ -240,26 +258,25 @@ func (m *BatchManager) schedule() {
 		}
 		granted := free[:j.Nodes]
 		free = free[j.Nodes:]
-		m.start(j, granted)
+		if !m.start(j, granted) {
+			rest = append(rest, j)
+		}
 	}
 	m.queue = rest
 	m.queueLen.Set(m.eng.Now(), float64(len(m.queue)))
 }
 
-func (m *BatchManager) start(j *BatchJob, nodes []*cluster.Node) {
+// start grants the job its whole nodes; it reports false (leaving the job
+// queued) if any node raced to a down state mid-grant.
+func (m *BatchManager) start(j *BatchJob, nodes []*cluster.Node) bool {
 	now := m.eng.Now()
-	alloc := &BatchAlloc{Job: j, Nodes: nodes, StartedAt: now, mgr: m}
-	for _, n := range nodes {
-		a, err := m.cl.Allocate(n, n.Type.Cores, n.Type.GPUs, n.Type.MemBytes)
-		if err != nil {
-			// Roll back: a node raced to down state. Requeue the job.
-			for _, got := range alloc.allocs {
-				m.cl.Release(got)
-			}
-			m.queue = append(m.queue, j)
-			return
-		}
-		alloc.allocs = append(alloc.allocs, a)
+	allocs, err := m.cl.AllocateAll(nodes)
+	if err != nil {
+		return false
+	}
+	alloc := &BatchAlloc{
+		Job: j, Nodes: append([]*cluster.Node(nil), nodes...), StartedAt: now,
+		mgr: m, allocs: allocs,
 	}
 	m.runningJobs++
 	m.live = append(m.live, alloc)
@@ -276,4 +293,5 @@ func (m *BatchManager) start(j *BatchJob, nodes []*cluster.Node) {
 	if j.OnStart != nil {
 		j.OnStart(alloc)
 	}
+	return true
 }

@@ -1,0 +1,202 @@
+package rm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// The dispatch overhaul replaced the per-submission full node scan with the
+// cluster's capacity index. This file replays random tapes of submit /
+// cancel / abort / node-fail / node-repair operations through a strategy
+// instrumented to rerun the old scan kernel at every placement decision: the
+// candidate list the index hands to PickNode must match the rescan, element
+// for element, in node-ID order. A mismatch dumps the offending tape to
+// crosscheck_tape_failure.json so CI can attach it to the failing run.
+
+// tapeOp is one replayable scheduler-facing operation.
+type tapeOp struct {
+	At    float64 `json:"at"`
+	Op    string  `json:"op"` // submit | cancel | abort | fail | repair
+	ID    string  `json:"id,omitempty"`
+	Cores int     `json:"cores,omitempty"`
+	GPUs  int     `json:"gpus,omitempty"`
+	Mem   float64 `json:"mem,omitempty"`
+	Dur   float64 `json:"dur,omitempty"`
+	Node  int     `json:"node,omitempty"`
+}
+
+// checkedFIFO is FIFO instrumented with the historical full-scan kernel as a
+// test-only reference: every PickNode cross-checks its candidate slice.
+type checkedFIFO struct {
+	t          *testing.T
+	cl         *cluster.Cluster
+	tape       []tapeOp
+	seed       int64
+	checks     int
+	mismatched bool
+}
+
+func (c *checkedFIFO) Name() string { return "checked-fifo" }
+
+func (c *checkedFIFO) Prioritize(p []*Submission) []*Submission { return p }
+
+func (c *checkedFIFO) PickNode(s *Submission, candidates []*cluster.Node) *cluster.Node {
+	c.checks++
+	// The old kernel: scan every node in ID order, keep the feasible ones.
+	var want []*cluster.Node
+	for _, n := range c.cl.Nodes() {
+		if n.Down() {
+			continue
+		}
+		if n.FreeCores() >= s.Cores && n.FreeGPUs() >= s.GPUs && n.FreeMem() >= s.Mem {
+			want = append(want, n)
+		}
+	}
+	ok := len(want) == len(candidates)
+	if ok {
+		for i := range want {
+			if want[i] != candidates[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok && !c.mismatched {
+		c.mismatched = true
+		c.dumpFailure(s, want, candidates)
+		c.t.Errorf("seed %d: index candidates diverge from full rescan for %s (%d cores/%d gpus/%.0f mem): index %d nodes, rescan %d",
+			c.seed, s.ID, s.Cores, s.GPUs, s.Mem, len(candidates), len(want))
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[0]
+}
+
+// dumpFailure writes the replayable tape plus the diverging query to
+// crosscheck_tape_failure.json (uploaded as a CI artifact on test failure).
+func (c *checkedFIFO) dumpFailure(s *Submission, want, got []*cluster.Node) {
+	names := func(ns []*cluster.Node) []string {
+		out := make([]string, len(ns))
+		for i, n := range ns {
+			out[i] = n.Name()
+		}
+		return out
+	}
+	doc := map[string]any{
+		"seed": c.seed,
+		"tape": c.tape,
+		"query": map[string]any{
+			"id": s.ID, "cores": s.Cores, "gpus": s.GPUs, "mem": s.Mem,
+			"at": float64(c.cl.Engine().Now()),
+		},
+		"rescan_candidates": names(want),
+		"index_candidates":  names(got),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		_ = os.WriteFile("crosscheck_tape_failure.json", data, 0o644)
+	}
+}
+
+// genTape builds a random operation tape: a burst of submissions with mixed
+// shapes, sprinkled with cancels and aborts of earlier IDs and node
+// fail/repair churn.
+func genTape(r *randx.Source, nodes int) []tapeOp {
+	var tape []tapeOp
+	n := 0
+	for i := 0; i < 220; i++ {
+		at := r.Float64() * 400
+		switch r.Intn(10) {
+		case 0: // fail a node
+			tape = append(tape, tapeOp{At: at, Op: "fail", Node: r.Intn(nodes)})
+		case 1: // repair a node
+			tape = append(tape, tapeOp{At: at, Op: "repair", Node: r.Intn(nodes)})
+		case 2: // cancel an earlier submission
+			if n > 0 {
+				tape = append(tape, tapeOp{At: at, Op: "cancel", ID: fmt.Sprintf("s%03d", r.Intn(n))})
+			}
+		case 3: // abort an earlier submission
+			if n > 0 {
+				tape = append(tape, tapeOp{At: at, Op: "abort", ID: fmt.Sprintf("s%03d", r.Intn(n))})
+			}
+		default: // submit
+			tape = append(tape, tapeOp{
+				At: at, Op: "submit", ID: fmt.Sprintf("s%03d", n),
+				Cores: 1 + r.Intn(12), GPUs: r.Intn(3), Mem: float64(r.Intn(20)) * 4e9,
+				Dur: 20 + r.Float64()*200,
+			})
+			n++
+		}
+	}
+	return tape
+}
+
+// replayTape schedules every tape operation at its virtual time.
+func replayTape(eng *sim.Engine, cl *cluster.Cluster, m *TaskManager, tape []tapeOp) {
+	for _, op := range tape {
+		op := op
+		switch op.Op {
+		case "submit":
+			eng.At(sim.Time(op.At), func() {
+				m.Submit(&Submission{
+					ID: op.ID, Cores: op.Cores, GPUs: op.GPUs, Mem: op.Mem,
+					Runtime: fixedRuntime(op.Dur),
+				})
+			})
+		case "cancel":
+			eng.At(sim.Time(op.At), func() { m.Cancel(op.ID) })
+		case "abort":
+			eng.At(sim.Time(op.At), func() { m.Abort(op.ID, fmt.Errorf("tape abort")) })
+		case "fail":
+			eng.At(sim.Time(op.At), func() { cl.FailNode(cl.Nodes()[op.Node]) })
+		case "repair":
+			eng.At(sim.Time(op.At), func() { cl.RepairNode(cl.Nodes()[op.Node]) })
+		}
+	}
+}
+
+func TestPrioritizeScanCrossCheckTapes(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		eng := sim.NewEngine()
+		cl := cluster.Heterogeneous(eng, 5) // 15 nodes, three families
+		strat := &checkedFIFO{t: t, cl: cl, seed: seed}
+		m := NewTaskManager(cl, strat)
+		tape := genTape(randx.New(seed*7919+3), cl.NodeCount())
+		strat.tape = tape
+		replayTape(eng, cl, m, tape)
+		eng.Run()
+		if strat.checks == 0 {
+			t.Fatalf("seed %d: tape produced no placement decisions", seed)
+		}
+		if t.Failed() {
+			return // the artifact describes the first divergence; stop here
+		}
+	}
+}
+
+func TestQueueWaitsReturnsCopy(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewTaskManager(testCluster(eng, 1, 4), nil)
+	m.Submit(&Submission{ID: "a", Cores: 1, Runtime: fixedRuntime(5)})
+	m.Submit(&Submission{ID: "b", Cores: 4, Runtime: fixedRuntime(5)})
+	eng.Run()
+	w := m.QueueWaits()
+	if len(w) != 2 {
+		t.Fatalf("waits = %v", w)
+	}
+	w[0], w[1] = -777, -777 // caller mutates its copy
+	again := m.QueueWaits()
+	if again[0] == -777 || again[1] == -777 {
+		t.Fatalf("QueueWaits exposed manager state: %v", again)
+	}
+	if again[0] != 0 || again[1] != 5 {
+		t.Fatalf("waits corrupted: %v", again)
+	}
+}

@@ -44,23 +44,97 @@ type Submission struct {
 	InputBytes float64
 
 	// Runtime returns the task's execution time on the given node; the
-	// manager calls it once at placement.
+	// manager calls it once at placement. Ignored when Hooks is set.
 	Runtime func(n *cluster.Node) float64
 
 	// Validate, when non-nil, is consulted at completion; a non-nil error
 	// turns the execution into a failure (e.g. an OOM kill when the
-	// granted memory was below the task's true peak).
+	// granted memory was below the task's true peak). Ignored when Hooks
+	// is set.
 	Validate func(n *cluster.Node) error
 
-	// Done is invoked exactly once with the terminal result.
+	// Done is invoked exactly once with the terminal result. Ignored when
+	// Hooks is set.
 	Done func(Result)
+
+	// Hooks, when non-nil, replaces the Runtime/Validate/Done fields with a
+	// single callback object. Submitters on hot paths use it to bundle all
+	// per-task state into one allocation instead of three closures.
+	Hooks SubmissionHooks
 
 	submittedAt sim.Time
 	cancelled   bool
+	// placed marks the submission as dispatched within the current schedule
+	// pass — a flag on the submission itself so the pass needs no per-round
+	// map allocation.
+	placed bool
+	// prioKey/prioGen memoize a scheduler's priority for this submission
+	// (see PriorityCache); gen 0 means "never cached".
+	prioKey float64
+	prioGen uint64
+}
+
+// PriorityCache returns the priority memoized under generation gen, if any.
+// Schedulers that sort the pending queue by a derived key use this to
+// compute each submission's priority once and reuse it every round until
+// their knowledge changes (bumping the generation invalidates all entries
+// at once). Generation 0 is reserved and never matches.
+func (s *Submission) PriorityCache(gen uint64) (float64, bool) {
+	if gen != 0 && s.prioGen == gen {
+		return s.prioKey, true
+	}
+	return 0, false
+}
+
+// SetPriorityCache memoizes the submission's priority under generation gen.
+func (s *Submission) SetPriorityCache(v float64, gen uint64) {
+	s.prioKey, s.prioGen = v, gen
+}
+
+// SubmissionHooks bundles a submission's callbacks into one object, the
+// allocation-lean alternative to the three closure fields.
+type SubmissionHooks interface {
+	// RuntimeOn returns the execution time on the given node (Submission.Runtime).
+	RuntimeOn(n *cluster.Node) float64
+	// ValidateOn is consulted at completion (Submission.Validate semantics).
+	ValidateOn(n *cluster.Node) error
+	// Done receives the terminal result exactly once.
+	Done(Result)
+}
+
+func (s *Submission) runtimeOn(n *cluster.Node) float64 {
+	if s.Hooks != nil {
+		return s.Hooks.RuntimeOn(n)
+	}
+	return s.Runtime(n)
+}
+
+func (s *Submission) validateOn(n *cluster.Node) error {
+	if s.Hooks != nil {
+		return s.Hooks.ValidateOn(n)
+	}
+	if s.Validate != nil {
+		return s.Validate(n)
+	}
+	return nil
+}
+
+func (s *Submission) done(r Result) {
+	if s.Hooks != nil {
+		s.Hooks.Done(r)
+		return
+	}
+	if s.Done != nil {
+		s.Done(r)
+	}
 }
 
 // Result is the terminal record for a submission.
 type Result struct {
+	// Submission is the submission this result terminates. It is valid for
+	// the duration of the Done callback; runners that pool their submission
+	// records (MakespanRunner, the CWSI) recycle it afterwards, so callbacks
+	// must copy any fields they keep rather than retain the pointer.
 	Submission  *Submission
 	Node        *cluster.Node
 	SubmittedAt sim.Time
@@ -79,7 +153,10 @@ func (r Result) QueueWait() sim.Time { return r.StartedAt - r.SubmittedAt }
 type Strategy interface {
 	Name() string
 	// Prioritize returns the pending submissions in scheduling order. It
-	// must return a permutation of pending (same elements).
+	// must return a permutation of pending (same elements). The manager
+	// passes a scratch copy of its queue, so implementations may reorder
+	// the slice in place and return it without copying; the slice is only
+	// valid until the pass ends.
 	Prioritize(pending []*Submission) []*Submission
 	// PickNode chooses among nodes that can currently fit s. Returning nil
 	// skips s this pass.
@@ -121,6 +198,12 @@ type TaskManager struct {
 	waits     []float64
 
 	schedulePending bool
+	// Steady-state scratch, reused across schedule passes so dispatch
+	// allocates nothing once warm.
+	kickFn       func()
+	orderScratch []*Submission
+	candScratch  []*cluster.Node
+	freeRunning  []*running
 }
 
 type running struct {
@@ -128,6 +211,14 @@ type running struct {
 	alloc *cluster.Alloc
 	endEv *sim.Event
 	start sim.Time
+	// allocBox backs alloc: the reservation record is embedded here so a
+	// recycled running record carries its Alloc along instead of
+	// heap-allocating one per placement.
+	allocBox cluster.Alloc
+	// endFn is the completion callback, bound to this record once and
+	// reused across recycles (steady-state dispatch allocates no closure
+	// per task).
+	endFn func()
 }
 
 // NewTaskManager builds a manager over cl using the given strategy (FIFO if
@@ -142,11 +233,17 @@ func NewTaskManager(cl *cluster.Cluster, strategy Strategy) *TaskManager {
 		eng:       cl.Engine(),
 		cl:        cl,
 		strategy:  strategy,
-		running:   make(map[string]*running),
+		running:   make(map[string]*running, 32),
+		pending:   make([]*Submission, 0, 32),
+		waits:     make([]float64, 0, 64),
 		queueLen:  metrics.NewGauge("rm.queue"),
 		runningN:  metrics.NewGauge("rm.running"),
 		completed: metrics.NewCounter("rm.completed"),
 		failed:    metrics.NewCounter("rm.failed"),
+	}
+	m.kickFn = func() {
+		m.schedulePending = false
+		m.schedule()
 	}
 	cl.OnNodeDown(m.handleNodeDown)
 	cl.OnNodeUp(func(*cluster.Node) { m.kick() })
@@ -174,8 +271,12 @@ func (m *TaskManager) Completed() int { return int(m.completed.Value()) }
 // Failed returns the count of failed submissions.
 func (m *TaskManager) Failed() int { return int(m.failed.Value()) }
 
-// QueueWaits returns observed queue waits (seconds) of started submissions.
-func (m *TaskManager) QueueWaits() []float64 { return m.waits }
+// QueueWaits returns a copy of the observed queue waits (seconds) of started
+// submissions. Returning a copy keeps callers from mutating manager state
+// through the shared backing array.
+func (m *TaskManager) QueueWaits() []float64 {
+	return append([]float64(nil), m.waits...)
+}
 
 // RunningSeries exposes the running-task gauge for concurrency plots.
 func (m *TaskManager) RunningSeries() *metrics.Gauge { return m.runningN }
@@ -188,13 +289,15 @@ func (m *TaskManager) Submit(s *Submission) {
 	if s.ID == "" {
 		panic("rm: submission with empty ID")
 	}
-	if s.Runtime == nil {
-		panic(fmt.Sprintf("rm: submission %s without Runtime", s.ID))
+	if s.Runtime == nil && s.Hooks == nil {
+		panic(fmt.Sprintf("rm: submission %s without Runtime or Hooks", s.ID))
 	}
 	if s.Cores <= 0 {
 		s.Cores = 1
 	}
 	s.submittedAt = m.eng.Now()
+	s.placed = false
+	s.prioGen = 0
 	m.pending = append(m.pending, s)
 	m.queueLen.Set(m.eng.Now(), float64(len(m.pending)))
 	m.kick()
@@ -228,16 +331,14 @@ func (m *TaskManager) Abort(id string, err error) bool {
 			s.cancelled = true
 			now := m.eng.Now()
 			m.failed.Inc(now, 1)
-			if s.Done != nil {
-				s.Done(Result{
-					Submission:  s,
-					SubmittedAt: s.submittedAt,
-					StartedAt:   now,
-					FinishedAt:  now,
-					Failed:      true,
-					Err:         err,
-				})
-			}
+			s.done(Result{
+				Submission:  s,
+				SubmittedAt: s.submittedAt,
+				StartedAt:   now,
+				FinishedAt:  now,
+				Failed:      true,
+				Err:         err,
+			})
 			return true
 		}
 	}
@@ -250,12 +351,14 @@ func (m *TaskManager) kick() {
 		return
 	}
 	m.schedulePending = true
-	m.eng.After(0, func() {
-		m.schedulePending = false
-		m.schedule()
-	})
+	m.eng.After(0, m.kickFn)
 }
 
+// schedule is the dispatch hot path: one cancelled-entry compaction pass,
+// one prioritized placement sweep over the pending queue driven by the
+// cluster's free-capacity index (no per-submission node rescan), and one
+// placed-entry compaction — all on reusable scratch, so a steady-state pass
+// allocates nothing.
 func (m *TaskManager) schedule() {
 	// Drop cancelled entries first.
 	live := m.pending[:0]
@@ -265,37 +368,35 @@ func (m *TaskManager) schedule() {
 		}
 	}
 	m.pending = live
+	if len(m.pending) == 0 {
+		return
+	}
 
-	ordered := m.strategy.Prioritize(append([]*Submission(nil), m.pending...))
-	placed := make(map[*Submission]bool)
+	m.orderScratch = append(m.orderScratch[:0], m.pending...)
+	ordered := m.strategy.Prioritize(m.orderScratch)
+	anyPlaced := false
 	for _, s := range ordered {
-		var candidates []*cluster.Node
-		for _, n := range m.cl.Nodes() {
-			if n.Down() {
-				continue
-			}
-			if n.FreeCores() >= s.Cores && n.FreeGPUs() >= s.GPUs && n.FreeMem() >= s.Mem {
-				candidates = append(candidates, n)
-			}
-		}
-		if len(candidates) == 0 {
+		m.candScratch = m.cl.AppendCandidates(m.candScratch[:0], s.Cores, s.GPUs, s.Mem)
+		if len(m.candScratch) == 0 {
 			continue
 		}
-		node := m.strategy.PickNode(s, candidates)
+		node := m.strategy.PickNode(s, m.candScratch)
 		if node == nil {
 			continue
 		}
-		alloc, err := m.cl.Allocate(node, s.Cores, s.GPUs, s.Mem)
-		if err != nil {
+		r := m.grabRunning()
+		if err := m.cl.AllocateInto(&r.allocBox, node, s.Cores, s.GPUs, s.Mem); err != nil {
+			m.freeRunning = append(m.freeRunning, r)
 			continue // raced with nothing (single-threaded), but be safe
 		}
-		placed[s] = true
-		m.start(s, alloc)
+		s.placed = true
+		anyPlaced = true
+		m.start(s, r)
 	}
-	if len(placed) > 0 {
+	if anyPlaced {
 		rest := m.pending[:0]
 		for _, s := range m.pending {
-			if !placed[s] {
+			if !s.placed {
 				rest = append(rest, s)
 			}
 		}
@@ -304,25 +405,37 @@ func (m *TaskManager) schedule() {
 	}
 }
 
-func (m *TaskManager) start(s *Submission, alloc *cluster.Alloc) {
+// grabRunning pops a recycled running record or allocates a fresh one whose
+// completion callback is bound exactly once.
+func (m *TaskManager) grabRunning() *running {
+	if n := len(m.freeRunning); n > 0 {
+		r := m.freeRunning[n-1]
+		m.freeRunning = m.freeRunning[:n-1]
+		return r
+	}
+	r := &running{}
+	r.endFn = func() {
+		if err := r.sub.validateOn(r.alloc.Node); err != nil {
+			m.finish(r, true, err)
+			return
+		}
+		m.finish(r, false, nil)
+	}
+	return r
+}
+
+// start dispatches s on the reservation already written into r.allocBox.
+func (m *TaskManager) start(s *Submission, r *running) {
 	now := m.eng.Now()
-	dur := s.Runtime(alloc.Node)
+	dur := s.runtimeOn(r.allocBox.Node)
 	if dur < 0 {
 		dur = 0
 	}
-	r := &running{sub: s, alloc: alloc, start: now}
+	r.sub, r.alloc, r.start = s, &r.allocBox, now
 	m.running[s.ID] = r
 	m.runningN.AddDelta(now, 1)
 	m.waits = append(m.waits, float64(now-s.submittedAt))
-	r.endEv = m.eng.After(sim.Time(dur), func() {
-		if s.Validate != nil {
-			if err := s.Validate(alloc.Node); err != nil {
-				m.finish(r, true, err)
-				return
-			}
-		}
-		m.finish(r, false, nil)
-	})
+	r.endEv = m.eng.After(sim.Time(dur), r.endFn)
 }
 
 func (m *TaskManager) finish(r *running, failed bool, err error) {
@@ -344,9 +457,14 @@ func (m *TaskManager) finish(r *running, failed bool, err error) {
 		Failed:      failed,
 		Err:         err,
 	}
-	if r.sub.Done != nil {
-		r.sub.Done(res)
-	}
+	sub := r.sub
+	// r is finished exactly once (Abort and node-down cancel endEv before
+	// calling finish), so the record can be recycled for a future start —
+	// keeping its bound endFn and allocBox. Recycle before the Done
+	// callback: Done may submit follow-up work that schedules immediately.
+	r.sub, r.alloc, r.endEv, r.start = nil, nil, nil, 0
+	m.freeRunning = append(m.freeRunning, r)
+	sub.done(res)
 	m.kick()
 }
 
@@ -401,10 +519,83 @@ type MakespanRunner struct {
 	// that stops a fault.Injector so the engine can drain.
 	OnComplete func()
 
-	doneCount int
-	results   map[dag.TaskID]Result
-	finishAt  sim.Time
-	stats     RunStats
+	doneCount     int
+	results       map[dag.TaskID]Result
+	finishAt      sim.Time
+	stats         RunStats
+	remainingDeps map[dag.TaskID]int
+	skipped       map[dag.TaskID]bool
+	// freeAttempts recycles mrAttempt records: an attempt is dead once its
+	// Done hook returns (retry closures capture the task, not the attempt),
+	// so steady-state submission allocates only at peak concurrency.
+	freeAttempts []*mrAttempt
+}
+
+// mrAttempt is one submission attempt of one task: the Submission and every
+// per-attempt callback bundled into a single allocation (via SubmissionHooks)
+// instead of three closures plus their captures.
+type mrAttempt struct {
+	mr        *MakespanRunner
+	task      *dag.Task
+	attempt   int
+	timeoutEv *sim.Event
+	sub       Submission
+}
+
+// RuntimeOn implements SubmissionHooks.
+func (a *mrAttempt) RuntimeOn(n *cluster.Node) float64 { return a.mr.Runtime(a.task, n) }
+
+// ValidateOn implements SubmissionHooks.
+func (a *mrAttempt) ValidateOn(n *cluster.Node) error {
+	if a.attempt <= a.mr.FailAttempts[a.task.ID] {
+		return fmt.Errorf("rm: injected transient failure of %s (attempt %d)", a.task.ID, a.attempt)
+	}
+	return nil
+}
+
+// Done implements SubmissionHooks.
+func (a *mrAttempt) Done(r Result) {
+	mr, task, attempt := a.mr, a.task, a.attempt
+	if a.timeoutEv != nil {
+		a.timeoutEv.Cancel()
+	}
+	// The attempt is dead once this hook returns: the manager dropped its
+	// references before calling it and the retry closure below captures the
+	// task, not the attempt. Recycle up front — everything needed is in
+	// locals, and follow-up submits then reuse the record.
+	*a = mrAttempt{}
+	mr.freeAttempts = append(mr.freeAttempts, a)
+	// Results() records must not pin the pooled Submission (see Results).
+	r.Submission = nil
+	mr.stats.Attempts++
+	if r.Failed {
+		mr.stats.Failures++
+		if errors.Is(r.Err, fault.ErrTimeout) {
+			mr.stats.Timeouts++
+		}
+		mr.Breaker.Record(true)
+		if mr.Retry != nil && mr.Retry.ShouldRetry(attempt) && !mr.Breaker.Open() {
+			d := mr.Retry.Backoff(attempt, mr.RetryRNG)
+			mr.stats.Retries++
+			mr.stats.BackoffSec += float64(d)
+			mr.Manager.eng.After(d, func() { mr.submit(task, attempt+1) })
+			return
+		}
+		mr.stats.TerminalFailures++
+		mr.results[task.ID] = r
+		mr.taskDone()
+		mr.skip(task)
+		return
+	}
+	mr.Breaker.Record(false)
+	mr.results[task.ID] = r
+	mr.taskDone()
+	for _, cid := range mr.Workflow.ChildIDs(task.ID) {
+		mr.remainingDeps[cid]--
+		if mr.remainingDeps[cid] == 0 && !mr.skipped[cid] {
+			mr.submit(mr.Workflow.Task(cid), 1)
+		}
+	}
 }
 
 // RunStats aggregates one MakespanRunner run's failure/recovery accounting.
@@ -437,97 +628,14 @@ func (mr *MakespanRunner) Run() sim.Time {
 	mr.results = make(map[dag.TaskID]Result, mr.Workflow.Len())
 	startAt := mr.Manager.eng.Now()
 
-	remainingDeps := make(map[dag.TaskID]int, mr.Workflow.Len())
-	skipped := make(map[dag.TaskID]bool)
+	mr.remainingDeps = make(map[dag.TaskID]int, mr.Workflow.Len())
+	mr.skipped = make(map[dag.TaskID]bool)
 
-	// skip marks every transitive descendant of a terminally failed task as
-	// done-without-running: their dependencies can never be satisfied, and
-	// counting them keeps the run's completion accounting exact.
-	var skip func(t *dag.Task)
-	skip = func(t *dag.Task) {
-		for _, c := range mr.Workflow.Children(t.ID) {
-			if skipped[c.ID] {
-				continue
-			}
-			skipped[c.ID] = true
-			mr.stats.Skipped++
-			mr.taskDone()
-			skip(c)
-		}
-	}
-
-	var submit func(t *dag.Task, attempt int)
-	submit = func(t *dag.Task, attempt int) {
-		task := t
-		id := mr.WorkflowID + "/" + string(task.ID)
-		if attempt > 1 {
-			id = fmt.Sprintf("%s#%d", id, attempt)
-		}
-		var timeoutEv *sim.Event
-		sub := &Submission{
-			ID:         id,
-			WorkflowID: mr.WorkflowID,
-			TaskID:     task.ID,
-			Name:       task.Name,
-			Cores:      task.Cores,
-			GPUs:       task.GPUs,
-			Mem:        task.MemBytes,
-			InputBytes: task.InputBytes,
-			Runtime:    func(n *cluster.Node) float64 { return mr.Runtime(task, n) },
-			Validate: func(n *cluster.Node) error {
-				if attempt <= mr.FailAttempts[task.ID] {
-					return fmt.Errorf("rm: injected transient failure of %s (attempt %d)", task.ID, attempt)
-				}
-				return nil
-			},
-			Done: func(r Result) {
-				if timeoutEv != nil {
-					timeoutEv.Cancel()
-				}
-				mr.stats.Attempts++
-				if r.Failed {
-					mr.stats.Failures++
-					if errors.Is(r.Err, fault.ErrTimeout) {
-						mr.stats.Timeouts++
-					}
-					mr.Breaker.Record(true)
-					if mr.Retry != nil && mr.Retry.ShouldRetry(attempt) && !mr.Breaker.Open() {
-						d := mr.Retry.Backoff(attempt, mr.RetryRNG)
-						mr.stats.Retries++
-						mr.stats.BackoffSec += float64(d)
-						mr.Manager.eng.After(d, func() { submit(task, attempt+1) })
-						return
-					}
-					mr.stats.TerminalFailures++
-					mr.results[task.ID] = r
-					mr.taskDone()
-					skip(task)
-					return
-				}
-				mr.Breaker.Record(false)
-				mr.results[task.ID] = r
-				mr.taskDone()
-				for _, c := range mr.Workflow.Children(task.ID) {
-					remainingDeps[c.ID]--
-					if remainingDeps[c.ID] == 0 && !skipped[c.ID] {
-						submit(c, 1)
-					}
-				}
-			},
-		}
-		mr.Manager.Submit(sub)
-		if mr.Retry != nil && mr.Retry.TimeoutSec > 0 {
-			timeoutEv = mr.Manager.eng.After(sim.Time(mr.Retry.TimeoutSec), func() {
-				mr.Manager.Abort(id, fmt.Errorf("rm: %s attempt %d exceeded %.0fs: %w",
-					id, attempt, mr.Retry.TimeoutSec, fault.ErrTimeout))
-			})
-		}
-	}
 	for _, t := range mr.Workflow.Tasks() {
-		remainingDeps[t.ID] = len(t.Deps)
+		mr.remainingDeps[t.ID] = len(t.Deps)
 	}
 	for _, t := range mr.Workflow.Roots() {
-		submit(t, 1)
+		mr.submit(t, 1)
 	}
 	mr.Manager.eng.Run()
 	if mr.doneCount != mr.Workflow.Len() {
@@ -535,6 +643,55 @@ func (mr *MakespanRunner) Run() sim.Time {
 			mr.Workflow.Name, mr.doneCount, mr.Workflow.Len()))
 	}
 	return mr.finishAt - startAt
+}
+
+// submit queues one attempt of t.
+func (mr *MakespanRunner) submit(t *dag.Task, attempt int) {
+	var a *mrAttempt
+	if n := len(mr.freeAttempts); n > 0 {
+		a = mr.freeAttempts[n-1]
+		mr.freeAttempts = mr.freeAttempts[:n-1]
+	} else {
+		a = new(mrAttempt)
+	}
+	*a = mrAttempt{mr: mr, task: t, attempt: attempt}
+	id := mr.WorkflowID + "/" + string(t.ID)
+	if attempt > 1 {
+		id = fmt.Sprintf("%s#%d", id, attempt)
+	}
+	a.sub = Submission{
+		ID:         id,
+		WorkflowID: mr.WorkflowID,
+		TaskID:     t.ID,
+		Name:       t.Name,
+		Cores:      t.Cores,
+		GPUs:       t.GPUs,
+		Mem:        t.MemBytes,
+		InputBytes: t.InputBytes,
+		Hooks:      a,
+	}
+	mr.Manager.Submit(&a.sub)
+	if mr.Retry != nil && mr.Retry.TimeoutSec > 0 {
+		a.timeoutEv = mr.Manager.eng.After(sim.Time(mr.Retry.TimeoutSec), func() {
+			mr.Manager.Abort(id, fmt.Errorf("rm: %s attempt %d exceeded %.0fs: %w",
+				id, attempt, mr.Retry.TimeoutSec, fault.ErrTimeout))
+		})
+	}
+}
+
+// skip marks every transitive descendant of a terminally failed task as
+// done-without-running: their dependencies can never be satisfied, and
+// counting them keeps the run's completion accounting exact.
+func (mr *MakespanRunner) skip(t *dag.Task) {
+	for _, cid := range mr.Workflow.ChildIDs(t.ID) {
+		if mr.skipped[cid] {
+			continue
+		}
+		mr.skipped[cid] = true
+		mr.stats.Skipped++
+		mr.taskDone()
+		mr.skip(mr.Workflow.Task(cid))
+	}
 }
 
 // taskDone advances the terminal-task count and fires OnComplete when the
@@ -550,7 +707,9 @@ func (mr *MakespanRunner) taskDone() {
 }
 
 // Results returns per-task results after Run. Tasks skipped because an
-// ancestor failed terminally have no entry.
+// ancestor failed terminally have no entry. The stored records carry a nil
+// Submission — attempt records are pooled, so retaining the pointer past the
+// completion callback would alias a later attempt.
 func (mr *MakespanRunner) Results() map[dag.TaskID]Result { return mr.results }
 
 // Stats returns the run's failure/recovery accounting.
