@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos sweep bench bench-json bench-json-short experiments examples compose clean
+.PHONY: all build vet test test-race cover fuzz chaos sweep bench bench-json bench-json-short experiments examples compose clean
 
 all: build vet test test-race chaos
 
@@ -20,6 +20,17 @@ test:
 # tier-1 run.
 test-race:
 	$(GO) test -race ./...
+
+# Full-suite coverage profile (atomic mode: the sweep pool is concurrent).
+# CI runs this in the test job, uploads coverage.out as an artifact, and the
+# total below is the number README quotes.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Short fuzz pass over the WDL parser — the same lane CI runs non-blocking.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseWDL -fuzztime 45s ./internal/jaws
 
 # The §3.5 CWS comparison as a 200-seed distribution on a parallel worker
 # pool. Same seeds ⇒ bit-identical table, independent of worker count.

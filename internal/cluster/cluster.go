@@ -192,6 +192,18 @@ func (c *Cluster) UsedCoresSeries() *metrics.Gauge { return c.usedCores }
 // UsedGPUsSeries exposes the allocated-GPU trajectory.
 func (c *Cluster) UsedGPUsSeries() *metrics.Gauge { return c.usedGPUs }
 
+// FoldMetrics switches the cluster's trajectory series (used cores, used
+// GPUs, down nodes) to running-aggregate mode so a million-allocation run
+// retains no per-event samples. Whole-run Utilization/GPUUtilization stay
+// bit-identical (the folded integral accumulates the same terms in the same
+// order); point-level trajectory queries become unavailable. Must be called
+// before any allocation or fault activity.
+func (c *Cluster) FoldMetrics() {
+	c.usedCores.Fold()
+	c.usedGPUs.Fold()
+	c.downNodes.Fold()
+}
+
 // Allocate reserves cores/GPUs/memory on node n. It returns an error when
 // the node is down or lacks capacity; partial allocation never occurs.
 func (c *Cluster) Allocate(n *Node, cores, gpus int, mem float64) (*Alloc, error) {

@@ -86,6 +86,15 @@ type KubernetesEnv struct {
 	// Retry is the recovery policy for fault runs; the zero value selects
 	// fault.DefaultRetryPolicy.
 	Retry fault.RetryPolicy
+	// Sites partitions the event engine's pending queue into that many
+	// shards (sim.Engine.SetShards) — the extreme-scale configuration.
+	// Results are bit-identical at any value; <= 1 keeps the monolithic
+	// queue.
+	Sites int
+	// StreamWindow bounds resident tasks on the streaming run path
+	// (RunExpander); 0 = unthrottled, which reproduces the eager schedule
+	// exactly. Ignored by the eager Run/RunSeeded path.
+	StreamWindow int
 }
 
 // Name implements Environment. Fault-injected variants carry the profile in
@@ -120,6 +129,9 @@ func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, 
 		mem = 1e12
 	}
 	eng := sim.NewEngine()
+	if e.Sites > 1 {
+		eng.SetShards(e.Sites)
+	}
 	cl := cluster.New(eng, "k8s", cluster.Spec{
 		Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
 		Count: e.Nodes,

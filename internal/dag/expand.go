@@ -1,0 +1,133 @@
+package dag
+
+// Expander is the streaming alternative to a materialized Workflow: a lazy
+// frontier that hands out ready tasks one at a time and learns about
+// completions, so a runner never needs more than the currently runnable slice
+// of a workflow in memory. This is what makes 100k-node / million-task runs
+// feasible — scatter shards and successor stages come into existence only as
+// their predecessors finish, and retired tasks can be recycled.
+//
+// The emission contract is exact, not approximate: Next must yield tasks in
+// precisely the order an eager MakespanRunner over the equivalent Workflow
+// would submit them — roots in insertion order, then, per successful
+// completion, newly ready successors in edge-creation (ChildIDs) order. The
+// streaming and eager run paths are therefore bit-identical (same
+// fingerprints), which the equivalence tests in internal/sweep assert over
+// seeds, fault profiles, and worker counts.
+//
+// Call discipline: Next until it reports no ready task; report each terminal
+// task via exactly one of TaskDone/TaskFailed (which may make more tasks
+// ready); Retire a task only after its terminal report. Implementations are
+// single-goroutine, like the engine that drives them.
+type Expander interface {
+	// Name labels the expansion (the workflow name).
+	Name() string
+	// Total returns the number of tasks the expansion will emit plus the
+	// number it will write off via TaskFailed — the denominator for
+	// completion accounting.
+	Total() int
+	// Next returns the next ready task and its eager insertion index — the
+	// position the task would occupy in the equivalent Workflow's insertion
+	// order, which keyes per-task fault plans (fault.Profile.PlanTaskFailures)
+	// without materializing the task list. ok is false when nothing is
+	// currently ready (more may become ready after TaskDone).
+	Next() (t *Task, idx int, ok bool)
+	// TaskDone records a successful completion, unlocking successors.
+	TaskDone(id TaskID)
+	// TaskFailed records a terminal failure and writes off every not-yet
+	// emitted transitive successor, returning how many were newly skipped.
+	TaskFailed(id TaskID) int
+	// Retire releases a task handed out by Next after its terminal report;
+	// implementations may recycle the Task struct. The caller must drop all
+	// references to t first.
+	Retire(t *Task)
+}
+
+// WorkflowExpander adapts a materialized Workflow to the Expander interface.
+// It is the reference implementation the equivalence tests compare streaming
+// runners against — deliberately O(tasks) resident, since the workflow
+// already is — and the bridge that lets any eagerly-built DAG run on the
+// streaming path.
+type WorkflowExpander struct {
+	w         *Workflow
+	idx       map[TaskID]int
+	remaining map[TaskID]int
+	skipped   map[TaskID]bool
+	ready     []TaskID
+	readyNext int
+}
+
+// NewWorkflowExpander validates w and returns an expander that replays its
+// eager submission order.
+func NewWorkflowExpander(w *Workflow) (*WorkflowExpander, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	x := &WorkflowExpander{
+		w:         w,
+		idx:       make(map[TaskID]int, w.Len()),
+		remaining: make(map[TaskID]int, w.Len()),
+		skipped:   make(map[TaskID]bool),
+	}
+	for i, t := range w.Tasks() {
+		x.idx[t.ID] = i
+		x.remaining[t.ID] = len(t.Deps)
+	}
+	for _, t := range w.Roots() {
+		x.ready = append(x.ready, t.ID)
+	}
+	return x, nil
+}
+
+// Name implements Expander.
+func (x *WorkflowExpander) Name() string { return x.w.Name }
+
+// Total implements Expander.
+func (x *WorkflowExpander) Total() int { return x.w.Len() }
+
+// Next implements Expander: the ready FIFO preserves eager submission order.
+func (x *WorkflowExpander) Next() (*Task, int, bool) {
+	if x.readyNext >= len(x.ready) {
+		x.ready = x.ready[:0]
+		x.readyNext = 0
+		return nil, 0, false
+	}
+	id := x.ready[x.readyNext]
+	x.readyNext++
+	return x.w.Task(id), x.idx[id], true
+}
+
+// TaskDone implements Expander, readying successors in ChildIDs order.
+func (x *WorkflowExpander) TaskDone(id TaskID) {
+	for _, cid := range x.w.ChildIDs(id) {
+		x.remaining[cid]--
+		if x.remaining[cid] == 0 && !x.skipped[cid] {
+			x.ready = append(x.ready, cid)
+		}
+	}
+}
+
+// TaskFailed implements Expander: the transitive write-off mirrors
+// MakespanRunner.skip — every descendant is marked, whatever its other
+// dependencies, because one of them can now never be satisfied.
+func (x *WorkflowExpander) TaskFailed(id TaskID) int {
+	n := 0
+	var walk func(TaskID)
+	walk = func(from TaskID) {
+		for _, cid := range x.w.ChildIDs(from) {
+			if x.skipped[cid] {
+				continue
+			}
+			x.skipped[cid] = true
+			n++
+			walk(cid)
+		}
+	}
+	walk(id)
+	return n
+}
+
+// Retire implements Expander. Tasks belong to the underlying workflow, so
+// nothing is recycled; the method exists so streaming runners can treat every
+// expander uniformly.
+func (x *WorkflowExpander) Retire(*Task) {}

@@ -1,0 +1,153 @@
+package entk
+
+import (
+	"fmt"
+
+	"hhcw/internal/dag"
+)
+
+// StageExpander streams the exact task sequence Compile would materialize
+// for a Pipeline — stage by stage, tasks in stage order — holding only the
+// stage currently in flight. The PST barrier makes the streaming order
+// trivially exact: a stage's tasks all become ready at the completion of the
+// previous non-empty stage's last task, so the eager submission order is
+// stage-major, task-minor, which is precisely what the cursor below emits.
+//
+// Compile's restrictions carry over: PostExec (dynamic growth) is rejected,
+// node counts map to core requests one-for-one, and per-task FailAttempts
+// knobs are dropped (failure injection comes from the executing
+// environment's fault profile).
+type StageExpander struct {
+	name   string
+	stages []expStage
+
+	cur       int // stage being emitted
+	emitNext  int // next task index within cur
+	remaining int // unfinished tasks of the in-flight stage
+	dead      bool
+
+	inflight map[dag.TaskID]int // emitted task -> stage index
+	total    int
+}
+
+type expStage struct {
+	name  string
+	tasks []*Task
+	base  int // eager insertion index of the stage's first task
+}
+
+// Expand returns a streaming expander over the pipeline — the lazy
+// counterpart of Compile, with the same validation.
+func (p *Pipeline) Expand() (*StageExpander, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("entk: cannot expand a pipeline without a name")
+	}
+	x := &StageExpander{name: p.Name, inflight: make(map[dag.TaskID]int, 16)}
+	seen := map[dag.TaskID]bool{}
+	for si, st := range p.Stages {
+		if st.PostExec != nil {
+			return nil, fmt.Errorf("entk: stage %q has a PostExec hook; dynamic pipelines cannot be statically expanded", st.Name)
+		}
+		if len(st.Tasks) == 0 {
+			continue
+		}
+		stageName := st.Name
+		if stageName == "" {
+			stageName = fmt.Sprintf("stage%02d", si)
+		}
+		for _, t := range st.Tasks {
+			if t.DurationSec <= 0 {
+				return nil, fmt.Errorf("entk: task %q has non-positive duration", t.ID)
+			}
+			id := dag.TaskID(stageName + "/" + t.ID)
+			if seen[id] {
+				return nil, fmt.Errorf("entk: duplicate task %q in expanded pipeline %q", id, p.Name)
+			}
+			seen[id] = true
+		}
+		x.stages = append(x.stages, expStage{name: stageName, tasks: st.Tasks, base: x.total})
+		x.total += len(st.Tasks)
+	}
+	if x.total == 0 {
+		return nil, fmt.Errorf("entk: pipeline %q expands to an empty workflow", p.Name)
+	}
+	x.remaining = len(x.stages[0].tasks)
+	return x, nil
+}
+
+// Name implements dag.Expander.
+func (x *StageExpander) Name() string { return x.name }
+
+// Total implements dag.Expander.
+func (x *StageExpander) Total() int { return x.total }
+
+// Next implements dag.Expander, emitting the in-flight stage's next task.
+// Emission continues through the current stage even after a terminal failure
+// (its siblings are not descendants of the failed task); dead only stops the
+// barrier from arming later stages.
+func (x *StageExpander) Next() (*dag.Task, int, bool) {
+	if x.cur >= len(x.stages) {
+		return nil, 0, false
+	}
+	st := &x.stages[x.cur]
+	if x.emitNext >= len(st.tasks) {
+		return nil, 0, false
+	}
+	i := x.emitNext
+	x.emitNext++
+	t := st.tasks[i]
+	nodes := t.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	id := dag.TaskID(st.name + "/" + t.ID)
+	out := &dag.Task{
+		ID:         id,
+		Name:       st.name,
+		Cores:      nodes,
+		NominalDur: t.DurationSec,
+		Params:     map[string]string{"nodes": fmt.Sprint(nodes)},
+	}
+	x.inflight[id] = x.cur
+	return out, st.base + i, true
+}
+
+// TaskDone implements dag.Expander: the last completion of a stage arms the
+// next one.
+func (x *StageExpander) TaskDone(id dag.TaskID) {
+	if _, ok := x.inflight[id]; !ok {
+		panic(fmt.Sprintf("entk: expander %q got a terminal report for unknown task %q", x.name, id))
+	}
+	delete(x.inflight, id)
+	x.remaining--
+	if x.remaining == 0 && !x.dead && x.cur+1 < len(x.stages) {
+		x.cur++
+		x.emitNext = 0
+		x.remaining = len(x.stages[x.cur].tasks)
+	}
+}
+
+// TaskFailed implements dag.Expander. The barrier chains every later stage
+// behind the failed task's stage, so a terminal failure writes off all of
+// them at once; in-flight siblings of the failed task still finish normally.
+func (x *StageExpander) TaskFailed(id dag.TaskID) int {
+	si, ok := x.inflight[id]
+	if !ok {
+		panic(fmt.Sprintf("entk: expander %q got a terminal report for unknown task %q", x.name, id))
+	}
+	delete(x.inflight, id)
+	x.remaining--
+	if x.dead {
+		return 0
+	}
+	x.dead = true
+	n := 0
+	for _, st := range x.stages[si+1:] {
+		n += len(st.tasks)
+	}
+	return n
+}
+
+// Retire implements dag.Expander. Emitted tasks are fresh per emission (EnTK
+// stages are small); nothing is recycled.
+func (x *StageExpander) Retire(*dag.Task) {}

@@ -1,0 +1,142 @@
+package entk
+
+import (
+	"fmt"
+	"testing"
+
+	"hhcw/internal/dag"
+)
+
+func expandPipeline(n string) *Pipeline {
+	p := &Pipeline{Name: n}
+	s0 := p.AddStage(&Stage{Name: "prep"})
+	s0.AddTask(&Task{ID: "t0", Nodes: 4, DurationSec: 10})
+	s0.AddTask(&Task{ID: "t1", Nodes: 1, DurationSec: 5})
+	p.AddStage(&Stage{})       // empty stage: skipped by Compile and Expand alike
+	s2 := p.AddStage(&Stage{}) // unnamed: defaults to stage%02d by original index
+	for i := 0; i < 3; i++ {
+		s2.AddTask(&Task{ID: fmt.Sprintf("sim%d", i), Nodes: 2, DurationSec: 20})
+	}
+	s3 := p.AddStage(&Stage{Name: "analyze"})
+	s3.AddTask(&Task{ID: "post", DurationSec: 3}) // Nodes 0 -> 1 core
+	return p
+}
+
+// Driving the expander with immediate completions must replay exactly the
+// task sequence Compile materializes, field for field.
+func TestStageExpanderMatchesCompile(t *testing.T) {
+	w, err := expandPipeline("pst").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := expandPipeline("pst").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Name() != "pst" || x.Total() != w.Len() {
+		t.Fatalf("Name/Total: %q/%d, want pst/%d", x.Name(), x.Total(), w.Len())
+	}
+	want := w.Tasks() // insertion order == stage-major eager order
+	got := 0
+	for got < len(want) {
+		task, idx, ok := x.Next()
+		if !ok {
+			t.Fatalf("expander dried up after %d of %d tasks", got, len(want))
+		}
+		if idx != got {
+			t.Fatalf("task %s: eager index %d, want %d", task.ID, idx, got)
+		}
+		ref := want[got]
+		if task.ID != ref.ID || task.Name != ref.Name || task.Cores != ref.Cores ||
+			task.NominalDur != ref.NominalDur || task.Params["nodes"] != ref.Params["nodes"] {
+			t.Fatalf("task %d mismatch:\n got  %+v\n want %+v", got, task, ref)
+		}
+		got++
+		x.TaskDone(task.ID)
+	}
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("expander emitted past Total")
+	}
+}
+
+// The stage barrier must hold: no later-stage task is emitted while the
+// current stage has unfinished tasks.
+func TestStageExpanderBarrier(t *testing.T) {
+	x, err := expandPipeline("pst").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stage0 []dag.TaskID
+	for {
+		task, _, ok := x.Next()
+		if !ok {
+			break
+		}
+		stage0 = append(stage0, task.ID)
+	}
+	if len(stage0) != 2 {
+		t.Fatalf("stage 0 emitted %d tasks, want 2", len(stage0))
+	}
+	x.TaskDone(stage0[0])
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("next stage emitted before barrier cleared")
+	}
+	x.TaskDone(stage0[1])
+	task, _, ok := x.Next()
+	if !ok || task.Name != "stage02" {
+		t.Fatalf("after barrier: ok=%v name=%q, want stage02", ok, task.Name)
+	}
+}
+
+// A terminal failure writes off every later stage but must not block the
+// failed task's in-flight (or not-yet-emitted) siblings.
+func TestStageExpanderFailureSkips(t *testing.T) {
+	x, err := expandPipeline("pst").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := x.Next()
+	// Fail t0 before its sibling is even emitted: 3 (stage02) + 1 (analyze).
+	if n := x.TaskFailed(first.ID); n != 4 {
+		t.Fatalf("TaskFailed skipped %d, want 4", n)
+	}
+	sib, _, ok := x.Next()
+	if !ok || sib.ID != "prep/t1" {
+		t.Fatalf("sibling after failure: ok=%v id=%v, want prep/t1", ok, sib)
+	}
+	x.TaskDone(sib.ID)
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("dead pipeline emitted a later stage")
+	}
+	// Accounting closes: 2 terminal + 4 skipped == Total.
+	if x.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", x.Total())
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	if _, err := (&Pipeline{}).Expand(); err == nil {
+		t.Fatal("unnamed pipeline accepted")
+	}
+	if _, err := (&Pipeline{Name: "empty"}).Expand(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	p := &Pipeline{Name: "dyn"}
+	p.AddStage(&Stage{Name: "s", PostExec: func(*Pipeline, *Stage) {}}).
+		AddTask(&Task{ID: "t", DurationSec: 1})
+	if _, err := p.Expand(); err == nil {
+		t.Fatal("PostExec pipeline accepted")
+	}
+	p2 := &Pipeline{Name: "bad"}
+	p2.AddStage(&Stage{Name: "s"}).AddTask(&Task{ID: "t", DurationSec: 0})
+	if _, err := p2.Expand(); err == nil {
+		t.Fatal("non-positive duration accepted")
+	}
+	p3 := &Pipeline{Name: "dup"}
+	s := p3.AddStage(&Stage{Name: "s"})
+	s.AddTask(&Task{ID: "t", DurationSec: 1})
+	s.AddTask(&Task{ID: "t", DurationSec: 1})
+	if _, err := p3.Expand(); err == nil {
+		t.Fatal("duplicate task id accepted")
+	}
+}

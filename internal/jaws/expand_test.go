@@ -1,0 +1,300 @@
+package jaws
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/dag"
+	"hhcw/internal/fault"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+)
+
+const expandWDL = `
+workflow metasweep
+task prep cpu=2 mem=4G dur=120s overhead=30s
+task align cpu=4 mem=8G dur=300s overhead=60s scatter=24 after=prep
+task filter cpu=2 mem=2G dur=90s overhead=30s scatter=24 after=align
+task stats cpu=1 mem=1G dur=60s after=prep
+task merge cpu=8 mem=16G dur=240s overhead=60s after=filter,stats
+`
+
+// Every emission of the expander must carry the eager insertion index of the
+// identical task Compile materializes — same ID, resources, duration — and
+// cover each index exactly once.
+func TestScatterExpanderMatchesCompile(t *testing.T) {
+	def, err := Parse(expandWDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := def.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := def.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Name() != w.Name || x.Total() != w.Len() {
+		t.Fatalf("Name/Total: %q/%d, want %q/%d", x.Name(), x.Total(), w.Name, w.Len())
+	}
+	want := w.Tasks()
+	seen := make([]bool, len(want))
+	var frontier []dag.TaskID
+	emitted := 0
+	for {
+		for {
+			task, idx, ok := x.Next()
+			if !ok {
+				break
+			}
+			if idx < 0 || idx >= len(want) || seen[idx] {
+				t.Fatalf("emission %d: bad or repeated index %d", emitted, idx)
+			}
+			seen[idx] = true
+			ref := want[idx]
+			if task.ID != ref.ID || task.Name != ref.Name || task.Cores != ref.Cores ||
+				task.MemBytes != ref.MemBytes || task.NominalDur != ref.NominalDur {
+				t.Fatalf("index %d mismatch:\n got  %+v\n want %+v", idx, task, ref)
+			}
+			frontier = append(frontier, task.ID)
+			emitted++
+			x.Retire(task)
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		x.TaskDone(frontier[0])
+		frontier = frontier[1:]
+	}
+	if emitted != len(want) {
+		t.Fatalf("emitted %d tasks, want %d", emitted, len(want))
+	}
+}
+
+func expandTestCluster(nodes, cores int) (*sim.Engine, *rm.TaskManager) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "site", cluster.Spec{
+		Type:  cluster.NodeType{Name: "node", Cores: cores, MemBytes: 64e9},
+		Count: nodes,
+	})
+	return eng, rm.NewTaskManager(cl, nil)
+}
+
+// Streaming execution through StreamRunner must be event-for-event identical
+// to eager execution through MakespanRunner: same makespan, same utilization,
+// same failure accounting — fault-free and with injected failures (one
+// recovered by retry, one terminal with cascade skips).
+func TestScatterExpanderEagerEquivalence(t *testing.T) {
+	for _, faulty := range []bool{false, true} {
+		name := "fault-free"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			def, err := Parse(expandWDL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := def.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			retry := fault.DefaultRetryPolicy()
+
+			// Fault plan keyed by eager insertion index: task 3 retries once
+			// and recovers; task 10 (an align shard) exhausts the budget and
+			// cascade-skips its dependents.
+			plan := map[int]int{3: 1, 10: retry.MaxAttempts + 1}
+
+			_, mgrE := expandTestCluster(16, 16)
+			eager := &rm.MakespanRunner{
+				Manager:    mgrE,
+				Workflow:   w,
+				WorkflowID: w.Name,
+			}
+			if faulty {
+				fa := map[dag.TaskID]int{}
+				for i, task := range w.Tasks() {
+					if n := plan[i]; n > 0 {
+						fa[task.ID] = n
+					}
+				}
+				r := retry
+				eager.Retry = &r
+				eager.RetryRNG = randx.New(7)
+				eager.Breaker = r.NewBreaker()
+				eager.FailAttempts = fa
+			}
+			msE := eager.Run()
+
+			x, err := def.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, mgrS := expandTestCluster(16, 16)
+			stream := &rm.StreamRunner{
+				Manager:    mgrS,
+				Source:     x,
+				WorkflowID: w.Name,
+			}
+			if faulty {
+				r := retry
+				stream.Retry = &r
+				stream.RetryRNG = randx.New(7)
+				stream.Breaker = r.NewBreaker()
+				stream.FailPlan = func(i int) int { return plan[i] }
+			}
+			msS := stream.Run()
+
+			if msS != msE {
+				t.Fatalf("makespan: streaming %v != eager %v", msS, msE)
+			}
+			utE := mgrE.Cluster().Utilization(0, msE)
+			utS := mgrS.Cluster().Utilization(0, msS)
+			if utS != utE {
+				t.Fatalf("utilization: streaming %v != eager %v", utS, utE)
+			}
+			if mgrS.Completed() != mgrE.Completed() || mgrS.Failed() != mgrE.Failed() {
+				t.Fatalf("manager counts: streaming %d/%d != eager %d/%d",
+					mgrS.Completed(), mgrS.Failed(), mgrE.Completed(), mgrE.Failed())
+			}
+			if stream.Stats() != eager.Stats() {
+				t.Fatalf("run stats:\n streaming %+v\n eager     %+v", stream.Stats(), eager.Stats())
+			}
+		})
+	}
+}
+
+// Def-granular skip accounting: failing one shard writes off every shard of
+// every transitively dependent def, exactly once.
+func TestScatterExpanderFailureSkips(t *testing.T) {
+	def, err := Parse(expandWDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := def.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, _, ok := x.Next()
+	if !ok || prep.Name != "prep" {
+		t.Fatalf("first emission: %v", prep)
+	}
+	x.TaskDone(prep.ID)
+	shard, _, ok := x.Next()
+	if !ok || shard.Name != "align" {
+		t.Fatalf("second emission: %v", shard)
+	}
+	// filter (24) + merge (1) are downstream of align; stats is not.
+	if n := x.TaskFailed(shard.ID); n != 25 {
+		t.Fatalf("TaskFailed skipped %d, want 25", n)
+	}
+	// The rest of align and stats still run; nothing downstream surfaces.
+	rest := 0
+	var pending []dag.TaskID
+	for {
+		task, _, ok := x.Next()
+		if !ok {
+			if len(pending) == 0 {
+				break
+			}
+			x.TaskDone(pending[0])
+			pending = pending[1:]
+			continue
+		}
+		if task.Name != "align" && task.Name != "stats" {
+			t.Fatalf("skipped def %q surfaced", task.Name)
+		}
+		pending = append(pending, task.ID)
+		rest++
+	}
+	if rest != 24 { // 23 remaining align shards + stats
+		t.Fatalf("emitted %d post-failure tasks, want 24", rest)
+	}
+	if got := x.Resident(); got != 0 {
+		t.Fatalf("resident after drain: %d", got)
+	}
+}
+
+// scatterDef builds the memory-ceiling workload: prep -> scatter N -> gather.
+func scatterDef(t testing.TB, shards int) *ScatterExpander {
+	t.Helper()
+	def, err := Parse(fmt.Sprintf(`
+workflow bigscatter
+task prep cpu=1 dur=10s
+task work cpu=1 dur=60s scatter=%d after=prep
+task gather cpu=1 dur=10s after=work
+`, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := def.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// The memory-ceiling regression: a streaming scatter run's peak resident task
+// records must hit a fixed constant — the admission window — independent of
+// task count, and heap growth must stay bounded while the run is in flight.
+// The full run drives a million tasks; -short scales down but still compares
+// two sizes an order of magnitude apart.
+func TestStreamingScatterMemoryCeiling(t *testing.T) {
+	sizes := []int{100_000, 1_000_000}
+	heapBound := uint64(512 << 20)
+	if testing.Short() {
+		sizes = []int{10_000, 100_000}
+		heapBound = 256 << 20
+	}
+	const window = 2048
+
+	peaks := make([]int, len(sizes))
+	for i, n := range sizes {
+		x := scatterDef(t, n)
+		eng, mgr := expandTestCluster(128, 8)
+		// Shard the event engine too: the ceiling must hold on the
+		// extreme-scale configuration, not just the monolithic queue.
+		eng.SetShards(4)
+		mgr.SetLean()
+		mgr.Cluster().FoldMetrics()
+		var peakHeap uint64
+		retired := 0
+		sr := &rm.StreamRunner{
+			Manager:     mgr,
+			Source:      x,
+			WorkflowID:  "bigscatter",
+			MaxResident: window,
+			Observe: func(*dag.Task, rm.Result) {
+				retired++
+				if retired%20_000 == 0 {
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peakHeap {
+						peakHeap = ms.HeapAlloc
+					}
+				}
+			},
+		}
+		sr.Run()
+		if mgr.Completed() != n+2 {
+			t.Fatalf("n=%d: completed %d, want %d", n, mgr.Completed(), n+2)
+		}
+		if sr.PeakResident() > window {
+			t.Fatalf("n=%d: peak resident %d exceeds window %d", n, sr.PeakResident(), window)
+		}
+		if peakHeap > heapBound {
+			t.Fatalf("n=%d: peak heap %dMB exceeds bound %dMB — resident state is no longer O(in-flight)",
+				n, peakHeap>>20, heapBound>>20)
+		}
+		peaks[i] = sr.PeakResident()
+		t.Logf("n=%d: peak resident %d, sampled peak heap %dMB", n, peaks[i], peakHeap>>20)
+	}
+	if peaks[0] != peaks[1] {
+		t.Fatalf("peak resident scales with task count: %v for sizes %v", peaks, sizes)
+	}
+}

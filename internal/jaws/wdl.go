@@ -77,6 +77,11 @@ func (w *WorkflowDef) Validate() error {
 			return fmt.Errorf("jaws: duplicate task %q", t.Name)
 		}
 		seen[t.Name] = true
+		// "/" is the shard-ID separator: a task literally named "x/shard0001"
+		// would collide with shard 1 of a scattered task "x" at compile time.
+		if strings.Contains(t.Name, "/") {
+			return fmt.Errorf("jaws: task name %q contains %q (reserved for shard IDs)", t.Name, "/")
+		}
 		if t.DurationSec < 0 || t.OverheadSec < 0 {
 			return fmt.Errorf("jaws: task %q has negative timing", t.Name)
 		}

@@ -1,0 +1,58 @@
+package jaws
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseWDL throws arbitrary text at the mini-WDL parser and, when it
+// parses, at Compile and Expand. The parser must never panic — malformed
+// input is an error, not a crash — and anything it accepts must satisfy the
+// compile/expand equivalence invariants: both succeed or both fail, with
+// matching task counts.
+func FuzzParseWDL(f *testing.F) {
+	f.Add("workflow w\ntask a cpu=1 dur=10s\n")
+	f.Add("workflow metasweep\ntask prep cpu=2 mem=4G dur=120s overhead=30s\ntask align cpu=4 mem=8G dur=300s overhead=60s scatter=24 after=prep\n")
+	f.Add("workflow w\ncontainer img@sha256:abc\ntask a dur=1s\ntask b dur=2m after=a scatter=4\ntask c dur=1h after=a,b container=other\n")
+	f.Add("# comment\nworkflow w\n\ntask a dur=10s\n")
+	f.Add("workflow w\ntask a dur=10s after=a\n")         // self-cycle
+	f.Add("workflow w\ntask a dur=10s\ntask a dur=10s\n") // duplicate
+	f.Add("workflow w\ntask a/shard0001 dur=10s\n")       // reserved separator
+	f.Add("workflow w\ntask a dur=-5s\n")                 // negative timing
+	f.Add("workflow w\ntask a dur=10s scatter=-3\n")      // negative scatter
+	f.Add("workflow w\ntask a dur=10s mem=4X\n")          // bad unit
+	f.Add("task orphan dur=1s\n")                         // no workflow name
+	f.Add("workflow w\ntask a cpu=0 dur=1s scatter=2\ntask b dur=1s after=a\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		def, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// Parse validated the def; every accepted name is slash-free.
+		for _, td := range def.Tasks {
+			if strings.Contains(td.Name, "/") {
+				t.Fatalf("Parse accepted reserved name %q", td.Name)
+			}
+		}
+		// Cap the expansion so adversarial scatter counts don't turn one
+		// fuzz exec into a million-node build.
+		if def.TotalShards() > 10_000 {
+			return
+		}
+		w, cerr := def.Compile()
+		x, xerr := def.Expand()
+		if (cerr == nil) != (xerr == nil) {
+			t.Fatalf("Compile err=%v but Expand err=%v", cerr, xerr)
+		}
+		if cerr != nil {
+			return
+		}
+		if w.Len() != x.Total() || w.Len() != def.TotalShards() {
+			t.Fatalf("task counts diverge: compile %d, expand %d, def %d",
+				w.Len(), x.Total(), def.TotalShards())
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("compiled workflow invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// Folded series must answer full-span Integral, Max, Last and Len
+// bit-identically to a retained series fed the same samples — that identity
+// is what lets the streaming run path fold cluster/manager series without
+// perturbing utilization fingerprints.
+func TestFoldedSeriesMatchesRetained(t *testing.T) {
+	rng := randx.New(11)
+	for trial := 0; trial < 50; trial++ {
+		full := NewSeries("full")
+		folded := NewSeries("folded")
+		folded.Fold()
+		n := 1 + rng.Intn(200)
+		now := sim.Time(0)
+		for i := 0; i < n; i++ {
+			// Mix strictly increasing steps with exact repeats: repeated
+			// timestamps exercise the zero-width terms the retained
+			// Integral skips and the folded one adds as 0.0.
+			if rng.Intn(4) != 0 {
+				now += sim.Time(rng.Float64() * 3)
+			}
+			v := math.Floor(rng.Float64()*64) - 8 // include negatives
+			full.Add(now, v)
+			folded.Add(now, v)
+		}
+		end := now + sim.Time(rng.Float64()*5)
+		gotI, wantI := folded.Integral(0, end), full.Integral(0, end)
+		if gotI != wantI {
+			t.Fatalf("trial %d: Integral(0,%v): folded %v != retained %v", trial, end, gotI, wantI)
+		}
+		if got, want := folded.Integral(0, full.Last().T), full.Integral(0, full.Last().T); got != want {
+			t.Fatalf("trial %d: Integral to last sample: folded %v != retained %v", trial, got, want)
+		}
+		if folded.Max() != full.Max() {
+			t.Fatalf("trial %d: Max: folded %v != retained %v", trial, folded.Max(), full.Max())
+		}
+		if folded.Last() != full.Last() {
+			t.Fatalf("trial %d: Last: folded %v != retained %v", trial, folded.Last(), full.Last())
+		}
+		if folded.Len() != full.Len() {
+			t.Fatalf("trial %d: Len: folded %d != retained %d", trial, folded.Len(), full.Len())
+		}
+	}
+}
+
+func TestFoldedSeriesGuards(t *testing.T) {
+	s := NewSeries("g")
+	s.Fold()
+	s.Fold() // idempotent
+	if !s.Folded() {
+		t.Fatal("Folded() false after Fold")
+	}
+	if s.Integral(0, 10) != 0 || s.Max() != 0 || s.Len() != 0 {
+		t.Fatal("empty folded series must read as zero")
+	}
+	s.Add(1, 2)
+	s.Add(3, 4)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on folded series did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Points", func() { s.Points() })
+	mustPanic("At", func() { s.At(2) })
+	mustPanic("Mean", func() { s.Mean() })
+	mustPanic("windowed Integral", func() { s.Integral(2, 10) })
+	mustPanic("truncated Integral", func() { s.Integral(0, 2) })
+
+	r := NewSeries("r")
+	r.Add(1, 1)
+	mustPanic("Fold after samples", func() { r.Fold() })
+
+	// Counter/Gauge route through the folded series unchanged.
+	c := NewCounter("c")
+	c.Fold()
+	c.Inc(1, 2)
+	c.Inc(2, 3)
+	if c.Value() != 5 || c.Max() != 5 || c.Len() != 2 {
+		t.Fatalf("folded counter: value %v max %v len %d", c.Value(), c.Max(), c.Len())
+	}
+}

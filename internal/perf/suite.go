@@ -10,6 +10,7 @@ import (
 	"hhcw/internal/dag"
 	"hhcw/internal/entk"
 	"hhcw/internal/exaam"
+	"hhcw/internal/jaws"
 	"hhcw/internal/metrics"
 	"hhcw/internal/randx"
 	"hhcw/internal/rm"
@@ -34,9 +35,11 @@ type Spec struct {
 func Suite(short bool) []Spec {
 	depth, seeds, cwsSeeds := 16384, 60, 2
 	dqPerType, dqTasks, dqChurn := 40, 1500, 8
+	millionShards := 1_000_000
 	if short {
 		depth, seeds, cwsSeeds = 4096, 10, 1
 		dqPerType, dqTasks, dqChurn = 12, 400, 4
+		millionShards = 50_000
 	}
 	return []Spec{
 		{Name: "EngineThroughput", Bench: func(b *testing.B) {
@@ -190,6 +193,53 @@ func Suite(short bool) []Spec {
 			b.ReportMetric(float64(completed), "tasks_completed")
 			b.ReportMetric(float64(failed), "tasks_failed")
 			b.ReportMetric(meanWait, "mean_wait_s")
+		}},
+		{Name: "ScheduleMillionTask", Bench: func(b *testing.B) {
+			// The extreme-scale run path end to end: a million-shard scatter
+			// streamed through the lazy expander, the sharded event engine,
+			// the lean task manager and folded cluster metrics, under a fixed
+			// admission window. Gates both cost (allocs/op, B/op — resident
+			// state must stay O(window), not O(tasks)) and exact domain
+			// outputs (makespan, completions, peak residency).
+			b.ReportAllocs()
+			wdl := fmt.Sprintf(`
+workflow millionscatter
+task prep cpu=1 dur=10s
+task work cpu=1 dur=60s scatter=%d after=prep
+task gather cpu=1 dur=10s after=work
+`, millionShards)
+			var makespan float64
+			var completed, peak int
+			for i := 0; i < b.N; i++ {
+				def, err := jaws.Parse(wdl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				x, err := def.Expand()
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := sim.NewEngine()
+				eng.SetShards(4)
+				cl := cluster.New(eng, "site", cluster.Spec{
+					Type:  cluster.NodeType{Name: "node", Cores: 8, MemBytes: 64e9},
+					Count: 128,
+				})
+				cl.FoldMetrics()
+				m := rm.NewTaskManager(cl, nil)
+				m.SetLean()
+				sr := &rm.StreamRunner{
+					Manager:     m,
+					Source:      x,
+					WorkflowID:  def.Name,
+					MaxResident: 2048,
+				}
+				makespan = float64(sr.Run())
+				completed, peak = m.Completed(), sr.PeakResident()
+			}
+			b.ReportMetric(makespan, "makespan_s")
+			b.ReportMetric(float64(completed), "tasks_completed")
+			b.ReportMetric(float64(peak), "peak_resident_tasks")
 		}},
 		{Name: "CWSMakespanCut", Bench: func(b *testing.B) {
 			b.ReportAllocs()

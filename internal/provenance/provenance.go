@@ -89,6 +89,11 @@ type Store struct {
 	statByName map[string]statAgg
 	nodeEvents []NodeEvent
 	workflows  map[string]*dag.Workflow
+	// compact drops record retention: AddTask folds into the running
+	// aggregates and discards the record, keeping memory O(process names)
+	// at any task count (see SetCompact).
+	compact bool
+	folded  int
 }
 
 // NewStore returns an empty store.
@@ -110,13 +115,32 @@ func (s *Store) RegisterWorkflow(id string, w *dag.Workflow) {
 	s.workflows[id] = w
 }
 
-// AddTask appends a task execution record and folds it into the per-name
-// running aggregates.
+// SetCompact switches record retention on or off. With compact on, AddTask
+// folds every record into the running aggregates (StatsByName,
+// MeanRefRuntime) and drops it, so a million-task streaming run keeps
+// provenance memory bounded by the number of distinct process names.
+// Record-level queries (All, ByWorkflow, Lineage, Observations, ExportPROV,
+// AnnotateRetry) see only records added while retention was on.
+func (s *Store) SetCompact(on bool) { s.compact = on }
+
+// Compact reports whether record retention is off.
+func (s *Store) Compact() bool { return s.compact }
+
+// Folded returns the number of records folded into aggregates without being
+// retained. Len() + Folded() is the total executions observed.
+func (s *Store) Folded() int { return s.folded }
+
+// AddTask appends a task execution record (unless the store is compact) and
+// folds it into the per-name running aggregates.
 func (s *Store) AddTask(r TaskRecord) {
-	idx := len(s.records)
-	s.records = append(s.records, r)
-	s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
-	s.byName[r.Name] = append(s.byName[r.Name], idx)
+	if s.compact {
+		s.folded++
+	} else {
+		idx := len(s.records)
+		s.records = append(s.records, r)
+		s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
+		s.byName[r.Name] = append(s.byName[r.Name], idx)
+	}
 
 	st := s.statByName[r.Name]
 	st.execs++
@@ -260,8 +284,8 @@ type Stats struct {
 // StatsByName returns per-process summaries sorted by name, read from the
 // running aggregates — O(names), not O(records).
 func (s *Store) StatsByName() []Stats {
-	names := make([]string, 0, len(s.byName))
-	for n := range s.byName {
+	names := make([]string, 0, len(s.statByName))
+	for n := range s.statByName {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -196,6 +196,10 @@ type TaskManager struct {
 	completed *metrics.Counter
 	failed    *metrics.Counter
 	waits     []float64
+	// lean drops O(tasks) observational state for extreme-scale runs: the
+	// gauge/counter series fold to running aggregates and per-start queue
+	// waits stop being recorded. Scheduling decisions are untouched.
+	lean bool
 
 	schedulePending bool
 	// Steady-state scratch, reused across schedule passes so dispatch
@@ -273,9 +277,22 @@ func (m *TaskManager) Failed() int { return int(m.failed.Value()) }
 
 // QueueWaits returns a copy of the observed queue waits (seconds) of started
 // submissions. Returning a copy keeps callers from mutating manager state
-// through the shared backing array.
+// through the shared backing array. A lean manager records none.
 func (m *TaskManager) QueueWaits() []float64 {
 	return append([]float64(nil), m.waits...)
+}
+
+// SetLean switches the manager to lean observation for extreme-scale runs:
+// the queue/running gauges and completion counters fold to running
+// aggregates (Completed/Failed/Max stay exact) and queue waits stop being
+// recorded, so manager-side memory is O(in-flight) at any task count.
+// Scheduling behavior is bit-identical. Must be called before any Submit.
+func (m *TaskManager) SetLean() {
+	m.lean = true
+	m.queueLen.Fold()
+	m.runningN.Fold()
+	m.completed.Fold()
+	m.failed.Fold()
 }
 
 // RunningSeries exposes the running-task gauge for concurrency plots.
@@ -434,7 +451,9 @@ func (m *TaskManager) start(s *Submission, r *running) {
 	r.sub, r.alloc, r.start = s, &r.allocBox, now
 	m.running[s.ID] = r
 	m.runningN.AddDelta(now, 1)
-	m.waits = append(m.waits, float64(now-s.submittedAt))
+	if !m.lean {
+		m.waits = append(m.waits, float64(now-s.submittedAt))
+	}
 	r.endEv = m.eng.After(sim.Time(dur), r.endFn)
 }
 

@@ -1,0 +1,256 @@
+package rm
+
+import (
+	"errors"
+	"fmt"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/dag"
+	"hhcw/internal/fault"
+	"hhcw/internal/randx"
+	"hhcw/internal/sim"
+)
+
+// StreamRunner drives a dag.Expander through a TaskManager: the streaming
+// sibling of MakespanRunner for runs too large to materialize. Tasks are
+// pulled from the expander as capacity (and the MaxResident window) allows,
+// and retired — observed by the Observe hook, then recycled by the expander —
+// the moment they turn terminal, so resident state is O(in-flight), not
+// O(tasks). Everything else mirrors MakespanRunner exactly: submission IDs,
+// retry/backoff/breaker behavior, fault-plan lookups, skip accounting —
+// which is why an unthrottled streaming run is event-for-event identical to
+// the eager runner (the equivalence the sweep tests pin).
+//
+// MaxResident == 0 leaves admission unthrottled: every ready task is
+// submitted immediately, exactly as MakespanRunner would, so fingerprints
+// match by construction. A positive MaxResident bounds emitted-but-not-
+// terminal tasks; scheduling is still deterministic, and for workloads whose
+// concurrently-ready tasks share one resource shape (scatter shards) the
+// schedule is provably identical to the unthrottled one as long as the
+// window exceeds the cluster's concurrency (see docs/scale.md).
+type StreamRunner struct {
+	Manager *TaskManager
+	Source  dag.Expander
+	// Runtime maps a task and node to an execution time. If nil, nominal
+	// duration scaled by node speed is used.
+	Runtime func(t *dag.Task, n *cluster.Node) float64
+	// WorkflowID labels submissions for CWSI-aware strategies.
+	WorkflowID string
+
+	// Retry / RetryRNG / Breaker: the recovery policy, as in MakespanRunner.
+	Retry    *fault.RetryPolicy
+	RetryRNG *randx.Source
+	Breaker  *fault.Breaker
+	// FailPlan returns how many leading attempts of the task at eager
+	// insertion index idx fail with an injected transient error — the
+	// streaming form of MakespanRunner.FailAttempts, keyed by index so the
+	// fault plan needs no materialized task list.
+	FailPlan func(idx int) int
+	// OnComplete fires once, when the last task turns terminal.
+	OnComplete func()
+	// Observe, when non-nil, sees every task's terminal result just before
+	// the task is retired — the hook that folds records into provenance's
+	// running aggregates. The Task and Result are only valid for the call.
+	Observe func(t *dag.Task, r Result)
+	// MaxResident caps tasks emitted but not yet terminal (0 = unlimited).
+	MaxResident int
+
+	total        int
+	doneCount    int
+	resident     int
+	peakResident int
+	finishAt     sim.Time
+	stats        RunStats
+	// freeAttempts recycles srAttempt records, as MakespanRunner pools
+	// mrAttempts; an attempt stays live across its own retries and is
+	// recycled at its task's terminal result.
+	freeAttempts []*srAttempt
+}
+
+// srAttempt is one task's submission state: the Submission and every
+// per-attempt callback bundled into a single pooled allocation. Unlike
+// mrAttempt it carries the task across retries (the streaming runner has no
+// task map to look things up in) plus the eager insertion index and the
+// resolved fault-plan count.
+type srAttempt struct {
+	sr         *StreamRunner
+	task       *dag.Task
+	idx        int
+	attempt    int
+	failN      int
+	timeoutEv  *sim.Event
+	resubmitFn func()
+	sub        Submission
+}
+
+// RuntimeOn implements SubmissionHooks.
+func (a *srAttempt) RuntimeOn(n *cluster.Node) float64 { return a.sr.Runtime(a.task, n) }
+
+// ValidateOn implements SubmissionHooks.
+func (a *srAttempt) ValidateOn(n *cluster.Node) error {
+	if a.attempt <= a.failN {
+		return fmt.Errorf("rm: injected transient failure of %s (attempt %d)", a.task.ID, a.attempt)
+	}
+	return nil
+}
+
+// Done implements SubmissionHooks.
+func (a *srAttempt) Done(r Result) {
+	sr := a.sr
+	if a.timeoutEv != nil {
+		a.timeoutEv.Cancel()
+		a.timeoutEv = nil
+	}
+	r.Submission = nil
+	sr.stats.Attempts++
+	if r.Failed {
+		sr.stats.Failures++
+		if errors.Is(r.Err, fault.ErrTimeout) {
+			sr.stats.Timeouts++
+		}
+		sr.Breaker.Record(true)
+		if sr.Retry != nil && sr.Retry.ShouldRetry(a.attempt) && !sr.Breaker.Open() {
+			d := sr.Retry.Backoff(a.attempt, sr.RetryRNG)
+			sr.stats.Retries++
+			sr.stats.BackoffSec += float64(d)
+			sr.Manager.eng.After(d, a.resubmitFn)
+			return
+		}
+		sr.stats.TerminalFailures++
+		task := a.task
+		id := task.ID
+		sr.recycle(a)
+		sr.retire(task, r)
+		skipped := sr.Source.TaskFailed(id)
+		sr.stats.Skipped += skipped
+		sr.taskDone(1 + skipped)
+		sr.pull()
+		return
+	}
+	sr.Breaker.Record(false)
+	task := a.task
+	id := task.ID
+	sr.recycle(a)
+	sr.retire(task, r)
+	sr.taskDone(1)
+	sr.Source.TaskDone(id)
+	sr.pull()
+}
+
+// Run pulls the expansion through the manager until it drains and returns
+// the makespan in virtual seconds.
+func (sr *StreamRunner) Run() sim.Time {
+	if sr.Runtime == nil {
+		sr.Runtime = DefaultRuntime
+	}
+	sr.total = sr.Source.Total()
+	startAt := sr.Manager.eng.Now()
+	sr.pull()
+	sr.Manager.eng.Run()
+	if sr.doneCount != sr.total {
+		panic(fmt.Sprintf("rm: streaming workflow %s stalled: %d/%d tasks done (cluster too small for some request?)",
+			sr.Source.Name(), sr.doneCount, sr.total))
+	}
+	return sr.finishAt - startAt
+}
+
+// pull admits ready tasks while the residency window allows.
+func (sr *StreamRunner) pull() {
+	for sr.MaxResident <= 0 || sr.resident < sr.MaxResident {
+		t, idx, ok := sr.Source.Next()
+		if !ok {
+			return
+		}
+		sr.resident++
+		if sr.resident > sr.peakResident {
+			sr.peakResident = sr.resident
+		}
+		sr.submit(t, idx)
+	}
+}
+
+// submit queues the first attempt of t.
+func (sr *StreamRunner) submit(t *dag.Task, idx int) {
+	var a *srAttempt
+	if n := len(sr.freeAttempts); n > 0 {
+		a = sr.freeAttempts[n-1]
+		sr.freeAttempts = sr.freeAttempts[:n-1]
+	} else {
+		a = new(srAttempt)
+		aa := a
+		a.resubmitFn = func() {
+			aa.attempt++
+			aa.sr.start(aa)
+		}
+	}
+	a.sr, a.task, a.idx, a.attempt = sr, t, idx, 1
+	a.failN = 0
+	if sr.FailPlan != nil {
+		a.failN = sr.FailPlan(idx)
+	}
+	sr.start(a)
+}
+
+// start submits the attempt currently described by a.
+func (sr *StreamRunner) start(a *srAttempt) {
+	id := sr.WorkflowID + "/" + string(a.task.ID)
+	if a.attempt > 1 {
+		id = fmt.Sprintf("%s#%d", id, a.attempt)
+	}
+	a.sub = Submission{
+		ID:         id,
+		WorkflowID: sr.WorkflowID,
+		TaskID:     a.task.ID,
+		Name:       a.task.Name,
+		Cores:      a.task.Cores,
+		GPUs:       a.task.GPUs,
+		Mem:        a.task.MemBytes,
+		InputBytes: a.task.InputBytes,
+		Hooks:      a,
+	}
+	sr.Manager.Submit(&a.sub)
+	if sr.Retry != nil && sr.Retry.TimeoutSec > 0 {
+		attempt := a.attempt
+		a.timeoutEv = sr.Manager.eng.After(sim.Time(sr.Retry.TimeoutSec), func() {
+			sr.Manager.Abort(id, fmt.Errorf("rm: %s attempt %d exceeded %.0fs: %w",
+				id, attempt, sr.Retry.TimeoutSec, fault.ErrTimeout))
+		})
+	}
+}
+
+// retire hands the terminal task to the Observe hook, then back to the
+// expander for recycling, and frees its residency slot.
+func (sr *StreamRunner) retire(t *dag.Task, r Result) {
+	if sr.Observe != nil {
+		sr.Observe(t, r)
+	}
+	sr.resident--
+	sr.Source.Retire(t)
+}
+
+// recycle returns a dead attempt record to the pool, keeping its bound
+// resubmit closure.
+func (sr *StreamRunner) recycle(a *srAttempt) {
+	fn := a.resubmitFn
+	*a = srAttempt{resubmitFn: fn}
+	sr.freeAttempts = append(sr.freeAttempts, a)
+}
+
+// taskDone advances the terminal count by n and fires OnComplete when the
+// whole expansion has settled.
+func (sr *StreamRunner) taskDone(n int) {
+	sr.doneCount += n
+	if sr.doneCount == sr.total {
+		sr.finishAt = sr.Manager.eng.Now()
+		if sr.OnComplete != nil {
+			sr.OnComplete()
+		}
+	}
+}
+
+// PeakResident returns the high-water mark of tasks emitted but not yet
+// terminal — the number the memory-ceiling regression gates.
+func (sr *StreamRunner) PeakResident() int { return sr.peakResident }
+
+// Stats returns the run's failure/recovery accounting.
+func (sr *StreamRunner) Stats() RunStats { return sr.stats }

@@ -1,0 +1,133 @@
+package sim
+
+// Sharded pending queue: conservative bounded-lookahead merging of per-shard
+// heaps, preserving the exact single-heap pop order.
+//
+// At extreme scale (100k nodes, millions of events in flight) one monolithic
+// heap becomes the memory hot spot: every push and pop walks log(N) levels of
+// a single huge array. SetShards partitions the pending queue into k
+// independent heap4 instances — think per-site event queues — with events
+// routed by seq. Because routing is a pure function of seq, and the engine's
+// total order is (at, seq), the k-way merge below reproduces the single-heap
+// order element for element; the golden-fingerprint contract holds by
+// construction, and the cross-check battery in heap_test.go replays random
+// schedules against the reference kernel to prove it.
+//
+// The merge is the conservative synchronization scheme of parallel discrete
+// event simulation, collapsed onto one thread: the current shard may keep
+// popping — without looking at anyone else — while its head stays below the
+// barrier, the smallest ordering key any other shard holds. Pushes to other
+// shards can only lower the barrier (heads never otherwise decrease), so the
+// barrier is exact, not merely safe, and the lookahead window is as wide as
+// the event population allows. Only when the current shard's head crosses the
+// barrier does the engine rescan all k heads to elect a new shard and
+// barrier.
+
+// noEntry is the barrier sentinel: it sorts after every real entry (real
+// events never reach seq == ^uint64(0)), so an empty "other shards" set
+// imposes no barrier at all.
+var noEntry = entry{at: Never, seq: ^uint64(0)}
+
+// SetShards partitions the engine's pending queue into k per-shard heaps
+// (k <= 1 restores the single monolithic heap). The observable event order is
+// identical at any shard count. It panics if events are already pending:
+// re-routing queued events would be silent, and every substrate constructs
+// its engine before scheduling.
+func (e *Engine) SetShards(k int) {
+	if e.Pending() != 0 {
+		panic("sim: SetShards on an engine with pending events")
+	}
+	if k <= 1 {
+		e.shards = nil
+		e.shardN = 0
+		return
+	}
+	e.shards = make([]heap4, k)
+	e.shardCur = 0
+	e.shardBar = noEntry
+	e.shardN = 0
+}
+
+// NumShards returns the number of pending-queue shards (1 = monolithic).
+func (e *Engine) NumShards() int {
+	if e.shards == nil {
+		return 1
+	}
+	return len(e.shards)
+}
+
+// qlen returns the total number of queued entries across shards.
+func (e *Engine) qlen() int {
+	if e.shards == nil {
+		return e.queue.len()
+	}
+	return e.shardN
+}
+
+// qpush routes an entry to its shard, lowering the barrier when the entry
+// lands outside the current shard with a smaller key.
+func (e *Engine) qpush(x entry) {
+	if e.shards == nil {
+		e.queue.push(x)
+		return
+	}
+	s := int(x.seq % uint64(len(e.shards)))
+	e.shards[s].push(x)
+	e.shardN++
+	if s != e.shardCur && x.less(e.shardBar) {
+		e.shardBar = x
+	}
+}
+
+// qfix re-establishes the invariant that the current shard's head is the
+// global minimum. Fast path: the head is still inside the lookahead window
+// (strictly below the barrier — keys are unique, so "not less" means a
+// smaller key lives elsewhere). Slow path: rescan all shard heads, elect the
+// smallest as current, and set the barrier to the runner-up.
+func (e *Engine) qfix() {
+	c := &e.shards[e.shardCur]
+	if c.len() > 0 && c.min().less(e.shardBar) {
+		return
+	}
+	best := -1
+	bestEnt, second := noEntry, noEntry
+	for i := range e.shards {
+		if e.shards[i].len() == 0 {
+			continue
+		}
+		h := e.shards[i].min()
+		if best < 0 || h.less(bestEnt) {
+			if best >= 0 {
+				second = bestEnt
+			}
+			best, bestEnt = i, h
+		} else if h.less(second) {
+			second = h
+		}
+	}
+	if best < 0 {
+		e.shardCur, e.shardBar = 0, noEntry
+		return
+	}
+	e.shardCur, e.shardBar = best, second
+}
+
+// qmin returns the globally smallest entry. Callers must check qlen() > 0.
+func (e *Engine) qmin() entry {
+	if e.shards == nil {
+		return e.queue.min()
+	}
+	e.qfix()
+	return e.shards[e.shardCur].min()
+}
+
+// qpop removes and returns the globally smallest entry. Callers must check
+// qlen() > 0.
+func (e *Engine) qpop() entry {
+	if e.shards == nil {
+		return e.queue.pop()
+	}
+	e.qfix()
+	e.shardN--
+	return e.shards[e.shardCur].pop()
+}

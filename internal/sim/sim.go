@@ -91,6 +91,16 @@ type Engine struct {
 	// elements sequentially and replaces it when exhausted. Slabs are never
 	// reused, so escaped *Event handles keep their pre-pooling semantics.
 	slab []Event
+
+	// Sharded pending queue (see sharded.go). shards == nil means the
+	// monolithic heap above is in use; otherwise entries are routed by seq
+	// across the per-shard heaps, shardCur is the shard whose head is the
+	// global minimum, shardBar the smallest key any other shard holds, and
+	// shardN the total queued count.
+	shards   []heap4
+	shardCur int
+	shardBar entry
+	shardN   int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -106,7 +116,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been discarded).
-func (e *Engine) Pending() int { return e.queue.len() + len(e.batch) - e.batchNext }
+func (e *Engine) Pending() int { return e.qlen() + len(e.batch) - e.batchNext }
 
 func (e *Engine) alloc() *Event {
 	if len(e.slab) == 0 {
@@ -126,7 +136,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn = t, e.seq, fn
-	e.queue.push(entry{at: t, seq: e.seq, ev: ev})
+	e.qpush(entry{at: t, seq: e.seq, ev: ev})
 	return ev
 }
 
@@ -171,10 +181,10 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.batch = e.batch[:0]
 		e.batchNext = 0
-		if e.queue.len() == 0 {
+		if e.qlen() == 0 {
 			break
 		}
-		head := e.queue.min()
+		head := e.qmin()
 		if head.at > deadline {
 			break
 		}
@@ -182,8 +192,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		// ascending seq, so the batch is already in FIFO firing order;
 		// events scheduled while it fires get larger seqs and sort after.
 		at := head.at
-		for e.queue.len() > 0 && e.queue.min().at == at {
-			e.batch = append(e.batch, e.queue.pop().ev)
+		for e.qlen() > 0 && e.qmin().at == at {
+			e.batch = append(e.batch, e.qpop().ev)
 		}
 	}
 	if deadline != Never && e.now < deadline && !e.halted {
@@ -206,10 +216,10 @@ func (e *Engine) Step() bool {
 				e.batch = e.batch[:0]
 				e.batchNext = 0
 			}
-			if e.queue.len() == 0 {
+			if e.qlen() == 0 {
 				return false
 			}
-			ev = e.queue.pop().ev
+			ev = e.qpop().ev
 		}
 		if ev.cancel {
 			continue
