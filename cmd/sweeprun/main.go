@@ -11,12 +11,21 @@
 // Usage:
 //
 //	sweeprun [-seeds 200] [-workers NumCPU] [-nodes 2] [-cores 8] [-seed 13]
-//	         [-faults none|mtbf|spot|storm] [-json]
+//	         [-faults none|mtbf|spot|storm] [-arrivals] [-json]
 //
 // -faults overlays a deterministic failure profile on every strategy's
 // cluster (node crashes, spot reclaims, transient task failures, I/O
 // slowdowns); tasks recover under the shared retry policy and the report
 // gains a failure/recovery distribution table.
+//
+// -arrivals switches to service mode: instead of closed-batch workflow
+// sweeps, each seed runs the open-system contended scenario — three tenants
+// injecting Poisson workflow streams through admission control into one
+// shared scheduler — under plain FIFO and under deficit-weighted fair
+// share, plus per-tenant solo baselines. The report becomes the
+// tenant-fairness table (p99 queue-wait inflation over solo, cross-tenant
+// p99 spread, rejection rates) with one fingerprinted run row per
+// (strategy, seed).
 //
 // The report is deterministic: same seeds ⇒ bit-identical output, whatever
 // -workers is. -seed sets the first seed of the block.
@@ -31,6 +40,7 @@ import (
 	"hhcw/internal/dag"
 	"hhcw/internal/driver"
 	"hhcw/internal/randx"
+	"hhcw/internal/service"
 	"hhcw/internal/sweep"
 )
 
@@ -41,9 +51,21 @@ func main() {
 	workers := app.Int("workers", runtime.NumCPU(), "worker pool size")
 	nodes := app.Int("nodes", 2, "cluster nodes (2 = the paper's contended regime)")
 	cores := app.Int("cores", 8, "cores per node")
+	arrivals := app.Bool("arrivals", false, "service mode: open-system multi-tenant arrival sweep")
 	app.SeedDefault(13)
 	app.Parse()
 	faults := app.Faults()
+
+	if *arrivals {
+		// The service scenario owns its failure model (fault-free by
+		// calibration); silently dropping a requested profile would be a
+		// lie, so reject it like the NoFaults binaries do.
+		if app.FaultsName() != "none" {
+			app.Fatalf("-arrivals runs the calibrated service scenario and does not take -faults (got %q)", app.FaultsName())
+		}
+		runArrivals(app, *seeds, *workers)
+		return
+	}
 
 	opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
 	cfg := sweep.Config{
@@ -107,5 +129,45 @@ func main() {
 		hl.Set("cut_mean_pct", sum/float64(n))
 		hl.Set("cut_max_pct", max)
 	}
+	app.Emit(rep)
+}
+
+// runArrivals is the -arrivals (service) mode: the §6 multi-tenant
+// starvation study as a seed ensemble over the contended open-system
+// scenario, FIFO vs deficit-weighted fair share with per-tenant solo
+// baselines.
+func runArrivals(app *driver.App, seeds, workers int) {
+	sw, err := service.Sweep(service.SweepConfig{
+		Seeds:   seeds,
+		Seed0:   app.Seed(),
+		Workers: workers,
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				app.Logf("%d/%d seeds complete", done, total)
+			}
+		},
+	})
+	app.Check(err)
+
+	rep := app.NewReport()
+	s := rep.Section(fmt.Sprintf("§6 service mode: open-system tenant fairness over %d seeds on %d workers",
+		seeds, workers))
+	s.AddTable(sw.Table())
+	for _, run := range sw.Runs {
+		rep.AddRun(run.RunSummary(fmt.Sprintf("arrivals/%s/seed-%d", run.Strategy, run.Seed)))
+	}
+	for _, t := range sw.TenantSummaries() {
+		rep.AddTenant(t)
+	}
+
+	hl := rep.Section("")
+	for _, sa := range sw.Strategies {
+		hl.Set(sa.Strategy+"_maxmin_p99_ratio", sa.MaxMinP99Ratio)
+		hl.Set(sa.Strategy+"_worst_wait_inflation", sa.WorstWaitInflation)
+	}
+	fifo, fair := sw.Strategies[0], sw.Strategies[1]
+	hl.Addf("FIFO worst p99 queue-wait inflation over solo : %.2fx (pathology when ≥ 2)", fifo.WorstWaitInflation)
+	hl.Addf("fair-share max/min tenant p99 ratio           : %.2f (fair when ≤ 1.5)", fair.MaxMinP99Ratio)
+	hl.Addf("ensemble fingerprint                          : %s", sw.Fingerprint)
 	app.Emit(rep)
 }

@@ -35,6 +35,10 @@ type Report struct {
 	// Runs are the normalized execution outcomes, in a fixed order.
 	Runs []RunSummary `json:"runs,omitempty"`
 
+	// Tenants carry per-tenant service-mode SLO aggregates (multi-tenant
+	// apps only), in a fixed strategy-major order.
+	Tenants []TenantSummary `json:"tenants,omitempty"`
+
 	// Sections carry the human-readable experiment tables; under -json they
 	// are included verbatim so nothing is lost either way.
 	Sections []Section `json:"sections,omitempty"`
@@ -241,6 +245,28 @@ func FromLLMAgents(name string, r *llmwf.ExecReport) RunSummary {
 	s.Fingerprint = fingerprintOf(&s)
 	return s
 }
+
+// TenantSummary is one tenant's service-mode SLO view under one scheduling
+// strategy: queue-wait tail, makespan inflation against the tenant's solo
+// baseline, and admission-control outcomes. Producers aggregate these over
+// a seed ensemble before attaching them.
+type TenantSummary struct {
+	Strategy string  `json:"strategy"`
+	Tenant   string  `json:"tenant"`
+	Weight   float64 `json:"weight,omitempty"`
+
+	P99WaitSec        float64 `json:"p99_wait_sec"`
+	SoloP99WaitSec    float64 `json:"solo_p99_wait_sec,omitempty"`
+	WaitInflationP99  float64 `json:"wait_inflation_p99,omitempty"`
+	MeanMakespanSec   float64 `json:"mean_makespan_sec,omitempty"`
+	MakespanInflation float64 `json:"makespan_inflation,omitempty"`
+	RejectionRate     float64 `json:"rejection_rate"`
+	Deferred          int     `json:"deferred,omitempty"`
+	Rejected          int     `json:"rejected,omitempty"`
+}
+
+// AddTenant appends a per-tenant service-mode aggregate.
+func (r *Report) AddTenant(t TenantSummary) { r.Tenants = append(r.Tenants, t) }
 
 // Section is a titled block of preformatted report lines with optional
 // machine-readable values.

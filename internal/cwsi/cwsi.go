@@ -163,6 +163,10 @@ type CWS struct {
 	recoveryRNG *randx.Source
 	injectFail  func(wfID string, taskID dag.TaskID, attempt int) bool
 	recStats    RecoveryStats
+
+	// observer, when set, sees every terminal task attempt right after
+	// provenance capture (see SetTaskObserver).
+	observer func(wfID string, taskID dag.TaskID, attempt int, r rm.Result)
 }
 
 // RecoveryStats aggregates policy-driven recovery accounting across the
@@ -231,6 +235,34 @@ func (c *CWS) SetFaultInjection(fn func(wfID string, taskID dag.TaskID, attempt 
 
 // RecoveryStats returns the accumulated recovery accounting.
 func (c *CWS) RecoveryStats() RecoveryStats { return c.recStats }
+
+// SetTaskObserver installs a hook invoked once per terminal task attempt,
+// immediately after provenance capture and before the requester's own Done
+// callback. The service layer uses it for per-tenant accounting (queue
+// waits, core-seconds, quota release): the observer fires at exactly the
+// moments the priority-cache generation advances, so a fair-share strategy
+// whose priorities derive from observer-maintained state is never stale.
+// r.Submission must not be retained past the call (see rm.Result).
+func (c *CWS) SetTaskObserver(fn func(wfID string, taskID dag.TaskID, attempt int, r rm.Result)) {
+	c.observer = fn
+}
+
+// ReleaseWorkflow drops a finished workflow's scheduler state (DAG, ranks,
+// attempt counters) and the provenance store's registered-workflow entry, so
+// a long-running service that registers workflows per arrival keeps
+// O(in-flight) rather than O(arrivals) state. Task records already captured
+// are untouched (retention stays governed by provenance.SetCompact). It is
+// the caller's responsibility to release only workflows with no tasks still
+// pending or running; the entry simply disappears for strategy Context
+// lookups. Releasing an unknown id is a no-op.
+func (c *CWS) ReleaseWorkflow(id string) {
+	if _, ok := c.workflows[id]; !ok {
+		return
+	}
+	delete(c.workflows, id)
+	c.prov.ReleaseWorkflow(id)
+	c.prioGen++ // Context lookups for id now miss; memoized priorities may be stale
+}
 
 // RegisterWorkflow implements Interface.
 func (c *CWS) RegisterWorkflow(id string, w *dag.Workflow) error {
@@ -405,6 +437,9 @@ func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.
 	}
 	c.prov.AddTask(rec)
 	c.prioGen++ // provenance advanced; memoized priorities may be stale
+	if c.observer != nil {
+		c.observer(req.WorkflowID, req.TaskID, attempt, r)
+	}
 	if c.memPred != nil && !r.Failed {
 		c.memPred.Observe(predict.Observation{TaskName: t.Name, PeakMem: t.PeakMem()})
 	}

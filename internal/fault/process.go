@@ -232,7 +232,30 @@ func (in *Injector) armRenewal(meanSec float64, fire func()) {
 		fire()
 		in.armRenewal(meanSec, fire)
 	})
+	in.track(ev)
+}
+
+// track remembers an outstanding event for Stop-time cancellation,
+// compacting already-fired entries once the list grows: the renewal chains
+// of a long-running open-system service would otherwise retain every event
+// ever scheduled, O(virtual time) instead of O(armed processes). An event
+// strictly in the past has fired (the engine never holds events before now),
+// so cancelling it would be a no-op; dropping it is safe.
+func (in *Injector) track(ev *sim.Event) {
 	in.pending = append(in.pending, ev)
+	if len(in.pending) < 64 {
+		return
+	}
+	now := in.eng.Now()
+	live := in.pending[:0]
+	for _, e := range in.pending {
+		if e.Time() >= now && !e.Cancelled() {
+			live = append(live, e)
+		}
+	}
+	// Keep the backing array only if compaction actually helped; otherwise
+	// grow as usual and retry at the next threshold crossing.
+	in.pending = live
 }
 
 // victim picks a node to take down, or nil when doing so would leave the
@@ -274,7 +297,7 @@ func (in *Injector) reclaimOne() {
 		in.cl.FailNode(n)
 		in.scheduleRepair(n)
 	})
-	in.pending = append(in.pending, ev)
+	in.track(ev)
 }
 
 func (in *Injector) scheduleRepair(n *cluster.Node) {
@@ -288,7 +311,7 @@ func (in *Injector) scheduleRepair(n *cluster.Node) {
 		in.stats.NodeRepairs++
 		in.cl.RepairNode(n)
 	})
-	in.pending = append(in.pending, ev)
+	in.track(ev)
 }
 
 func (in *Injector) ioEpisode() {

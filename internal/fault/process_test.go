@@ -216,3 +216,26 @@ func TestProfileStringsStable(t *testing.T) {
 		}
 	}
 }
+
+// A long-running open-system service leaves the injector armed for the whole
+// horizon: the tracked-event list must stay bounded by the number of armed
+// processes, not grow with every renewal ever scheduled.
+func TestInjectorPendingBounded(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := testCluster(eng, 8)
+	in := NewInjector(cl, randx.New(11), Storm())
+	in.Start()
+	eng.RunUntil(3600 * 24 * 30) // a month of virtual storm chaos
+	if in.stats.NodeFailures == 0 || in.stats.Reclaims == 0 {
+		t.Fatalf("storm injected nothing: %+v", in.stats)
+	}
+	// Three renewal chains plus in-flight reclaim/repair followups: a couple
+	// dozen live events at most, nowhere near the tens of thousands fired.
+	if n := len(in.pending); n >= 128 {
+		t.Fatalf("pending tracked events = %d, want bounded (compaction broken)", n)
+	}
+	in.Stop()
+	if len(in.pending) != 0 {
+		t.Fatalf("pending after Stop = %d, want 0", len(in.pending))
+	}
+}

@@ -390,9 +390,18 @@ func SummarizeInPlace(values []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0..1) of values using linear
-// interpolation; it sorts a copy.
+// interpolation; it sorts a copy. Non-finite values (NaN, ±Inf) are dropped
+// first, consistent with Summarize/SummarizeInPlace — a single NaN would
+// otherwise break sort.Float64s ordering and yield a garbage quantile. An
+// input with no finite values yields 0.
 func Quantile(values []float64, q float64) float64 {
-	v := append([]float64(nil), values...)
+	v := make([]float64, 0, len(values))
+	for _, x := range values {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		v = append(v, x)
+	}
 	sort.Float64s(v)
 	return quantileSorted(v, q)
 }

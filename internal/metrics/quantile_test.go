@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile must drop non-finite values exactly like Summarize does: one NaN
+// in the input breaks sort.Float64s ordering and silently corrupts every
+// quantile downstream (the per-tenant p99 SLO path hits this directly).
+func TestQuantileDropsNaN(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5}
+	dirty := []float64{math.NaN(), 1, 2, math.NaN(), 3, 4, 5, math.NaN()}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		want := Quantile(clean, q)
+		if got := Quantile(dirty, q); got != want {
+			t.Fatalf("q=%v: NaN-polluted input gave %v, clean gave %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileAllNonFinite(t *testing.T) {
+	for _, in := range [][]float64{
+		{math.NaN()},
+		{math.NaN(), math.NaN(), math.NaN()},
+		{math.Inf(1), math.Inf(-1)},
+		nil,
+	} {
+		if got := Quantile(in, 0.5); got != 0 {
+			t.Fatalf("Quantile(%v, 0.5) = %v, want 0 for no finite values", in, got)
+		}
+	}
+}
+
+func TestQuantileDropsInf(t *testing.T) {
+	in := []float64{math.Inf(-1), 10, 20, 30, math.Inf(1)}
+	if got := Quantile(in, 0.5); got != 20 {
+		t.Fatalf("median with ±Inf = %v, want 20", got)
+	}
+	if got := Quantile(in, 1); got != 30 {
+		t.Fatalf("max with +Inf = %v, want 30 (Inf must be dropped, not returned)", got)
+	}
+	if got := Quantile(in, 0); got != 10 {
+		t.Fatalf("min with -Inf = %v, want 10 (-Inf must be dropped, not returned)", got)
+	}
+}
+
+// Consistency pin: Quantile and SummarizeInPlace agree on the same polluted
+// sample for the quantiles Summary exposes.
+func TestQuantileMatchesSummarizeOnPolluted(t *testing.T) {
+	in := []float64{math.NaN(), 5, 1, math.Inf(1), 3, 2, 4, math.Inf(-1)}
+	med := Quantile(in, 0.5)
+	p90 := Quantile(in, 0.9)
+	s := SummarizeInPlace(append([]float64(nil), in...))
+	if med != s.Median || p90 != s.P90 {
+		t.Fatalf("Quantile (med=%v p90=%v) disagrees with Summarize (med=%v p90=%v)",
+			med, p90, s.Median, s.P90)
+	}
+	if s.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", s.Dropped)
+	}
+}

@@ -72,9 +72,10 @@ func DefaultPolicy() Policy {
 			MetricNsPerOp:     {Class: Informational},
 			MetricAllocsPerOp: {Class: LowerIsBetter, Tol: 0.15, Abs: 2},
 			MetricBytesPerOp:  {Class: LowerIsBetter, Tol: 0.25, Abs: 128},
-			// sims_per_s is wall-clock throughput — same machine dependence
-			// as ns/op, so it never gates.
+			// sims_per_s / runs_per_s are wall-clock throughput — same
+			// machine dependence as ns/op, so they never gate.
 			"sims_per_s": {Class: Informational},
+			"runs_per_s": {Class: Informational},
 		},
 		Default: Rule{Class: Exact, Tol: 1e-9, Abs: 1e-9},
 	}

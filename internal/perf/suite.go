@@ -14,6 +14,7 @@ import (
 	"hhcw/internal/metrics"
 	"hhcw/internal/randx"
 	"hhcw/internal/rm"
+	"hhcw/internal/service"
 	"hhcw/internal/sim"
 	"hhcw/internal/sweep"
 )
@@ -36,10 +37,12 @@ func Suite(short bool) []Spec {
 	depth, seeds, cwsSeeds := 16384, 60, 2
 	dqPerType, dqTasks, dqChurn := 40, 1500, 8
 	millionShards := 1_000_000
+	svcSeeds := 6
 	if short {
 		depth, seeds, cwsSeeds = 4096, 10, 1
 		dqPerType, dqTasks, dqChurn = 12, 400, 4
 		millionShards = 50_000
+		svcSeeds = 2
 	}
 	return []Spec{
 		{Name: "EngineThroughput", Bench: func(b *testing.B) {
@@ -240,6 +243,41 @@ task gather cpu=1 dur=10s after=work
 			b.ReportMetric(makespan, "makespan_s")
 			b.ReportMetric(float64(completed), "tasks_completed")
 			b.ReportMetric(float64(peak), "peak_resident_tasks")
+		}},
+		{Name: "ServiceFairShare", Bench: func(b *testing.B) {
+			// The open-system service layer end to end: the contended
+			// three-tenant scenario (tightened admission budgets so the
+			// reject/defer paths are on the measured path) swept over a seed
+			// block under FIFO and fair share with solo baselines. All domain
+			// metrics are deterministic virtual-time outputs and gate exactly.
+			b.ReportAllocs()
+			scen := func(fairShare bool) service.Config {
+				cfg := service.ContendedScenario(fairShare)
+				cfg.Tenants[0].MaxInFlight = 6
+				cfg.Tenants[0].MaxDeferred = 4
+				return cfg
+			}
+			var sw *service.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				sw, err = service.Sweep(service.SweepConfig{
+					Scenario: scen, Seeds: svcSeeds, Seed0: 1, Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(8*svcSeeds*b.N)/b.Elapsed().Seconds(), "runs_per_s")
+			for _, ta := range sw.Tenants {
+				if ta.Strategy == "fairshare" {
+					b.ReportMetric(ta.P99Wait.Mean(), "fair_p99_wait_"+ta.Tenant+"_s")
+				}
+				if ta.Strategy == "fifo" && ta.Tenant == "heavy" {
+					b.ReportMetric(ta.RejectionRate.Mean()*100, "fifo_heavy_rej_pct")
+					b.ReportMetric(ta.WaitInflation, "fifo_heavy_infl")
+				}
+			}
+			b.ReportMetric(sw.Strategies[1].MaxMinP99Ratio, "fair_maxmin_p99")
 		}},
 		{Name: "CWSMakespanCut", Bench: func(b *testing.B) {
 			b.ReportAllocs()

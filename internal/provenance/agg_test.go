@@ -3,8 +3,10 @@ package provenance
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
+	"hhcw/internal/dag"
 	"hhcw/internal/randx"
 	"hhcw/internal/sim"
 )
@@ -100,4 +102,71 @@ func TestRunningAggregatesMatchRescan(t *testing.T) {
 				st.Name, st.MeanRuntime, st.MeanPeakMem, wantMeanRT, wantMeanMem)
 		}
 	}
+}
+
+func TestStatsByTenant(t *testing.T) {
+	s := NewStore()
+	s.SetTenantResolver(func(wfID string) string {
+		if i := strings.IndexByte(wfID, '/'); i >= 0 {
+			return wfID[:i]
+		}
+		return wfID
+	})
+	add := func(wf string, cores int, sub, start, fin float64, failed bool, node string) {
+		s.AddTask(TaskRecord{
+			WorkflowID: wf, TaskID: "t", Name: "p", Attempt: 1, Cores: cores,
+			SubmittedAt: sim.Time(sub), StartedAt: sim.Time(start), FinishedAt: sim.Time(fin),
+			Failed: failed, Node: node,
+		})
+	}
+	add("alice/wf-0", 2, 0, 5, 15, false, "n0") // 2 cores × 10 s, wait 5
+	add("alice/wf-1", 1, 0, 3, 4, false, "n1")  // 1 core × 1 s, wait 3
+	add("bob/wf-0", 4, 0, 1, 2, true, "n0")     // failed but started: wait counts, core-sec doesn't
+	add("bob/wf-1", 4, 0, 9, 9, true, "")       // pending abort: no node, no wait
+	got := s.StatsByTenant()
+	if len(got) != 2 {
+		t.Fatalf("tenants = %+v", got)
+	}
+	alice, bob := got[0], got[1]
+	if alice.Tenant != "alice" || alice.Executions != 2 || alice.Failures != 0 ||
+		alice.Started != 2 || alice.QueueWaitSum != 8 || alice.CoreSeconds != 21 {
+		t.Fatalf("alice = %+v", alice)
+	}
+	if bob.Tenant != "bob" || bob.Executions != 2 || bob.Failures != 2 ||
+		bob.Started != 1 || bob.QueueWaitSum != 1 || bob.CoreSeconds != 0 {
+		t.Fatalf("bob = %+v", bob)
+	}
+}
+
+func TestStatsByTenantCompactMode(t *testing.T) {
+	s := NewStore()
+	s.SetTenantResolver(func(string) string { return "solo" })
+	s.SetCompact(true)
+	for i := 0; i < 100; i++ {
+		s.AddTask(TaskRecord{WorkflowID: "solo/wf", TaskID: "t", Name: "p",
+			StartedAt: 1, FinishedAt: 2, Cores: 1, Node: "n"})
+	}
+	if s.Len() != 0 {
+		t.Fatalf("compact store retained %d records", s.Len())
+	}
+	st := s.StatsByTenant()
+	if len(st) != 1 || st[0].Executions != 100 || st[0].CoreSeconds != 100 {
+		t.Fatalf("compact tenant stats = %+v", st)
+	}
+}
+
+func TestReleaseWorkflowKeepsRecords(t *testing.T) {
+	s := NewStore()
+	w := dag.New("w")
+	w.Add(&dag.Task{ID: "a", Name: "a"})
+	s.RegisterWorkflow("wf", w)
+	s.AddTask(TaskRecord{WorkflowID: "wf", TaskID: "a", Name: "a", Node: "n"})
+	s.ReleaseWorkflow("wf")
+	if _, err := s.Lineage("wf", "a"); err == nil {
+		t.Fatal("lineage resolvable after release")
+	}
+	if len(s.ByWorkflow("wf")) != 1 {
+		t.Fatal("records dropped by release")
+	}
+	s.ReleaseWorkflow("ghost") // no-op
 }

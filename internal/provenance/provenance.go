@@ -89,6 +89,10 @@ type Store struct {
 	statByName map[string]statAgg
 	nodeEvents []NodeEvent
 	workflows  map[string]*dag.Workflow
+	// Tenant dimension (see SetTenantResolver): running per-tenant
+	// aggregates, O(tenants) regardless of record retention.
+	tenantOf func(wfID string) string
+	byTenant map[string]tenantAgg
 	// compact drops record retention: AddTask folds into the running
 	// aggregates and discards the record, keeping memory O(process names)
 	// at any task count (see SetCompact).
@@ -113,6 +117,65 @@ func NewStore() *Store {
 // RegisterWorkflow stores workflow structure for lineage queries.
 func (s *Store) RegisterWorkflow(id string, w *dag.Workflow) {
 	s.workflows[id] = w
+}
+
+// ReleaseWorkflow drops the registered workflow structure for id — the
+// lineage index for a workflow an open-system service has finished with.
+// Task records and aggregates are untouched; Lineage for the id starts
+// failing with "not registered". A service admitting workflows per arrival
+// pairs each RegisterWorkflow with a release so structure memory stays
+// O(in-flight), not O(arrivals).
+func (s *Store) ReleaseWorkflow(id string) { delete(s.workflows, id) }
+
+// SetTenantResolver installs the workflow-ID→tenant mapping that turns on
+// the per-tenant running aggregates. Must be set before the records it
+// should classify arrive; records added while no resolver is installed are
+// not attributed. The service layer names workflows "tenant/wf-N" and
+// resolves by prefix.
+func (s *Store) SetTenantResolver(fn func(wfID string) string) {
+	s.tenantOf = fn
+	if s.byTenant == nil {
+		s.byTenant = map[string]tenantAgg{}
+	}
+}
+
+// tenantAgg is the per-tenant running aggregate, folded on every AddTask so
+// it survives compact mode unchanged.
+type tenantAgg struct {
+	execs    int
+	failures int
+	started  int
+	waitSum  float64
+	coreSec  float64
+}
+
+// TenantStats summarizes one tenant's footprint across all its workflows.
+type TenantStats struct {
+	Tenant       string
+	Executions   int     // terminal attempts observed
+	Failures     int     // failed attempts (incl. pending aborts)
+	Started      int     // attempts that reached a node
+	QueueWaitSum float64 // Σ (StartedAt−SubmittedAt) over started attempts
+	CoreSeconds  float64 // Σ cores×runtime over successful attempts
+}
+
+// StatsByTenant returns per-tenant summaries sorted by tenant ID, read from
+// the running aggregates — O(tenants), valid in compact mode.
+func (s *Store) StatsByTenant() []TenantStats {
+	tenants := make([]string, 0, len(s.byTenant))
+	for t := range s.byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	out := make([]TenantStats, 0, len(tenants))
+	for _, t := range tenants {
+		a := s.byTenant[t]
+		out = append(out, TenantStats{
+			Tenant: t, Executions: a.execs, Failures: a.failures,
+			Started: a.started, QueueWaitSum: a.waitSum, CoreSeconds: a.coreSec,
+		})
+	}
+	return out
 }
 
 // SetCompact switches record retention on or off. With compact on, AddTask
@@ -140,6 +203,23 @@ func (s *Store) AddTask(r TaskRecord) {
 		s.records = append(s.records, r)
 		s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
 		s.byName[r.Name] = append(s.byName[r.Name], idx)
+	}
+
+	if s.tenantOf != nil {
+		t := s.tenantOf(r.WorkflowID)
+		a := s.byTenant[t]
+		a.execs++
+		if r.Failed {
+			a.failures++
+		}
+		if r.Node != "" { // pending aborts never reached a node
+			a.started++
+			a.waitSum += float64(r.StartedAt - r.SubmittedAt)
+			if !r.Failed {
+				a.coreSec += float64(r.Cores) * float64(r.Runtime())
+			}
+		}
+		s.byTenant[t] = a
 	}
 
 	st := s.statByName[r.Name]

@@ -120,7 +120,16 @@ type Zipf struct {
 }
 
 // NewZipf builds a zipf sampler over [1,n] with exponent alpha >= 0.
+// n <= 0 (an empty support would NaN-normalize the CDF) and alpha < 0
+// (which would silently invert the skew) panic, matching Pick's contract
+// of rejecting degenerate weight inputs loudly.
 func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("randx: NewZipf with non-positive n")
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		panic("randx: NewZipf with negative or NaN alpha")
+	}
 	cum := make([]float64, n)
 	total := 0.0
 	for i := 1; i <= n; i++ {

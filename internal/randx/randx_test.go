@@ -143,3 +143,29 @@ func TestExpBernoulliProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestZipfSingleton(t *testing.T) {
+	s := New(9)
+	z := NewZipf(1, 0.8)
+	for i := 0; i < 100; i++ {
+		if v := z.Sample(s); v != 1 {
+			t.Fatalf("NewZipf(1, ·).Sample = %d, want 1", v)
+		}
+	}
+}
+
+func TestZipfRejectsDegenerateInputs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("n=0", func() { NewZipf(0, 0.8) })
+	mustPanic("n=-3", func() { NewZipf(-3, 0.8) })
+	mustPanic("alpha=-0.5", func() { NewZipf(4, -0.5) })
+	mustPanic("alpha=NaN", func() { NewZipf(4, math.NaN()) })
+}

@@ -321,15 +321,31 @@ func (m *TaskManager) Submit(s *Submission) {
 }
 
 // Cancel removes a pending submission (running ones are not preempted). It
-// reports whether the submission was found pending.
+// reports whether the submission was found pending. The queue gauge reflects
+// the cancellation immediately — admission-control thresholds read it between
+// events — and a schedule pass is kicked so the entry is compacted away.
 func (m *TaskManager) Cancel(id string) bool {
 	for _, s := range m.pending {
 		if s.ID == id && !s.cancelled {
 			s.cancelled = true
+			m.queueLen.Set(m.eng.Now(), float64(m.livePending()))
+			m.kick()
 			return true
 		}
 	}
 	return false
+}
+
+// livePending counts pending submissions not yet cancelled; cancelled
+// entries linger until the next schedule pass compacts them.
+func (m *TaskManager) livePending() int {
+	n := 0
+	for _, s := range m.pending {
+		if !s.cancelled {
+			n++
+		}
+	}
+	return n
 }
 
 // Abort terminates a pending or running submission with a failure carrying
@@ -348,6 +364,8 @@ func (m *TaskManager) Abort(id string, err error) bool {
 			s.cancelled = true
 			now := m.eng.Now()
 			m.failed.Inc(now, 1)
+			m.queueLen.Set(now, float64(m.livePending()))
+			m.kick()
 			s.done(Result{
 				Submission:  s,
 				SubmittedAt: s.submittedAt,
@@ -377,6 +395,7 @@ func (m *TaskManager) kick() {
 // placed-entry compaction — all on reusable scratch, so a steady-state pass
 // allocates nothing.
 func (m *TaskManager) schedule() {
+	before := len(m.pending)
 	// Drop cancelled entries first.
 	live := m.pending[:0]
 	for _, s := range m.pending {
@@ -418,6 +437,10 @@ func (m *TaskManager) schedule() {
 			}
 		}
 		m.pending = rest
+	}
+	// Refresh the gauge whenever the pass changed queue depth — placement or
+	// cancelled-entry compaction alike (the latter used to leave it stale).
+	if len(m.pending) != before {
 		m.queueLen.Set(m.eng.Now(), float64(len(m.pending)))
 	}
 }

@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"errors"
 	"testing"
 
 	"hhcw/internal/cluster"
@@ -329,5 +330,77 @@ func TestResultQueueWait(t *testing.T) {
 	r := Result{SubmittedAt: 5, StartedAt: 12}
 	if r.QueueWait() != 7 {
 		t.Fatalf("QueueWait = %v", r.QueueWait())
+	}
+}
+
+// Regression: Cancel must update the queue gauge immediately — admission
+// control reads QueueSeries between events, and the pre-fix code left the
+// gauge stale until the next unrelated schedule pass.
+func TestCancelUpdatesQueueGaugeImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewTaskManager(testCluster(eng, 1, 1), nil)
+	done := func(Result) {}
+	m.Submit(&Submission{ID: "hold", Cores: 1, Runtime: fixedRuntime(5), Done: done})
+	m.Submit(&Submission{ID: "p1", Cores: 1, Runtime: fixedRuntime(5), Done: done})
+	m.Submit(&Submission{ID: "p2", Cores: 1, Runtime: fixedRuntime(5), Done: done})
+	// No schedule pass has run yet: all three count as queued.
+	if got := m.QueueSeries().Value(); got != 3 {
+		t.Fatalf("gauge before cancel = %v, want 3", got)
+	}
+	if !m.Cancel("p1") {
+		t.Fatal("Cancel(p1) = false")
+	}
+	if got := m.QueueSeries().Value(); got != 2 {
+		t.Fatalf("gauge immediately after Cancel = %v, want 2 (stale gauge)", got)
+	}
+	// Mid-run cancel inside an event: hold is running, p2 pending.
+	eng.At(1, func() {
+		if got := m.QueueSeries().Value(); got != 1 {
+			t.Errorf("gauge at t=1 = %v, want 1", got)
+		}
+		if !m.Cancel("p2") {
+			t.Error("Cancel(p2) = false")
+		}
+		if got := m.QueueSeries().Value(); got != 0 {
+			t.Errorf("gauge immediately after mid-run Cancel = %v, want 0", got)
+		}
+	})
+	eng.Run()
+	if m.Completed() != 1 {
+		t.Fatalf("completed = %d, want 1 (only hold)", m.Completed())
+	}
+	if got := m.QueueSeries().Value(); got != 0 {
+		t.Fatalf("final gauge = %v, want 0", got)
+	}
+}
+
+// Regression: Abort of a still-pending submission must update the queue
+// gauge too (same stale-gauge bug as Cancel, on the other exit path).
+func TestAbortPendingUpdatesQueueGauge(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewTaskManager(testCluster(eng, 1, 1), nil)
+	var res Result
+	errAbort := errors.New("attempt deadline")
+	m.Submit(&Submission{ID: "hold", Cores: 1, Runtime: fixedRuntime(5), Done: func(Result) {}})
+	m.Submit(&Submission{ID: "p", Cores: 1, Runtime: fixedRuntime(5), Done: func(r Result) { res = r }})
+	eng.At(2, func() {
+		if got := m.QueueSeries().Value(); got != 1 {
+			t.Errorf("gauge before abort = %v, want 1", got)
+		}
+		if !m.Abort("p", errAbort) {
+			t.Error("Abort(p) = false")
+		}
+		if got := m.QueueSeries().Value(); got != 0 {
+			t.Errorf("gauge immediately after pending Abort = %v, want 0", got)
+		}
+	})
+	eng.Run()
+	if !res.Failed || res.Node != nil {
+		t.Fatalf("pending abort result: %+v", res)
+	}
+	// Documented contract: abort-while-pending counts the full pending span
+	// as queue wait, with StartedAt pinned to the abort time.
+	if res.StartedAt != 2 || res.QueueWait() != 2 {
+		t.Fatalf("StartedAt=%v QueueWait=%v, want 2 and 2", res.StartedAt, res.QueueWait())
 	}
 }

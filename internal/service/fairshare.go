@@ -1,0 +1,59 @@
+package service
+
+import (
+	"hhcw/internal/cluster"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/rm"
+)
+
+// FairShare is a deficit-weighted fair-share strategy: a pending task's
+// priority is the negated normalized recent usage of its tenant,
+//
+//	Priority = -(fairUsage / weight)
+//
+// where fairUsage is core-seconds consumed, exponentially decayed with the
+// config's FairShareDecaySec time constant — the classic fair-share decay
+// rule. The tenant furthest below its recent share always drains first.
+// Usage only changes when a task attempt terminates — the same moments the
+// CWS bumps its priority-cache generation — so the memoized priorities the
+// scheduler reads are never stale: the PriorityCache machinery gives the
+// deficit scan O(1) amortized cost per pending task.
+//
+// PickNode additionally enforces per-tenant core quotas: when placing a
+// task would push the tenant's concurrently allocated cores past
+// QuotaCores, the task skips this scheduling pass (return nil) and yields
+// the resources to other tenants. runningCores bookkeeping lives here (on
+// placement) and in serviceRun.observe (on completion), both on the
+// scheduler's event path, so it is exact, not sampled.
+type FairShare struct {
+	sv *serviceRun
+}
+
+// Name implements cwsi.Strategy.
+func (f *FairShare) Name() string { return "service-fairshare" }
+
+// Priority implements cwsi.Strategy: higher for tenants with less weighted
+// usage. Tasks from unknown workflows (none in service runs) rank neutral.
+func (f *FairShare) Priority(s *rm.Submission, _ *cwsi.Context) float64 {
+	ts := f.sv.tenantOf(s.WorkflowID)
+	if ts == nil {
+		return 0
+	}
+	return -(ts.fairUsage / ts.weight)
+}
+
+// PickNode implements cwsi.Strategy: quota gate, then first-fit (matching
+// the FIFO baseline's placement so measured differences are pure ordering).
+func (f *FairShare) PickNode(s *rm.Submission, candidates []*cluster.Node, _ *cwsi.Context) *cluster.Node {
+	if len(candidates) == 0 {
+		return nil
+	}
+	ts := f.sv.tenantOf(s.WorkflowID)
+	if ts != nil {
+		if q := ts.spec.QuotaCores; q > 0 && ts.runningCores+s.Cores > q {
+			return nil // over quota: sit out this pass
+		}
+		ts.runningCores += s.Cores
+	}
+	return candidates[0]
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Fingerprint digests every deterministic field of the run — counters and
+// raw IEEE-754 bits of every float, including the solo-baseline comparison
+// fields when present — into a 64-bit FNV-1a rendered %016x. Two runs with
+// equal fingerprints made identical decisions; the sweep driver leans on
+// this to prove worker-count independence bit-for-bit.
+func (r *Result) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%016x|%016x|%016x\n",
+		r.Strategy, r.Seed,
+		math.Float64bits(r.HorizonSec),
+		math.Float64bits(r.DrainedAtSec),
+		math.Float64bits(r.Utilization))
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(h, "%s|%016x|%d|%d|%d|%d|%d|%d|%d|%d|%016x",
+			t.Tenant, math.Float64bits(t.Weight),
+			t.Arrivals, t.Admitted, t.Deferred, t.Rejected,
+			t.Completed, t.WfFailed, t.TasksStarted, t.PendingAborts,
+			math.Float64bits(t.UsedCoreSec))
+		for _, f := range []float64{
+			t.MeanWaitSec, t.P50WaitSec, t.P99WaitSec,
+			t.MeanDeferSec, t.MeanMakespanSec, t.RejectionRate,
+			t.SoloP99WaitSec, t.SoloMeanMakespanSec,
+			t.WaitInflationP99, t.MakespanInflation,
+		} {
+			fmt.Fprintf(h, "|%016x", math.Float64bits(f))
+		}
+		fmt.Fprintln(h)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// aggregateFingerprint folds per-run fingerprints (in the caller's fixed
+// order) into one ensemble digest.
+func aggregateFingerprint(fps []string) string {
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(fps, "\n")))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"hhcw/internal/compose"
+)
+
+// RunSummary normalizes one service run into the report schema. The
+// fingerprint is Result.Fingerprint verbatim, so report consumers (the CI
+// determinism lane diffs `.runs[].fingerprint`) see the service layer's own
+// bit-exact digest.
+func (r *Result) RunSummary(name string) compose.RunSummary {
+	tasks, rejected, deferred := 0, 0, 0
+	for _, t := range r.Tenants {
+		tasks += t.TasksStarted
+		rejected += t.Rejected
+		deferred += t.Deferred
+	}
+	return compose.RunSummary{
+		Name:            name,
+		Subsystem:       "service",
+		Environment:     r.Strategy,
+		Tasks:           tasks,
+		MakespanSec:     r.DrainedAtSec,
+		UtilizationCore: r.Utilization,
+		Extra: map[string]float64{
+			"rejected": float64(rejected),
+			"deferred": float64(deferred),
+			"tenants":  float64(len(r.Tenants)),
+		},
+		Fingerprint: r.Fingerprint(),
+	}
+}
+
+// TenantSummaries flattens the sweep's per-(strategy, tenant) aggregates
+// into report rows, preserving the reduce order (strategy-major).
+func (sr *SweepResult) TenantSummaries() []compose.TenantSummary {
+	out := make([]compose.TenantSummary, 0, len(sr.Tenants))
+	for _, ta := range sr.Tenants {
+		out = append(out, compose.TenantSummary{
+			Strategy:          ta.Strategy,
+			Tenant:            ta.Tenant,
+			Weight:            ta.Weight,
+			P99WaitSec:        ta.P99Wait.Mean(),
+			SoloP99WaitSec:    ta.SoloP99Wait.Mean(),
+			WaitInflationP99:  ta.WaitInflation,
+			MeanMakespanSec:   ta.Makespan.Mean(),
+			MakespanInflation: ta.MakespanInfl,
+			RejectionRate:     ta.RejectionRate.Mean(),
+			Deferred:          ta.Deferred,
+			Rejected:          ta.Rejected,
+		})
+	}
+	return out
+}
+
+// Table renders the tenant-fairness table: one block per strategy with its
+// cross-tenant headline, one row per tenant. Deterministic bytes.
+func (sr *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d seeds (base %d), aggregate fingerprint %s\n", sr.Seeds, sr.Seed0, sr.Fingerprint)
+	for _, sa := range sr.Strategies {
+		fmt.Fprintf(&b, "\n%s: max/min tenant p99 ratio %.2f, worst p99 inflation %.2fx, utilization %.3f\n",
+			sa.Strategy, sa.MaxMinP99Ratio, sa.WorstWaitInflation, sa.MeanUtilization)
+		fmt.Fprintf(&b, "  %-8s %6s %12s %12s %8s %12s %8s %9s\n",
+			"tenant", "weight", "p99wait(s)", "solo-p99(s)", "infl", "makespan(s)", "mk-infl", "rej-rate")
+		for _, ta := range sr.Tenants {
+			if ta.Strategy != sa.Strategy {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-8s %6.2f %12.1f %12.1f %8.2f %12.1f %8.2f %9.4f\n",
+				ta.Tenant, ta.Weight, ta.P99Wait.Mean(), ta.SoloP99Wait.Mean(), ta.WaitInflation,
+				ta.Makespan.Mean(), ta.MakespanInfl, ta.RejectionRate.Mean())
+		}
+	}
+	return b.String()
+}

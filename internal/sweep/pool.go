@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(idx) for every index in [0, total) on a pool of workers —
+// the ensemble-execution primitive Run is built on, exported so other
+// multi-seed drivers (the service-mode arrival sweeps) inherit the same
+// determinism contract: each index is processed by exactly one worker, any
+// per-index state must be written into caller-owned slots keyed by idx, and
+// when several indices fail the error of the LOWEST index is returned, so
+// failures are as deterministic as successes regardless of worker count or
+// interleaving. workers <= 0 means NumCPU. progress, when non-nil, is called
+// under a lock with the completed count after each index.
+func ForEach(total, workers int, progress func(done, total int), fn func(idx int) error) error {
+	if total <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	errs := make([]error, total) // each index written by exactly one worker
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	// The full index range is buffered up front so workers never block on
+	// the producer: job dispatch costs one channel receive, not a rendezvous
+	// per job.
+	ch := make(chan int, total)
+	for idx := 0; idx < total; idx++ {
+		ch <- idx
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ch {
+				errs[idx] = fn(idx)
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,10 +15,8 @@ package sweep
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"hhcw/internal/core"
 	"hhcw/internal/dag"
@@ -140,50 +138,20 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("sweep: env %q has no factory", e.Name)
 		}
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-
 	total := len(cfg.Workflows) * len(cfg.Envs) * len(cfg.Seeds)
 	results := make([]RunResult, total) // each index written by exactly one worker
-	errs := make([]error, total)
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
-	)
-	// The full index range is buffered up front so workers never block on
-	// the producer: job dispatch costs one channel receive, not a rendezvous
-	// per job.
-	ch := make(chan int, total)
-	for idx := 0; idx < total; idx++ {
-		ch <- idx
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range ch {
-				results[idx], errs[idx] = runOne(cfg, jobAt(&cfg, idx))
-				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, total)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for idx, err := range errs {
+	err := ForEach(total, cfg.Workers, cfg.Progress, func(idx int) error {
+		j := jobAt(&cfg, idx)
+		rr, err := runOne(cfg, j)
 		if err != nil {
-			j := jobAt(&cfg, idx)
-			return nil, fmt.Errorf("sweep: %s on %s seed %d: %w",
+			return fmt.Errorf("sweep: %s on %s seed %d: %w",
 				cfg.Workflows[j.wi].Name, cfg.Envs[j.ei].Name, cfg.Seeds[j.si], err)
 		}
+		results[idx] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return reduce(cfg, results), nil
 }
