@@ -1,81 +1,80 @@
 // Composed pipeline: the flagship composition from the README — an Atlas
-// salmon pipeline (§5) feeding the ExaAM Stage-3 UQ ensemble (§4) — built
-// with the compose layer and run as one ordinary dag.Workflow through a
-// fault-injected, CWS-scheduled environment. The point: once every
-// subsystem compiles to the same DAG form, cross-subsystem composition
-// inherits scheduling, fault injection, retry, provenance, and the
-// determinism contract for free.
+// salmon pipeline (§5) feeding the ExaAM Stage-3 UQ ensemble (§4) — expressed
+// as workflow references against the builtin registry and run both ways:
+// spliced statically at compile time, and expanded lazily at runtime through
+// the streaming path. The point: once every subsystem compiles to the same
+// DAG form and registers under a name, cross-subsystem composition is a
+// WorkflowRef away, and both expansion modes inherit scheduling, fault
+// injection, retry, provenance, and the determinism contract — with
+// bit-identical fingerprints.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"hhcw/internal/atlas"
 	"hhcw/internal/compose"
 	"hhcw/internal/core"
-	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
-	"hhcw/internal/exaam"
+	"hhcw/internal/driver"
 	"hhcw/internal/fault"
-	"hhcw/internal/provenance"
 	"hhcw/internal/randx"
 )
 
-func build(rng *randx.Source) *dag.Workflow {
-	// Stage 1: quantify two SRA runs with the §5 salmon pipeline.
-	catalog := atlas.GenerateCatalog(rng, 2)
-	// Stage 2: a small ExaConstit UQ ensemble consuming the expression
-	// matrices. Pipeline() stitches every UQ root after every DESeq2 leaf.
-	cfg := exaam.Config{
-		GridDim: 2, GridLevel: 1, MeltPoolCases: 1,
-		MicroParams: 1, LoadingDirections: 2, Temperatures: 1, RVEs: 2,
-		Seed: rng.Int63(),
-	}
-	w, err := compose.Pipeline("atlas-uq",
-		compose.Stage{Name: "atlas", From: atlas.PipelineSpec{Runs: catalog}},
-		compose.Stage{Name: "uq", From: exaam.Stage3Pipeline(cfg)},
-	)
+func main() {
+	reg := driver.Registry()
+	// The whole composition is one reference: "atlas-uq" is itself defined
+	// as two nested refs (atlas -> exaam-uq) in the registry.
+	root := driver.RefRoot("atlas-uq", 7)
+
+	// Collapsed view: references render as boxes (wfsim -dot-expand-depth).
+	collapsed, err := reg.ExpandDepth(root, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return w
-}
+	fmt.Println("--- collapsed DOT (refs as boxes; pipe into `dot -Tsvg`) ---")
+	fmt.Println(collapsed.ToDOT())
 
-func main() {
-	run := func(seed int64) *core.Result {
-		rng := randx.New(seed)
-		w := build(rng)
-		env := &core.KubernetesEnv{
-			Nodes: 4, CoresPerNode: 16,
-			Strategy: cwsi.Rank{},
-			Faults:   fault.MTBF(),
-			Retry:    fault.DefaultRetryPolicy(),
-		}
-		res, err := env.RunSeeded(w, rng.Fork())
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+	// Static expansion: every ref spliced inline, an ordinary dag.Workflow.
+	w, err := reg.Expand(root)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	rng := randx.New(7)
-	w := build(rng)
 	cp, _ := w.CriticalPath(dag.NominalDur)
-	fmt.Printf("composed %q: %d tasks, %d edges, critical path %.0fs\n",
+	fmt.Printf("expanded %q: %d tasks, %d edges, critical path %.0fs\n",
 		w.Name, w.Len(), w.EdgeCount(), cp)
-	fmt.Println("\n--- DOT (pipe into `dot -Tsvg`) ---")
-	fmt.Println(w.ToDOT())
 
-	res := run(7)
-	fmt.Printf("run: makespan %.0fs, util %.0f%%, %d tasks, %d failed attempts, %d retries\n",
-		res.MakespanSec, res.UtilizationCore*100, res.TasksRun, res.FailedAttempts, res.Retries)
-	if st, ok := res.Provenance.(*provenance.Store); ok {
-		fmt.Printf("provenance: %d events recorded\n", st.Len())
+	// Run the static expansion on a fault-injected substrate.
+	env := &core.KubernetesEnv{
+		Nodes: 4, CoresPerNode: 16,
+		Faults: fault.MTBF(),
+		Retry:  fault.DefaultRetryPolicy(),
 	}
+	res, err := env.RunSeeded(w, randx.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static run: makespan %.0fs, util %.0f%%, %d tasks, %d failed attempts, %d retries\n",
+		res.MakespanSec, res.UtilizationCore*100, res.TasksRun, res.FailedAttempts, res.Retries)
 
-	// Determinism: same seed ⇒ bit-identical fingerprint, every time.
-	again := run(7)
-	fmt.Printf("fingerprint stable across reruns: %v\n",
-		res.Fingerprint() == again.Fingerprint())
+	// The same root, expanded lazily at runtime: references splice into the
+	// frontier as their inputs resolve, under bounded residency.
+	lazy := &compose.LazyEnv{
+		KubernetesEnv: core.KubernetesEnv{
+			Nodes: 4, CoresPerNode: 16,
+			Faults: fault.MTBF(),
+			Retry:  fault.DefaultRetryPolicy(),
+		},
+		Registry: reg,
+	}
+	lres, err := lazy.RunSeeded(root, randx.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lazy run:   makespan %.0fs, util %.0f%%, %d tasks, %d failed attempts, %d retries\n",
+		lres.MakespanSec, lres.UtilizationCore*100, lres.TasksRun, lres.FailedAttempts, lres.Retries)
+
+	// Determinism: static and lazy expansion are bit-identical, every time.
+	fmt.Printf("fingerprints identical across expansion modes: %v\n",
+		res.Fingerprint() == lres.Fingerprint())
 }

@@ -47,6 +47,24 @@ type Func func() (*dag.Workflow, error)
 // Compile implements Compiler.
 func (f Func) Compile() (*dag.Workflow, error) { return f() }
 
+// CollisionError reports a namespaced task-ID collision during embedding:
+// the destination workflow already holds a task with an ID the embedding
+// would produce. Recursive expansion surfaces these when a plain task's ID
+// overlaps a sibling ref's namespace ("uq/fit" next to a ref "uq" that also
+// expands a "fit"), so callers get the namespace and offending ID as data,
+// not just prose.
+type CollisionError struct {
+	Namespace string     // namespace sub was embedded under ("" for the root scope)
+	TaskID    dag.TaskID // the colliding (already namespaced) task ID
+	Workflow  string     // destination workflow name
+	Sub       string     // sub-workflow being embedded
+}
+
+func (e *CollisionError) Error() string {
+	return fmt.Sprintf("compose: task ID collision: %q already in workflow %q (embed %q under a distinct namespace)",
+		e.TaskID, e.Workflow, e.Sub)
+}
+
 // Embed copies every task of sub into dst under the namespace ns: task IDs
 // become "ns/<id>" and internal dependency edges are rewritten to match.
 // Each of sub's root tasks additionally gains dependencies on the `after`
@@ -57,7 +75,8 @@ func (f Func) Compile() (*dag.Workflow, error) { return f() }
 // the next embedding stitches onto.
 //
 // Embed rejects empty sub-workflows, namespace collisions with tasks already
-// in dst, and `after` IDs that do not exist in dst. It does not validate
+// in dst (reported as a *CollisionError), and `after` IDs that do not exist
+// in dst. It does not validate
 // acyclicity (stitching is incremental); callers run dst.Validate() once the
 // composition is complete, as Compose does.
 func Embed(dst *dag.Workflow, ns string, sub *dag.Workflow, after []dag.TaskID) ([]dag.TaskID, error) {
@@ -79,8 +98,7 @@ func Embed(dst *dag.Workflow, ns string, sub *dag.Workflow, after []dag.TaskID) 
 	}
 	for _, t := range sub.Tasks() {
 		if dst.Task(rename(t.ID)) != nil {
-			return nil, fmt.Errorf("compose: task ID collision: %q already in workflow %q (embed %q under a distinct namespace)",
-				rename(t.ID), dst.Name, sub.Name)
+			return nil, &CollisionError{Namespace: ns, TaskID: rename(t.ID), Workflow: dst.Name, Sub: sub.Name}
 		}
 	}
 	var inBytes float64

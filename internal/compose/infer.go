@@ -1,0 +1,99 @@
+package compose
+
+import (
+	"fmt"
+	"strings"
+
+	"hhcw/internal/dag"
+)
+
+// AmbiguousMatchError reports an edge-inference conflict: a task consumes a
+// type that more than one sibling produces, and no explicit dependency picks
+// the winner. The fix is actionable by construction — either Stitch the
+// intended producer explicitly (an explicit edge is the override) or rename
+// the type.
+type AmbiguousMatchError struct {
+	Workflow  string
+	Consumer  dag.TaskID
+	Type      string
+	Producers []dag.TaskID
+}
+
+func (e *AmbiguousMatchError) Error() string {
+	ids := make([]string, len(e.Producers))
+	for i, p := range e.Producers {
+		ids[i] = string(p)
+	}
+	return fmt.Sprintf("compose: workflow %q: task %q consumes type %q produced by %d siblings (%s); stitch the intended producer explicitly or rename the type",
+		e.Workflow, e.Consumer, e.Type, len(e.Producers), strings.Join(ids, ", "))
+}
+
+// InferEdges derives data-flow edges from declared types: for every task
+// that Consumes a type, the sibling that Produces it becomes a dependency,
+// with the producer's OutputBytes stitched onto the consumer's InputBytes —
+// the WIC-style automatic alternative to hand-written Stitch calls.
+//
+// The rules, applied per consumed type in task insertion order:
+//
+//   - an existing explicit dependency that produces the type is the
+//     override: hand-written stitching wins and inference adds nothing;
+//   - exactly one producing sibling: an edge is added (zero-byte outputs
+//     included — the dependency is real even when no bytes cross it);
+//   - several producing siblings: an *AmbiguousMatchError;
+//   - no producing sibling: the type is an external input — not an error.
+//
+// Byte stitching is skipped when either endpoint is a WorkflowRef: the
+// reference boundary is stitched at expansion time (Embed's barrier
+// semantics), and adding bytes here too would double-count them.
+//
+// InferEdges mutates w (edges and InputBytes). It does not validate
+// acyclicity; callers run w.Validate() afterwards, as Registry.Expand does.
+func InferEdges(w *dag.Workflow) error {
+	tasks := w.Tasks()
+	for _, c := range tasks {
+		for _, typ := range c.Consumes {
+			if hasProducingDep(w, c, typ) {
+				continue // explicit override
+			}
+			var producers []dag.TaskID
+			for _, p := range tasks {
+				if p.ID != c.ID && produces(p, typ) {
+					producers = append(producers, p.ID)
+				}
+			}
+			switch len(producers) {
+			case 0:
+				continue // external input
+			case 1:
+				p := w.Task(producers[0])
+				if err := w.AddEdge(p.ID, c.ID); err != nil {
+					return fmt.Errorf("compose: inferring edge for type %q: %w", typ, err)
+				}
+				if !c.IsRef() && !p.IsRef() {
+					c.InputBytes += p.OutputBytes
+				}
+			default:
+				return &AmbiguousMatchError{Workflow: w.Name, Consumer: c.ID, Type: typ, Producers: producers}
+			}
+		}
+	}
+	return nil
+}
+
+func produces(t *dag.Task, typ string) bool {
+	for _, p := range t.Produces {
+		if p == typ {
+			return true
+		}
+	}
+	return false
+}
+
+func hasProducingDep(w *dag.Workflow, c *dag.Task, typ string) bool {
+	for _, d := range c.Deps {
+		if p := w.Task(d); p != nil && produces(p, typ) {
+			return true
+		}
+	}
+	return false
+}

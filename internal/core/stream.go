@@ -116,11 +116,24 @@ func (e *KubernetesEnv) RunExpander(x dag.Expander, rng *randx.Source) (*Result,
 		runner.Retry = &retry
 		runner.RetryRNG = retryRNG
 		runner.Breaker = retry.NewBreaker()
-		runner.FailPlan = func(i int) int { return plan[i] }
+		// The plan covers the expansion's initial Total. Dynamic sources
+		// (EnTK PostExec growth) emit tasks beyond it; those draw no planned
+		// transient failures — node-level faults from the injector still hit
+		// them.
+		runner.FailPlan = func(i int) int {
+			if i < len(plan) {
+				return plan[i]
+			}
+			return 0
+		}
 		runner.OnComplete = inj.Stop
 		inj.Start()
 	}
 	ms := runner.Run()
+	// Dynamic sources (EnTK PostExec growth) raise Total during the run;
+	// re-read it so the result reflects what actually expanded. Static
+	// sources are unchanged — Total is constant for them.
+	res.TasksRun = x.Total()
 	res.MakespanSec = float64(ms)
 	res.UtilizationCore = cl.Utilization(0, ms)
 	st := runner.Stats()

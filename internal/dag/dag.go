@@ -39,10 +39,36 @@ type Task struct {
 	OutputBytes float64
 
 	// Params are the task-specific parameters the CWSI forwards verbatim.
+	// For a WorkflowRef task they double as the binding parameters handed to
+	// the registry compiler that materializes the referenced sub-workflow.
 	Params map[string]string
+
+	// Ref names a registered sub-workflow this node stands for. A task with
+	// a non-empty Ref is a WorkflowRef: it carries no work of its own and is
+	// replaced by the referenced workflow's tasks at expansion time (either
+	// statically by compose.Registry.Expand or lazily by a RefExpander).
+	// Resource fields are ignored on refs; InputBytes declares data bound
+	// into the sub-workflow and is distributed onto its expanded roots.
+	Ref string
+
+	// Consumes and Produces declare data-flow types for edge inference:
+	// compose.InferEdges connects each consumed type to the sibling task that
+	// produces it, so composed workflows need no hand-written Stitch calls.
+	Consumes []string
+	Produces []string
 
 	Deps []TaskID
 }
+
+// WorkflowRef returns a reference task: a node that expands into the named
+// registered sub-workflow. params are the binding parameters forwarded to
+// the registry compiler (nil is fine).
+func WorkflowRef(id TaskID, ref string, params map[string]string) *Task {
+	return &Task{ID: id, Name: ref, Ref: ref, Params: params}
+}
+
+// IsRef reports whether the task is a workflow reference.
+func (t *Task) IsRef() bool { return t.Ref != "" }
 
 // CPUSeconds returns the task's nominal core-seconds (duration × cores).
 func (t *Task) CPUSeconds() float64 { return t.NominalDur * float64(maxInt(t.Cores, 1)) }
@@ -158,6 +184,20 @@ func (w *Workflow) Tasks() []*Task {
 	out := make([]*Task, len(w.order))
 	for i, id := range w.order {
 		out[i] = w.tasks[id]
+	}
+	return out
+}
+
+// Clone returns a structurally independent copy of the workflow: task
+// structs and their Deps slices are copied, so edges added to the clone (by
+// stitching or edge inference) never leak into the original. Params,
+// Consumes, and Produces slices are shared — tasks never mutate them.
+func (w *Workflow) Clone() *Workflow {
+	out := NewSized(w.Name, w.Len())
+	for _, id := range w.order {
+		cp := *w.tasks[id]
+		cp.Deps = append([]TaskID(nil), cp.Deps...)
+		out.Add(&cp)
 	}
 	return out
 }

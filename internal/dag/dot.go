@@ -16,12 +16,20 @@ func escapeDOT(s string) string {
 }
 
 // ToDOT renders the workflow as a Graphviz digraph: one box per task
-// (labelled with name and nominal duration), one edge per dependency. Handy
-// for inspecting generated or composed workflows.
+// (labelled with name and nominal duration), one edge per dependency. A
+// WorkflowRef task renders as a collapsed 3-D box naming the referenced
+// sub-workflow — the unexpanded view of a recursive composition. To see N
+// levels unfolded, render compose.Registry.ExpandDepth(w, N) instead (wfsim
+// exposes this as -dot with -dot-expand-depth).
 func (w *Workflow) ToDOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph \"%s\" {\n  rankdir=TB;\n  node [shape=box];\n", escapeDOT(w.Name))
 	for _, t := range w.Tasks() {
+		if t.IsRef() {
+			fmt.Fprintf(&b, "  \"%s\" [shape=box3d style=filled fillcolor=lightgrey label=\"%s\\n= %s (sub-workflow)\"];\n",
+				escapeDOT(string(t.ID)), escapeDOT(string(t.ID)), escapeDOT(t.Ref))
+			continue
+		}
 		fmt.Fprintf(&b, "  \"%s\" [label=\"%s\\n%s (%.0fs, %dc)\"];\n",
 			escapeDOT(string(t.ID)), escapeDOT(string(t.ID)), escapeDOT(t.Name), t.NominalDur, t.Cores)
 	}

@@ -28,6 +28,31 @@ func TestToDOTGolden(t *testing.T) {
 	}
 }
 
+// TestToDOTRefGolden pins the collapsed-box rendering of WorkflowRef tasks:
+// box3d shape, grey fill, and a label naming the referenced entry — the shape
+// wfsim's -dot / -dot-expand-depth flags surface.
+func TestToDOTRefGolden(t *testing.T) {
+	w := New("composed")
+	w.Add(&Task{ID: "prep", Name: "prep", NominalDur: 30, Cores: 1})
+	r := WorkflowRef("uq", "exaam-uq", nil)
+	r.Deps = []TaskID{"prep"}
+	w.Add(r)
+
+	want := strings.Join([]string{
+		`digraph "composed" {`,
+		`  rankdir=TB;`,
+		`  node [shape=box];`,
+		`  "prep" [label="prep\nprep (30s, 1c)"];`,
+		`  "uq" [shape=box3d style=filled fillcolor=lightgrey label="uq\n= exaam-uq (sub-workflow)"];`,
+		`  "prep" -> "uq";`,
+		`}`,
+		``,
+	}, "\n")
+	if got := w.ToDOT(); got != want {
+		t.Errorf("ToDOT ref mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestToDOTNoRawQuotes checks that no label can break out of its quoted
 // string: every line must have an even number of unescaped quotes.
 func TestToDOTNoRawQuotes(t *testing.T) {

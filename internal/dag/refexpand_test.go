@@ -1,0 +1,161 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// refFixture: root = t0 -> ref(inner) -> t2, with inner = a -> b.
+// Exercises namespacing, barrier stitching onto sub-roots, and leaf-output
+// stitching onto the ref's consumer.
+func refFixture() (*Workflow, RefResolver) {
+	inner := New("inner")
+	inner.Add(&Task{ID: "a", Name: "a", NominalDur: 1, InputBytes: 1, OutputBytes: 2})
+	inner.Add(&Task{ID: "b", Name: "b", NominalDur: 1, Deps: []TaskID{"a"}, OutputBytes: 8})
+
+	root := New("root")
+	root.Add(&Task{ID: "t0", Name: "t0", NominalDur: 1, OutputBytes: 10})
+	r := WorkflowRef("r1", "inner", nil)
+	r.Deps = []TaskID{"t0"}
+	r.InputBytes = 5
+	root.Add(r)
+	root.Add(&Task{ID: "t2", Name: "t2", NominalDur: 1, Deps: []TaskID{"r1"}, InputBytes: 3})
+
+	return root, mapResolver(map[string]*Workflow{"inner": inner})
+}
+
+func TestRefExpanderSplice(t *testing.T) {
+	root, res := refFixture()
+	x, err := NewRefExpander(root, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Name() != "root" || x.Total() != 4 {
+		t.Fatalf("Name/Total = %q/%d, want root/4", x.Name(), x.Total())
+	}
+
+	type emit struct {
+		id  TaskID
+		idx int
+		in  float64
+	}
+	want := []emit{
+		{"t0", 0, 0},
+		// r1/a: inner declared 1 + ref's bound InputBytes 5 + supplier t0's output 10.
+		{"r1/a", 1, 16},
+		{"r1/b", 2, 0},
+		// t2: declared 3 + expanded-leaf output of r1 (b's 8).
+		{"t2", 3, 11},
+	}
+	for i, wt := range want {
+		task, idx, ok := x.Next()
+		if !ok {
+			t.Fatalf("dried up at %d", i)
+		}
+		if task.ID != wt.id || idx != wt.idx || task.InputBytes != wt.in {
+			t.Fatalf("emit %d: id=%q idx=%d in=%.0f, want %q/%d/%.0f",
+				i, task.ID, idx, task.InputBytes, wt.id, wt.idx, wt.in)
+		}
+		x.TaskDone(task.ID)
+		x.Retire(task)
+	}
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("emitted past Total")
+	}
+}
+
+func TestRefExpanderWriteOff(t *testing.T) {
+	root, res := refFixture()
+	x, err := NewRefExpander(root, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := x.Next()
+	// Failing t0 writes off the whole splice and its consumer: r1/a, r1/b, t2.
+	if n := x.TaskFailed(first.ID); n != 3 {
+		t.Fatalf("TaskFailed skipped %d, want 3", n)
+	}
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("dead expansion emitted a task")
+	}
+}
+
+func TestRefExpanderInteriorFailure(t *testing.T) {
+	root, res := refFixture()
+	x, err := NewRefExpander(root, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _, _ := x.Next()
+	x.TaskDone(t0.ID)
+	a, _, _ := x.Next()
+	// Failing inside the splice writes off the rest of it and the consumer.
+	if n := x.TaskFailed(a.ID); n != 2 {
+		t.Fatalf("TaskFailed skipped %d, want 2", n)
+	}
+}
+
+func TestRefExpanderNestedChain(t *testing.T) {
+	// root -> ref(mid) where mid = ref(leafwf) -> l2; leafwf = single "x".
+	// Checks chain inheritance: suppliers and bound bytes flow through two
+	// reference levels to the innermost roots.
+	leafwf := New("leafwf")
+	leafwf.Add(&Task{ID: "x", Name: "x", NominalDur: 1, OutputBytes: 4})
+
+	mid := New("mid")
+	rr := WorkflowRef("innerref", "leafwf", nil)
+	rr.InputBytes = 2
+	mid.Add(rr)
+	mid.Add(&Task{ID: "l2", Name: "l2", NominalDur: 1, Deps: []TaskID{"innerref"}})
+
+	root := New("root")
+	root.Add(&Task{ID: "src", Name: "src", NominalDur: 1, OutputBytes: 100})
+	r := WorkflowRef("m", "mid", nil)
+	r.Deps = []TaskID{"src"}
+	r.InputBytes = 1
+	root.Add(r)
+
+	res := mapResolver(map[string]*Workflow{"leafwf": leafwf, "mid": mid})
+	x, err := NewRefExpander(root, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", x.Total())
+	}
+	src, _, _ := x.Next()
+	if src.ID != "src" {
+		t.Fatalf("first = %q", src.ID)
+	}
+	x.TaskDone("src")
+	deep, idx, ok := x.Next()
+	if !ok || deep.ID != "m/innerref/x" || idx != 1 {
+		t.Fatalf("deep root = %v idx=%d", deep, idx)
+	}
+	// x is a root of both mid and leafwf instances: bound bytes accumulate
+	// innerref's 2 + m's 1 + supplier src's output 100.
+	if deep.InputBytes != 103 {
+		t.Fatalf("deep InputBytes = %.0f, want 103", deep.InputBytes)
+	}
+	x.TaskDone(deep.ID)
+	l2, idx, ok := x.Next()
+	if !ok || l2.ID != "m/l2" || idx != 2 {
+		t.Fatalf("l2 = %v idx=%d", l2, idx)
+	}
+	// l2 consumes the inner ref's expanded leaf output (x's 4).
+	if l2.InputBytes != 4 {
+		t.Fatalf("l2 InputBytes = %.0f, want 4", l2.InputBytes)
+	}
+}
+
+func TestRefExpanderIDCollision(t *testing.T) {
+	inner := New("inner")
+	inner.Add(&Task{ID: "x", NominalDur: 1})
+	root := New("root")
+	root.Add(WorkflowRef("u", "inner", nil))
+	root.Add(&Task{ID: "u/x", NominalDur: 1})
+	_, err := NewRefExpander(root, mapResolver(map[string]*Workflow{"inner": inner}), 0)
+	if err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("want collision error, got %v", err)
+	}
+}

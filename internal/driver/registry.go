@@ -1,0 +1,169 @@
+package driver
+
+import (
+	"fmt"
+	"strconv"
+
+	"hhcw/internal/atlas"
+	"hhcw/internal/compose"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/exaam"
+	"hhcw/internal/jaws"
+	"hhcw/internal/llmwf"
+	"hhcw/internal/randx"
+)
+
+// paramInt reads an integer binding parameter, defaulting when absent.
+func paramInt(params map[string]string, key string, def int) (int, error) {
+	v, ok := params[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("binding param %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// paramSeed reads the "seed" binding parameter, defaulting when absent.
+func paramSeed(params map[string]string, def int64) (int64, error) {
+	v, ok := params["seed"]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("binding param seed=%q is not an integer", v)
+	}
+	return n, nil
+}
+
+// Registry returns the builtin workflow registry: every subsystem compiler
+// exposed as a named, parameterized entry a dag.WorkflowRef can splice in.
+// Entries take their randomness from the "seed" binding param, so the same
+// (name, params) pair always resolves to the same template — the determinism
+// that makes static and lazy expansion interchangeable.
+//
+//	atlas        Transcriptomics Atlas salmon pipeline (§5); params: seed, runs
+//	exaam-uq     ExaAM Stage-3 UQ ensemble via EnTK (§4); params: seed
+//	jaws-scatter JAWS WDL scatter/gather workflow (§6); params: shards
+//	llm-pipeline LLM-planned phyloflow template (§2)
+//	cwsi-mix     multi-tenant CWS workload union (§3); params: seed, tenants
+//	atlas-uq     the flagship composition: atlas feeding exaam-uq, expressed
+//	             as nested WorkflowRefs; params: seed
+func Registry() *compose.Registry {
+	reg := compose.NewRegistry()
+
+	reg.Register("atlas", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		seed, err := paramSeed(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := paramInt(params, "runs", 2)
+		if err != nil {
+			return nil, err
+		}
+		catalog := atlas.GenerateCatalog(randx.New(seed), runs)
+		return atlas.PipelineSpec{Runs: catalog}.Compile()
+	}))
+
+	reg.Register("exaam-uq", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		seed, err := paramSeed(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := exaam.Config{
+			GridDim: 2, GridLevel: 1, MeltPoolCases: 1,
+			MicroParams: 1, LoadingDirections: 2, Temperatures: 1, RVEs: 2,
+			Seed: seed,
+		}
+		return exaam.Stage3Pipeline(cfg).Compile()
+	}))
+
+	reg.Register("jaws-scatter", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		shards, err := paramInt(params, "shards", 8)
+		if err != nil {
+			return nil, err
+		}
+		def := &jaws.WorkflowDef{
+			Name: "jaws-scatter",
+			Tasks: []*jaws.TaskDef{
+				{Name: "prep", Cores: 1, DurationSec: 60, OverheadSec: 10},
+				{Name: "align", Cores: 2, DurationSec: 300, OverheadSec: 30,
+					Scatter: shards, After: []string{"prep"}},
+				{Name: "merge", Cores: 1, DurationSec: 120, OverheadSec: 10,
+					After: []string{"align"}},
+			},
+		}
+		return def.Compile()
+	}))
+
+	// The LLM-planned template is fully deterministic — it accepts (and
+	// ignores) a seed binding so generic drivers can bind one uniformly.
+	reg.Register("llm-pipeline", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		if _, err := paramSeed(params, 1); err != nil {
+			return nil, err
+		}
+		return llmwf.PhyloflowTemplate.Compile()
+	}))
+
+	reg.Register("cwsi-mix", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		seed, err := paramSeed(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		tenants, err := paramInt(params, "tenants", 3)
+		if err != nil {
+			return nil, err
+		}
+		rng := randx.New(seed)
+		opts := dag.GenOpts{MeanDur: 300, CVDur: 0.8, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+		wl := cwsi.Workload{Name: "cwsi-mix"}
+		for i := 0; i < tenants; i++ {
+			var w *dag.Workflow
+			switch i % 3 {
+			case 0:
+				w = dag.MontageLike(rng.Fork(), 8, opts)
+			case 1:
+				w = dag.RNASeqLike(rng.Fork(), 4, opts)
+			default:
+				w = dag.ForkJoin(rng.Fork(), 2, 6, opts)
+			}
+			w.Name = fmt.Sprintf("tenant%d-%s", i, w.Name)
+			wl.Workflows = append(wl.Workflows, w)
+		}
+		return wl.Compile()
+	}))
+
+	// The flagship composition as pure references: expanding it recursively
+	// resolves atlas and exaam-uq in turn (two levels of nesting from any
+	// workflow that references atlas-uq).
+	reg.Register("atlas-uq", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+		seed, err := paramSeed(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		bind := map[string]string{"seed": strconv.FormatInt(seed, 10)}
+		w := dag.New("atlas-uq")
+		w.Add(dag.WorkflowRef("atlas", "atlas", bind))
+		uq := dag.WorkflowRef("uq", "exaam-uq", bind)
+		uq.Deps = []dag.TaskID{"atlas"}
+		w.Add(uq)
+		return w, nil
+	}))
+
+	return reg
+}
+
+// RefRoot wraps one registry entry as a runnable root workflow: a single
+// WorkflowRef bound to the given seed. Expanding it (statically via
+// Registry.Expand or lazily via Registry.Expander) yields the entry's
+// workflow; the root's name is the entry name, so reports and fingerprints
+// read the same in both modes.
+func RefRoot(entry string, seed int64) *dag.Workflow {
+	w := dag.New(entry)
+	w.Add(dag.WorkflowRef("run", entry, map[string]string{"seed": strconv.FormatInt(seed, 10)}))
+	return w
+}

@@ -121,11 +121,16 @@ func TestExpandValidation(t *testing.T) {
 	if _, err := (&Pipeline{Name: "empty"}).Expand(); err == nil {
 		t.Fatal("empty pipeline accepted")
 	}
+	// PostExec pipelines expand fine now — dynamic growth is the lazy
+	// path's reason to exist; only Compile still rejects them.
 	p := &Pipeline{Name: "dyn"}
 	p.AddStage(&Stage{Name: "s", PostExec: func(*Pipeline, *Stage) {}}).
 		AddTask(&Task{ID: "t", DurationSec: 1})
-	if _, err := p.Expand(); err == nil {
-		t.Fatal("PostExec pipeline accepted")
+	if _, err := p.Expand(); err != nil {
+		t.Fatalf("PostExec pipeline rejected by Expand: %v", err)
+	}
+	if _, err := p.Compile(); err == nil {
+		t.Fatal("PostExec pipeline accepted by Compile")
 	}
 	p2 := &Pipeline{Name: "bad"}
 	p2.AddStage(&Stage{Name: "s"}).AddTask(&Task{ID: "t", DurationSec: 0})
@@ -138,5 +143,128 @@ func TestExpandValidation(t *testing.T) {
 	s.AddTask(&Task{ID: "t", DurationSec: 1})
 	if _, err := p3.Expand(); err == nil {
 		t.Fatal("duplicate task id accepted")
+	}
+}
+
+// drainStage pulls every currently-ready task and completes it, returning
+// the emitted IDs — one barrier round.
+func drainStage(t *testing.T, x *StageExpander) []dag.TaskID {
+	t.Helper()
+	var ids []dag.TaskID
+	for {
+		task, _, ok := x.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, task.ID)
+	}
+	for _, id := range ids {
+		x.TaskDone(id)
+	}
+	return ids
+}
+
+// A PostExec hook growing the pipeline mid-run: the expander's Total grows
+// with each appended stage and the appended tasks are emitted in order —
+// the dynamic-workflow capability Compile still rejects.
+func TestStageExpanderPostExecGrowth(t *testing.T) {
+	p := &Pipeline{Name: "adaptive"}
+	rounds := 0
+	var hook func(pl *Pipeline, s *Stage)
+	hook = func(pl *Pipeline, s *Stage) {
+		rounds++
+		if rounds >= 3 {
+			return
+		}
+		next := &Stage{Name: fmt.Sprintf("round%d", rounds), PostExec: hook}
+		for i := 0; i < rounds+1; i++ {
+			next.AddTask(&Task{ID: fmt.Sprintf("t%d", i), DurationSec: 5})
+		}
+		pl.AddStage(next)
+	}
+	p.AddStage(&Stage{Name: "seed", PostExec: hook}).AddTask(&Task{ID: "t0", DurationSec: 5})
+
+	x, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total() != 1 {
+		t.Fatalf("initial Total = %d, want 1", x.Total())
+	}
+	var all []dag.TaskID
+	for {
+		ids := drainStage(t, x)
+		if len(ids) == 0 {
+			break
+		}
+		all = append(all, ids...)
+	}
+	// seed(1) + round1(2) + round2(3); round2's hook appends nothing.
+	want := []dag.TaskID{"seed/t0", "round1/t0", "round1/t1", "round2/t0", "round2/t1", "round2/t2"}
+	if len(all) != len(want) || x.Total() != len(want) {
+		t.Fatalf("emitted %d tasks (Total %d), want %d: %v", len(all), x.Total(), len(want), all)
+	}
+	for i, id := range want {
+		if all[i] != id {
+			t.Fatalf("task %d = %q, want %q", i, all[i], id)
+		}
+	}
+	if rounds != 3 {
+		t.Fatalf("PostExec fired %d times, want 3", rounds)
+	}
+}
+
+// A terminal failure suppresses the dead stage's PostExec (failed ensembles
+// don't grow) and writes off stages already appended but not yet built.
+func TestStageExpanderPostExecSuppressedOnFailure(t *testing.T) {
+	p := &Pipeline{Name: "adaptive"}
+	fired := false
+	st := p.AddStage(&Stage{Name: "seed", PostExec: func(pl *Pipeline, s *Stage) { fired = true }})
+	st.AddTask(&Task{ID: "t0", DurationSec: 5})
+	st.AddTask(&Task{ID: "t1", DurationSec: 5})
+	// A pre-appended later stage, to check the write-off accounting.
+	p.AddStage(&Stage{Name: "after"}).AddTask(&Task{ID: "a0", DurationSec: 5})
+
+	x, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := x.Next()
+	if n := x.TaskFailed(first.ID); n != 1 {
+		t.Fatalf("TaskFailed skipped %d, want 1", n)
+	}
+	sib, _, ok := x.Next()
+	if !ok {
+		t.Fatal("sibling not emitted after failure")
+	}
+	x.TaskDone(sib.ID)
+	if fired {
+		t.Fatal("PostExec fired on a dead stage")
+	}
+	if _, _, ok := x.Next(); ok {
+		t.Fatal("dead pipeline emitted a later stage")
+	}
+	if x.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", x.Total())
+	}
+}
+
+// Empty stages fire their hooks in passing, exactly like the AppManager's
+// runStage — including at Expand time for a leading empty stage.
+func TestStageExpanderEmptyStagePostExec(t *testing.T) {
+	p := &Pipeline{Name: "empty-hook"}
+	p.AddStage(&Stage{Name: "gen", PostExec: func(pl *Pipeline, s *Stage) {
+		pl.AddStage(&Stage{Name: "work"}).AddTask(&Task{ID: "t", DurationSec: 2})
+	}})
+	x, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := drainStage(t, x)
+	if len(ids) != 1 || ids[0] != "work/t" {
+		t.Fatalf("emitted %v, want [work/t]", ids)
+	}
+	if x.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", x.Total())
 	}
 }

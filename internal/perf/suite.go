@@ -2,9 +2,11 @@ package perf
 
 import (
 	"fmt"
+	"strconv"
 	"testing"
 
 	"hhcw/internal/cluster"
+	"hhcw/internal/compose"
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
@@ -38,11 +40,13 @@ func Suite(short bool) []Spec {
 	dqPerType, dqTasks, dqChurn := 40, 1500, 8
 	millionShards := 1_000_000
 	svcSeeds := 6
+	fanDepth := 7
 	if short {
 		depth, seeds, cwsSeeds = 4096, 10, 1
 		dqPerType, dqTasks, dqChurn = 12, 400, 4
 		millionShards = 50_000
 		svcSeeds = 2
+		fanDepth = 4
 	}
 	return []Spec{
 		{Name: "EngineThroughput", Bench: func(b *testing.B) {
@@ -243,6 +247,85 @@ task gather cpu=1 dur=10s after=work
 			b.ReportMetric(makespan, "makespan_s")
 			b.ReportMetric(float64(completed), "tasks_completed")
 			b.ReportMetric(float64(peak), "peak_resident_tasks")
+		}},
+		{Name: "RecursiveCompose", Bench: func(b *testing.B) {
+			// Recursive workflow-as-node composition end to end: a binary
+			// reference tree fan[depth=d] (6*2^d - 2 expanded tasks),
+			// resolved cold every iteration — registry compile + edge
+			// inference + cycle/depth validation + static splice — then the
+			// same root driven lazily through dag.RefExpander on the
+			// streaming path. Gates both expansion cost (allocs/op) and
+			// exact domain outputs.
+			b.ReportAllocs()
+			mkReg := func() *compose.Registry {
+				reg := compose.NewRegistry()
+				reg.MaxDepth = fanDepth + 2
+				reg.Register("fan", compose.ParamFunc(func(params map[string]string) (*dag.Workflow, error) {
+					d, err := strconv.Atoi(params["depth"])
+					if err != nil {
+						return nil, err
+					}
+					w := dag.New("fan")
+					w.Add(&dag.Task{ID: "split", Name: "split", NominalDur: 5, OutputBytes: 1e8})
+					if d == 0 {
+						w.Add(&dag.Task{ID: "w0", Name: "w0", NominalDur: 30,
+							Deps: []dag.TaskID{"split"}, OutputBytes: 5e7})
+						w.Add(&dag.Task{ID: "w1", Name: "w1", NominalDur: 45,
+							Deps: []dag.TaskID{"split"}, OutputBytes: 5e7})
+						w.Add(&dag.Task{ID: "join", Name: "join", NominalDur: 10,
+							Deps: []dag.TaskID{"w0", "w1"}, OutputBytes: 2e7})
+						return w, nil
+					}
+					next := strconv.Itoa(d - 1)
+					for i := 0; i < 2; i++ {
+						r := dag.WorkflowRef(dag.TaskID(fmt.Sprintf("sub%d", i)), "fan",
+							map[string]string{"depth": next})
+						r.Deps = []dag.TaskID{"split"}
+						r.InputBytes = 1e7
+						w.Add(r)
+					}
+					w.Add(&dag.Task{ID: "join", Name: "join", NominalDur: 10,
+						Deps: []dag.TaskID{"sub0", "sub1"}, OutputBytes: 2e7})
+					return w, nil
+				}))
+				return reg
+			}
+			var expanded, completed int
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				reg := mkReg()
+				root := dag.New("recursive")
+				root.Add(dag.WorkflowRef("fanout", "fan",
+					map[string]string{"depth": strconv.Itoa(fanDepth)}))
+				w, err := reg.Expand(root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				expanded = w.Len()
+				x, err := reg.Expander(root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := sim.NewEngine()
+				cl := cluster.New(eng, "site", cluster.Spec{
+					Type:  cluster.NodeType{Name: "node", Cores: 8, MemBytes: 64e9},
+					Count: 16,
+				})
+				cl.FoldMetrics()
+				m := rm.NewTaskManager(cl, nil)
+				m.SetLean()
+				sr := &rm.StreamRunner{
+					Manager:     m,
+					Source:      x,
+					WorkflowID:  x.Name(),
+					MaxResident: 256,
+				}
+				makespan = float64(sr.Run())
+				completed = m.Completed()
+			}
+			b.ReportMetric(float64(expanded), "tasks_expanded")
+			b.ReportMetric(makespan, "makespan_s")
+			b.ReportMetric(float64(completed), "tasks_completed")
 		}},
 		{Name: "ServiceFairShare", Bench: func(b *testing.B) {
 			// The open-system service layer end to end: the contended

@@ -132,8 +132,14 @@ func (a *srAttempt) Done(r Result) {
 	id := task.ID
 	sr.recycle(a)
 	sr.retire(task, r)
-	sr.taskDone(1)
+	// The source learns of the completion before completion accounting runs:
+	// a dynamic expander (EnTK PostExec, ref splices) may grow Total here,
+	// and taskDone must see the grown denominator or it would declare the
+	// run complete with stages still pending. For static expanders TaskDone
+	// has no engine side effects, so the swap is behavior-preserving — the
+	// equivalence goldens pin it.
 	sr.Source.TaskDone(id)
+	sr.taskDone(1)
 	sr.pull()
 }
 
@@ -237,9 +243,12 @@ func (sr *StreamRunner) recycle(a *srAttempt) {
 }
 
 // taskDone advances the terminal count by n and fires OnComplete when the
-// whole expansion has settled.
+// whole expansion has settled. Total is re-read per terminal task because
+// dynamic sources grow it as the run progresses; for static sources it is
+// the same constant every time.
 func (sr *StreamRunner) taskDone(n int) {
 	sr.doneCount += n
+	sr.total = sr.Source.Total()
 	if sr.doneCount == sr.total {
 		sr.finishAt = sr.Manager.eng.Now()
 		if sr.OnComplete != nil {
