@@ -11,6 +11,7 @@ import (
 	"hhcw/internal/atlas"
 	"hhcw/internal/cloud"
 	"hhcw/internal/cluster"
+	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
 	"hhcw/internal/entk"
@@ -21,6 +22,7 @@ import (
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
 	"hhcw/internal/storage"
+	"hhcw/internal/sweep"
 )
 
 // BenchmarkAblation_Strategies compares every scheduling strategy on the
@@ -87,6 +89,56 @@ func BenchmarkAblation_Predictors(b *testing.B) {
 			}
 			b.ReportMetric(mre, "mre_pct")
 		})
+	}
+}
+
+// BenchmarkAblation_PredictionLoop runs the closed §3.4 loop — predictors
+// trained online from provenance as attempts complete, feeding priority,
+// placement, and backfill — over predictor × workflow family on a contended
+// heterogeneous cluster. Each sub-benchmark reports the predicted run's
+// mean makespan cut vs the predictor-off baseline and the realized mean
+// relative prediction error; `sweeprun -predict` renders the same table
+// over larger seed ensembles.
+func BenchmarkAblation_PredictionLoop(b *testing.B) {
+	opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+	families := []sweep.WorkflowSpec{
+		{Name: "montage-16", Gen: func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, 16, opts) }},
+		{Name: "epigenomics-6x5", Gen: func(r *randx.Source) *dag.Workflow { return dag.EpigenomicsLike(r, 6, 5, opts) }},
+		{Name: "forkjoin-3x12", Gen: func(r *randx.Source) *dag.Workflow { return dag.ForkJoin(r, 3, 12, opts) }},
+		{Name: "rnaseq-12", Gen: func(r *randx.Source) *dag.Workflow { return dag.RNASeqLike(r, 12, opts) }},
+	}
+	mkEnv := func(predictor string) func() core.Environment {
+		return func() core.Environment {
+			return &core.KubernetesEnv{Nodes: 2, Heterogeneous: true, Strategy: cwsi.Baseline{}, Predict: predictor}
+		}
+	}
+	for _, fam := range families {
+		fam := fam
+		for _, predictor := range []string{"mean", "regression", "lotaru"} {
+			predictor := predictor
+			b.Run(fam.Name+"/"+predictor, func(b *testing.B) {
+				var cell *sweep.Cell
+				for i := 0; i < b.N; i++ {
+					rep, err := sweep.Run(sweep.Config{
+						Workflows: []sweep.WorkflowSpec{fam},
+						Envs: []sweep.EnvSpec{
+							{Name: "off", New: mkEnv("off")},
+							{Name: predictor, New: mkEnv(predictor)},
+						},
+						Seeds:    sweep.Seeds(13, 5),
+						Baseline: "off",
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cell = &rep.Cells[1]
+				}
+				b.ReportMetric(cell.Makespan.Median, "median_makespan_s")
+				b.ReportMetric(cell.CutMeanPct, "cut_mean_pct")
+				b.ReportMetric(cell.PredMREPct.Mean(), "mre_pct")
+				b.ReportMetric(cell.PredSamples.Median, "pred_samples")
+			})
+		}
 	}
 }
 

@@ -11,12 +11,21 @@
 // Usage:
 //
 //	sweeprun [-seeds 200] [-workers NumCPU] [-nodes 2] [-cores 8] [-seed 13]
-//	         [-faults none|mtbf|spot|storm] [-arrivals] [-json]
+//	         [-faults none|mtbf|spot|storm] [-arrivals] [-predict] [-json]
 //
 // -faults overlays a deterministic failure profile on every strategy's
 // cluster (node crashes, spot reclaims, transient task failures, I/O
 // slowdowns); tasks recover under the shared retry policy and the report
 // gains a failure/recovery distribution table.
+//
+// -predict switches to the §3.4 prediction-loop ablation: every workflow
+// family runs on a heterogeneous cluster (three machine types) under the
+// same FIFO-like scheduler with the online predictor off, and closed-loop
+// with the mean, regression, and Lotaru predictors — online training from
+// provenance, predicted-critical-path priorities, predicted-duration
+// backfill, memory right-sizing and walltime-overrun enforcement. The
+// report gains the prediction table (samples, relative error, makespan cut
+// vs predictor-off). -faults composes with -predict for chaos legs.
 //
 // -arrivals switches to service mode: instead of closed-batch workflow
 // sweeps, each seed runs the open-system contended scenario — three tenants
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"hhcw/internal/compose"
 	"hhcw/internal/core"
 	"hhcw/internal/cwsi"
 	"hhcw/internal/dag"
@@ -52,9 +62,18 @@ func main() {
 	nodes := app.Int("nodes", 2, "cluster nodes (2 = the paper's contended regime)")
 	cores := app.Int("cores", 8, "cores per node")
 	arrivals := app.Bool("arrivals", false, "service mode: open-system multi-tenant arrival sweep")
+	predictMode := app.Bool("predict", false, "prediction-loop ablation: predictor off/mean/regression/lotaru on a heterogeneous cluster")
 	app.SeedDefault(13)
 	app.Parse()
 	faults := app.Faults()
+
+	if *arrivals && *predictMode {
+		app.Fatalf("-arrivals and -predict are mutually exclusive modes")
+	}
+	if *predictMode {
+		runPredict(app, *seeds, *workers, *nodes)
+		return
+	}
 
 	if *arrivals {
 		// The service scenario owns its failure model (fault-free by
@@ -128,6 +147,93 @@ func main() {
 		hl.Addf("max  makespan cut vs FIFO : %.1f%% (paper: up to 25%%)", max)
 		hl.Set("cut_mean_pct", sum/float64(n))
 		hl.Set("cut_max_pct", max)
+	}
+	app.Emit(rep)
+}
+
+// runPredict is the -predict mode: the §3.4 prediction-loop ablation as a
+// seed ensemble. Each cell runs a workflow family on a heterogeneous
+// cluster under the same FIFO-like CWS scheduler; the environments differ
+// only in the predictor closing the loop (off = no predictions at all).
+// "off" is the speedup baseline, so the cut columns read as "makespan saved
+// by predictions of this kind".
+func runPredict(app *driver.App, seeds, workers, nodes int) {
+	faults := app.Faults()
+	opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+	mkEnv := func(predictor string) func() core.Environment {
+		return func() core.Environment {
+			return &core.KubernetesEnv{
+				Nodes:         nodes,
+				Heterogeneous: true,
+				Strategy:      cwsi.Baseline{},
+				Predict:       predictor,
+				Faults:        faults,
+			}
+		}
+	}
+	cfg := sweep.Config{
+		Workflows: []sweep.WorkflowSpec{
+			{Name: "montage-16", Gen: func(r *randx.Source) *dag.Workflow { return dag.MontageLike(r, 16, opts) }},
+			{Name: "epigenomics-6x5", Gen: func(r *randx.Source) *dag.Workflow { return dag.EpigenomicsLike(r, 6, 5, opts) }},
+			{Name: "forkjoin-3x12", Gen: func(r *randx.Source) *dag.Workflow { return dag.ForkJoin(r, 3, 12, opts) }},
+			{Name: "rnaseq-12", Gen: func(r *randx.Source) *dag.Workflow { return dag.RNASeqLike(r, 12, opts) }},
+		},
+		Envs: []sweep.EnvSpec{
+			{Name: "off", New: mkEnv("off")},
+			{Name: "mean", New: mkEnv("mean")},
+			{Name: "regression", New: mkEnv("regression")},
+			{Name: "lotaru", New: mkEnv("lotaru")},
+		},
+		Seeds:    sweep.Seeds(app.Seed(), seeds),
+		Workers:  workers,
+		Baseline: "off",
+		Progress: func(done, total int) {
+			if done%100 == 0 || done == total {
+				app.Logf("%d/%d runs complete", done, total)
+			}
+		},
+	}
+
+	sw, err := sweep.Run(cfg)
+	app.Check(err)
+
+	rep := app.NewReport()
+	// Section titles carry no seed/worker interpolation: the CI determinism
+	// lane diffs sections across worker counts byte for byte.
+	s := rep.Section("§3.4 prediction-loop ablation: predictor × workflow family")
+	s.AddTable(sw.Table())
+	if pt := sw.PredictionTable(); pt != "" {
+		rep.Section("prediction volume, accuracy, and makespan cut vs predictor-off").AddTable(pt)
+	}
+	if ft := sw.FaultTable(); ft != "" {
+		rep.Section(fmt.Sprintf("failure / recovery distribution (-faults %s)", app.FaultsName())).AddTable(ft)
+	}
+	for i := range sw.Runs {
+		run := &sw.Runs[i]
+		rep.AddRun(compose.FromResult(
+			fmt.Sprintf("predict/%s/%s/seed-%d", run.Env, run.Workflow, run.Seed), &run.Result))
+	}
+
+	hl := rep.Section("")
+	for _, env := range []string{"mean", "regression", "lotaru"} {
+		var cut, mre float64
+		n := 0
+		for i := range sw.Cells {
+			c := &sw.Cells[i]
+			if c.Env != env {
+				continue
+			}
+			cut += c.CutMeanPct
+			mre += c.PredMREPct.Mean()
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		cut, mre = cut/float64(n), mre/float64(n)
+		hl.Addf("%-10s : %5.1f%% mean makespan cut vs off, %5.1f%% mean relative error", env, cut, mre)
+		hl.Set("cut_mean_pct_"+env, cut)
+		hl.Set("pred_mre_pct_"+env, mre)
 	}
 	app.Emit(rep)
 }

@@ -127,6 +127,13 @@ func FromResult(name string, res *core.Result) RunSummary {
 		BackoffSec:       res.BackoffSec,
 		Fingerprint:      res.Fingerprint(),
 	}
+	if res.PredSamples > 0 {
+		s.Extra = map[string]float64{
+			"pred_samples": float64(res.PredSamples),
+			"pred_mae_sec": res.PredMAESec,
+			"pred_mre_pct": res.PredMREPct,
+		}
+	}
 	return s
 }
 

@@ -30,6 +30,12 @@ type Result struct {
 	TerminalFailures int     // tasks abandoned after exhausting the policy (incl. skipped descendants)
 	BackoffSec       float64 // total recovery backoff injected
 
+	// Prediction-loop accounting — all zero unless the environment ran with
+	// an online predictor (KubernetesEnv.Predict).
+	PredSamples int     // successful attempts placed with a warm prediction
+	PredMAESec  float64 // mean absolute runtime prediction error, seconds
+	PredMREPct  float64 // mean relative runtime prediction error, percent
+
 	// Provenance is the CWS store when the environment is CWSI-enabled.
 	Provenance any
 }
@@ -41,7 +47,7 @@ type Result struct {
 // determinism contract is stated in; Provenance is deliberately excluded
 // (substrate-internal pointers).
 func (r *Result) Fingerprint() string {
-	return fmt.Sprintf("%s/%016x/%016x/%d/%d/%d/%d/%016x",
+	fp := fmt.Sprintf("%s/%016x/%016x/%d/%d/%d/%d/%016x",
 		r.Environment,
 		math.Float64bits(r.MakespanSec),
 		math.Float64bits(r.UtilizationCore),
@@ -50,6 +56,17 @@ func (r *Result) Fingerprint() string {
 		r.Retries,
 		r.TerminalFailures,
 		math.Float64bits(r.BackoffSec))
+	// The prediction suffix appears only once predictions engaged, so every
+	// fingerprint from before the prediction loop existed — the frozen
+	// goldens included — is unchanged, and a cold predictor-on run is
+	// bit-comparable to a predictor-off run up to the environment name.
+	if r.PredSamples > 0 {
+		fp += fmt.Sprintf("/p%d/%016x/%016x",
+			r.PredSamples,
+			math.Float64bits(r.PredMAESec),
+			math.Float64bits(r.PredMREPct))
+	}
+	return fp
 }
 
 // Environment executes compiled workflows. Each Run uses a fresh simulated
@@ -79,6 +96,20 @@ type KubernetesEnv struct {
 	Strategy cwsi.Strategy
 	// Predictor optionally feeds CWS strategies with learned runtimes.
 	Predictor func() predict.RuntimePredictor
+	// Predict closes the full prediction loop (§3.4) by name: "mean",
+	// "regression" or "lotaru" wraps Strategy (Baseline if nil) in
+	// cwsi.Predictive and arms online training from provenance, memory
+	// right-sizing, predicted-duration backfill and walltime-overrun
+	// enforcement. "" or "off" leaves everything as configured above.
+	Predict string
+	// PredictMinSamples is the per-task-name warmth gate for the prediction
+	// loop; 0 means 3. Until a name has that many observations every
+	// decision falls back to the unpredicted path.
+	PredictMinSamples int
+	// Heterogeneous swaps the uniform node pool for cluster.Heterogeneous:
+	// Nodes nodes each of three machine types (8c/1.0×, 16c/1.4×, 32c/2.0×).
+	// CoresPerNode and MemPerNode are ignored.
+	Heterogeneous bool
 	// Faults, when an enabled profile, arms deterministic fault injection:
 	// node crashes/reclaims/I/O episodes on the substrate, transient task
 	// failures in the workload, all recovered under Retry.
@@ -97,17 +128,40 @@ type KubernetesEnv struct {
 	StreamWindow int
 }
 
-// Name implements Environment. Fault-injected variants carry the profile in
-// the name so their results never alias fault-free ones.
+// Name implements Environment. Fault-injected, heterogeneous and
+// prediction-loop variants all carry their configuration in the name so
+// their results never alias each other's.
 func (e *KubernetesEnv) Name() string {
 	name := "kubernetes"
-	if e.Strategy != nil {
-		name = "kubernetes+cws/" + e.Strategy.Name()
+	if strat := e.effectiveStrategy(); strat != nil {
+		name = "kubernetes+cws/" + strat.Name()
+	}
+	if e.predictOn() {
+		name += "+predict/" + e.Predict
+	}
+	if e.Heterogeneous {
+		name += "+hetero"
 	}
 	if e.Faults.Enabled() {
 		name += "+faults/" + e.Faults.Name
 	}
 	return name
+}
+
+func (e *KubernetesEnv) predictOn() bool { return e.Predict != "" && e.Predict != "off" }
+
+// effectiveStrategy is the strategy the run actually installs: the
+// configured one, wrapped in cwsi.Predictive when the prediction loop is on
+// (Baseline supplies FIFO-like inner semantics if none was configured).
+func (e *KubernetesEnv) effectiveStrategy() cwsi.Strategy {
+	if !e.predictOn() {
+		return e.Strategy
+	}
+	inner := e.Strategy
+	if inner == nil {
+		inner = cwsi.Baseline{}
+	}
+	return cwsi.Predictive{Inner: inner}
 }
 
 // Run implements Environment. Fault-free runs consume no randomness; with an
@@ -121,21 +175,30 @@ func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
 // RunSeeded implements SeededEnvironment: rng drives the fault processes (and
 // only those — fault-free configurations ignore it entirely).
 func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error) {
-	if e.Nodes <= 0 || e.CoresPerNode <= 0 {
+	if e.Nodes <= 0 || (!e.Heterogeneous && e.CoresPerNode <= 0) {
 		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
 	}
-	mem := e.MemPerNode
-	if mem == 0 {
-		mem = 1e12
+	predCtor, err := predict.ByName(e.Predict)
+	if err != nil {
+		return nil, err
 	}
 	eng := sim.NewEngine()
 	if e.Sites > 1 {
 		eng.SetShards(e.Sites)
 	}
-	cl := cluster.New(eng, "k8s", cluster.Spec{
-		Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
-		Count: e.Nodes,
-	})
+	var cl *cluster.Cluster
+	if e.Heterogeneous {
+		cl = cluster.Heterogeneous(eng, e.Nodes)
+	} else {
+		mem := e.MemPerNode
+		if mem == 0 {
+			mem = 1e12
+		}
+		cl = cluster.New(eng, "k8s", cluster.Spec{
+			Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
+			Count: e.Nodes,
+		})
+	}
 	mgr := rm.NewTaskManager(cl, nil)
 	res := &Result{Environment: e.Name(), TasksRun: w.Len()}
 
@@ -170,7 +233,8 @@ func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, 
 		return d
 	}
 
-	if e.Strategy == nil {
+	strat := e.effectiveStrategy()
+	if strat == nil {
 		runner := &rm.MakespanRunner{Manager: mgr, Workflow: w, WorkflowID: w.Name, Runtime: runtime}
 		if inj != nil {
 			runner.Retry = &retry
@@ -191,12 +255,48 @@ func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, 
 		return res, nil
 	}
 	var p predict.RuntimePredictor
-	if e.Predictor != nil {
+	if predCtor != nil {
+		p = predCtor()
+	} else if e.Predictor != nil {
 		p = e.Predictor()
 	}
-	cws := cwsi.New(mgr, e.Strategy, p)
+	cws := cwsi.New(mgr, strat, p)
+	if predCtor != nil {
+		// Close the loop: online training from provenance is wired by
+		// cwsi.New; arm the consumers. Walltime-overrun kills need a retry
+		// policy to route through, so prediction-on fault-free runs install
+		// the recovery policy too (fork order: the retry jitter source is
+		// the run's only fork when no injector exists).
+		minS := e.PredictMinSamples
+		if minS <= 0 {
+			minS = 3
+		}
+		cws.SetMinPredictionSamples(minS)
+		cws.SetMemPredictor(predict.NewMem(0.2))
+		cws.SetOverrunPolicy(1.5, 2)
+		cws.EnablePredictedBackfill()
+		if inj == nil {
+			retry = e.Retry
+			if retry == (fault.RetryPolicy{}) {
+				retry = fault.DefaultRetryPolicy()
+			}
+			if rng != nil {
+				retryRNG = rng.Fork()
+			}
+			cws.SetRecovery(retry, retryRNG)
+		}
+	}
 	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
 		return nil, err
+	}
+	finishPred := func() {
+		if predCtor == nil {
+			return
+		}
+		pe := cws.PredictionErrors()
+		res.PredSamples = pe.N
+		res.PredMAESec = pe.MAE()
+		res.PredMREPct = 100 * pe.MRE()
 	}
 	if inj == nil {
 		ms, err := cws.RunWorkflow(w.Name, 1)
@@ -206,6 +306,14 @@ func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, 
 		res.MakespanSec = float64(ms)
 		res.UtilizationCore = cl.Utilization(0, ms)
 		res.Provenance = cws.Provenance()
+		// Overrun kills surface as recovery accounting even without faults;
+		// zero (hence fingerprint-neutral) on predictor-off runs.
+		st := cws.RecoveryStats()
+		res.FailedAttempts = st.FailedAttempts
+		res.Retries = st.Retries
+		res.TerminalFailures = st.TerminalFailures + st.Skipped
+		res.BackoffSec = st.BackoffSec
+		finishPred()
 		return res, nil
 	}
 	cws.SetRecovery(retry, retryRNG)
@@ -241,6 +349,7 @@ func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, 
 	res.Retries = st.Retries
 	res.TerminalFailures = st.TerminalFailures + st.Skipped
 	res.BackoffSec = st.BackoffSec
+	finishPred()
 	return res, nil
 }
 

@@ -30,6 +30,9 @@ func (e *KubernetesEnv) RunExpander(x dag.Expander, rng *randx.Source) (*Result,
 	if e.Strategy != nil {
 		return nil, fmt.Errorf("core: streaming runs do not support CWS strategies (%q needs the whole DAG)", e.Strategy.Name())
 	}
+	if e.predictOn() {
+		return nil, fmt.Errorf("core: streaming runs do not support the prediction loop (predict=%q needs the CWS)", e.Predict)
+	}
 	if e.Nodes <= 0 || e.CoresPerNode <= 0 {
 		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
 	}

@@ -126,6 +126,14 @@ type wfState struct {
 	ranks    map[dag.TaskID]float64
 	attempts map[dag.TaskID]int
 	done     bool
+
+	// Predicted-critical-path ranks, memoized under the priority-cache
+	// generation (see Context.PredictedRank); nil while the model is cold.
+	predGen   uint64
+	predRanks map[dag.TaskID]float64
+	// overruns counts walltime-overrun kills per task, inflating the next
+	// attempt's budget (see SetOverrunPolicy). Lazily allocated.
+	overruns map[dag.TaskID]int
 }
 
 // CWS is the Common Workflow Scheduler.
@@ -167,6 +175,13 @@ type CWS struct {
 	// observer, when set, sees every terminal task attempt right after
 	// provenance capture (see SetTaskObserver).
 	observer func(wfID string, taskID dag.TaskID, attempt int, r rm.Result)
+
+	// Prediction-loop knobs and accounting (see predictive.go).
+	minPredSamples int     // warmth gate; <1 means 1
+	overrunSlack   float64 // kill budget = predicted × slack; 0 disarms
+	overrunInfl    float64 // per-overrun budget inflation; >= 1
+	overrunKills   int
+	predErr        predict.Errors
 }
 
 // RecoveryStats aggregates policy-driven recovery accounting across the
@@ -191,6 +206,10 @@ func New(mgr *rm.TaskManager, strategy Strategy, predictor predict.RuntimePredic
 		prioGen:   1, // generation 0 is the rm.Submission "never cached" sentinel
 	}
 	c.ctx = &Context{cws: c}
+	// The provenance→predict feed (§3.4): every record folds into the online
+	// models as it is captured, including records ingested through paths that
+	// bypass the scheduler's own completion hook.
+	c.prov.SetTaskObserver(c.train)
 	mgr.SetStrategy(&rmAdapter{cws: c})
 	mgr.Cluster().OnNodeDown(func(n *cluster.Node) {
 		c.prov.AddNodeEvent(provenance.NodeEvent{At: mgr.Cluster().Engine().Now(), Node: n.Name(), Kind: "down"})
@@ -300,10 +319,11 @@ func (c *CWS) SubmitTask(req TaskRequest) error {
 	attempt := st.attempts[req.TaskID]
 	submittedAt := c.mgr.Cluster().Engine().Now()
 
-	// Memory right-sizing: predicted peak on the first attempt, the full
-	// declared request after an OOM retry.
+	// Memory right-sizing: predicted peak on the first attempt (once the
+	// model is warm for the name), the full declared request after an OOM
+	// retry.
 	mem := t.MemBytes
-	if c.memPred != nil && attempt == 1 {
+	if attempt == 1 && c.memWarmFor(t.Name) {
 		if pred, ok := c.memPred.Predict(t.Name); ok && pred < mem {
 			mem = pred
 		}
@@ -346,21 +366,61 @@ type taskRun struct {
 	submittedAt sim.Time
 	runtime     func(*dag.Task, *cluster.Node) float64
 	sub         rm.Submission
+
+	// Prediction-loop state for this attempt: the warm prediction made at
+	// placement (0 when cold) and whether the overrun policy truncated the
+	// attempt at its kill budget.
+	predicted float64
+	overrun   bool
+	budget    float64
 }
 
 // RuntimeOn implements rm.SubmissionHooks: execution time plus staging of
-// non-local input bytes when the data-plane model is on.
+// non-local input bytes when the data-plane model is on. With an armed
+// overrun policy and a warm model, an attempt that would exceed its
+// predicted walltime budget is truncated at the budget — it occupies the
+// node only that long — and fails validation as a walltime-overrun kill.
 func (tr *taskRun) RuntimeOn(n *cluster.Node) float64 {
+	c := tr.c
 	d := tr.runtime(tr.t, n)
-	if tr.c.dataBW > 0 {
-		d += tr.c.remoteInputBytes(tr.req.WorkflowID, tr.t, n) / tr.c.dataBW
+	if c.dataBW > 0 {
+		d += c.remoteInputBytes(tr.req.WorkflowID, tr.t, n) / c.dataBW
+	}
+	if c.warmFor(tr.t.Name) {
+		if sec, ok := c.predictor.Predict(tr.t.Name, tr.t.InputBytes, c.ctx.MeasuredSpeed(n)); ok {
+			tr.predicted = sec
+			if c.overrunSlack > 0 {
+				budget := sec * c.overrunSlack
+				if st := c.workflows[tr.req.WorkflowID]; st != nil {
+					for i := 0; i < st.overruns[tr.req.TaskID]; i++ {
+						budget *= c.overrunInfl
+					}
+				}
+				if d > budget {
+					tr.overrun, tr.budget = true, budget
+					return budget
+				}
+			}
+		}
 	}
 	return d
 }
 
-// ValidateOn implements rm.SubmissionHooks: OOM enforcement and injected
-// transient failures.
+// ValidateOn implements rm.SubmissionHooks: walltime-overrun kills, OOM
+// enforcement, and injected transient failures.
 func (tr *taskRun) ValidateOn(n *cluster.Node) error {
+	if tr.overrun {
+		c := tr.c
+		c.overrunKills++
+		if st := c.workflows[tr.req.WorkflowID]; st != nil {
+			if st.overruns == nil {
+				st.overruns = map[dag.TaskID]int{}
+			}
+			st.overruns[tr.req.TaskID]++
+		}
+		return fmt.Errorf("cwsi: task %s walltime-overrun killed at %.1fs (predicted %.1fs, attempt %d)",
+			tr.req.TaskID, tr.budget, tr.predicted, tr.attempt)
+	}
 	if tr.grantedMem < tr.t.PeakMem() {
 		return fmt.Errorf("cwsi: task %s OOM-killed: granted %.0fB, peak %.0fB",
 			tr.req.TaskID, tr.grantedMem, tr.t.PeakMem())
@@ -377,6 +437,9 @@ func (tr *taskRun) Done(r rm.Result) {
 	c := tr.c
 	if !r.Failed {
 		c.noteOutput(tr.req.WorkflowID, tr.req.TaskID, r.Node)
+		if tr.predicted > 0 {
+			c.predErr.Observe(tr.predicted, float64(r.FinishedAt-r.StartedAt))
+		}
 	}
 	c.record(tr.req, tr.t, tr.attempt, tr.submittedAt, r)
 	if tr.req.Done != nil {
@@ -435,23 +498,13 @@ func (c *CWS) record(req TaskRequest, t *dag.Task, attempt int, submittedAt sim.
 		Error:       errMsg,
 		Params:      req.Params,
 	}
+	// AddTask triggers the provenance→predict observer (CWS.train), which
+	// folds the record into the online models before the generation bump
+	// below invalidates memoized priorities.
 	c.prov.AddTask(rec)
 	c.prioGen++ // provenance advanced; memoized priorities may be stale
 	if c.observer != nil {
 		c.observer(req.WorkflowID, req.TaskID, attempt, r)
-	}
-	if c.memPred != nil && !r.Failed {
-		c.memPred.Observe(predict.Observation{TaskName: t.Name, PeakMem: t.PeakMem()})
-	}
-	if c.predictor != nil && !r.Failed {
-		c.predictor.Observe(predict.Observation{
-			TaskName:    t.Name,
-			InputBytes:  t.InputBytes,
-			RuntimeSec:  float64(r.FinishedAt - r.StartedAt),
-			PeakMem:     rec.PeakMem,
-			MachineName: r.Node.Type.Name,
-			SpeedFactor: r.Node.Type.SpeedFactor,
-		})
 	}
 }
 

@@ -41,12 +41,14 @@ func Suite(short bool) []Spec {
 	millionShards := 1_000_000
 	svcSeeds := 6
 	fanDepth := 7
+	predSeeds := 20
 	if short {
 		depth, seeds, cwsSeeds = 4096, 10, 1
 		dqPerType, dqTasks, dqChurn = 12, 400, 4
 		millionShards = 50_000
 		svcSeeds = 2
 		fanDepth = 4
+		predSeeds = 5
 	}
 	return []Spec{
 		{Name: "EngineThroughput", Bench: func(b *testing.B) {
@@ -126,6 +128,49 @@ func Suite(short bool) []Spec {
 			b.ReportMetric(cws.Makespan.Median, "median_makespan_s")
 			b.ReportMetric(cws.UtilMean*100, "util_mean_pct")
 			b.ReportMetric(cws.CutMeanPct, "cut_mean_pct")
+		}},
+		{Name: "SchedulePredicted", Bench: func(b *testing.B) {
+			// The §3.4 prediction loop on its strongest scenario: a
+			// heterogeneous contended cluster where the same FIFO-like
+			// scheduler runs predictor-off vs closed-loop Lotaru. The domain
+			// metrics are deterministic virtual-time outputs and gate
+			// exactly: median predicted-run makespan, makespan cut vs off,
+			// median relative prediction error, and the median number of
+			// warm-predicted placements per run.
+			b.ReportAllocs()
+			opts := dag.GenOpts{MeanDur: 300, CVDur: 1.5, Cores: 1, MaxCores: 4, MeanMem: 2e9}
+			cfg := sweep.Config{
+				Workflows: []sweep.WorkflowSpec{{
+					Name: "rnaseq-12",
+					Gen:  func(r *randx.Source) *dag.Workflow { return dag.RNASeqLike(r, 12, opts) },
+				}},
+				Envs: []sweep.EnvSpec{
+					{Name: "off", New: func() core.Environment {
+						return &core.KubernetesEnv{Nodes: 2, Heterogeneous: true, Strategy: cwsi.Baseline{}}
+					}},
+					{Name: "lotaru", New: func() core.Environment {
+						return &core.KubernetesEnv{Nodes: 2, Heterogeneous: true, Strategy: cwsi.Baseline{}, Predict: "lotaru"}
+					}},
+				},
+				Seeds:    sweep.Seeds(13, predSeeds),
+				Baseline: "off",
+			}
+			var rep *sweep.Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = sweep.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			lot := &rep.Cells[1]
+			b.ReportMetric(float64(predSeeds*2*b.N)/b.Elapsed().Seconds(), "sims_per_s")
+			b.ReportMetric(lot.Makespan.Median, "median_makespan_s")
+			b.ReportMetric(lot.CutMeanPct, "cut_mean_pct")
+			b.ReportMetric(lot.PredMREPct.Median, "pred_mre_pct")
+			b.ReportMetric(lot.PredSamples.Median, "pred_samples_med")
 		}},
 		{Name: "EnTKStage3", Bench: func(b *testing.B) {
 			b.ReportAllocs()

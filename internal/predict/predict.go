@@ -10,6 +10,7 @@
 package predict
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -27,12 +28,40 @@ type Observation struct {
 // RuntimePredictor estimates a task's runtime on a target machine.
 type RuntimePredictor interface {
 	Name() string
-	// Observe folds a completed execution into the model.
+	// Observe folds a completed execution into the model. Invalid
+	// observations — non-finite or negative runtime/input size, or a
+	// speed factor that is zero, negative, or non-finite — are rejected
+	// rather than poisoning the model.
 	Observe(Observation)
 	// Predict estimates runtime in seconds for a task of the given name
 	// and input size on a machine with the given speed factor. ok=false
 	// means the model has no basis for a prediction (cold start).
 	Predict(taskName string, inputBytes, speedFactor float64) (sec float64, ok bool)
+}
+
+// Sampler is implemented by predictors that can report how many valid
+// observations have been folded for a task name. Schedulers use it to gate
+// predictions on model warmth (a minimum sample count) so a barely-trained
+// model never drives placement, kills, or packing decisions.
+type Sampler interface {
+	Samples(taskName string) int
+}
+
+// usable reports whether an observation may train a runtime model: runtime
+// and input size must be finite and non-negative, the speed factor finite
+// and strictly positive. (The memory predictor has its own rule — it never
+// reads the speed factor.)
+func usable(o Observation) bool {
+	if math.IsNaN(o.RuntimeSec) || math.IsInf(o.RuntimeSec, 0) || o.RuntimeSec < 0 {
+		return false
+	}
+	if math.IsNaN(o.InputBytes) || math.IsInf(o.InputBytes, 0) || o.InputBytes < 0 {
+		return false
+	}
+	if math.IsNaN(o.SpeedFactor) || math.IsInf(o.SpeedFactor, 0) || o.SpeedFactor <= 0 {
+		return false
+	}
+	return true
 }
 
 // MeanPredictor predicts the historical mean runtime per task name,
@@ -53,13 +82,15 @@ func (p *MeanPredictor) Name() string { return "mean" }
 // Observe implements RuntimePredictor. Runtimes are normalized to the
 // reference machine by multiplying with the observed speed factor.
 func (p *MeanPredictor) Observe(o Observation) {
-	sf := o.SpeedFactor
-	if sf <= 0 {
-		sf = 1
+	if !usable(o) {
+		return
 	}
-	p.sums[o.TaskName] += o.RuntimeSec * sf
+	p.sums[o.TaskName] += o.RuntimeSec * o.SpeedFactor
 	p.counts[o.TaskName]++
 }
+
+// Samples implements Sampler.
+func (p *MeanPredictor) Samples(taskName string) int { return p.counts[taskName] }
 
 // Predict implements RuntimePredictor.
 func (p *MeanPredictor) Predict(taskName string, _, speedFactor float64) (float64, bool) {
@@ -101,13 +132,22 @@ func (m *olsModel) predict(x float64) (float64, bool) {
 	if m.n < 2 {
 		return meanY, true
 	}
+	// den = n·Σx² − (Σx)² is mathematically ≥ 0, and 0 exactly when every
+	// input size is identical. With large identical inputs (say x = 1e9,
+	// n = 3) the true zero drowns in float64 rounding of ~1e18-magnitude
+	// sums, so an absolute threshold passes garbage through to the slope.
+	// Compare against the terms' own magnitude instead: degenerate variance
+	// is den vanishing *relative to* n·Σx².
 	den := m.n*m.sXX - m.sumX*m.sumX
-	if math.Abs(den) < 1e-12 {
-		return meanY, true // all inputs identical: fall back to mean
+	if den <= 1e-9*m.n*m.sXX {
+		return meanY, true // all inputs (effectively) identical: fall back to mean
 	}
 	b := (m.n*m.sumXY - m.sumX*m.sumY) / den
 	a := meanY - b*m.sumX/m.n
 	y := a + b*x
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return meanY, true
+	}
 	if y < 0 {
 		y = 0
 	}
@@ -124,16 +164,23 @@ func (p *RegressionPredictor) Name() string { return "regression" }
 
 // Observe implements RuntimePredictor.
 func (p *RegressionPredictor) Observe(o Observation) {
+	if !usable(o) {
+		return
+	}
 	m := p.models[o.TaskName]
 	if m == nil {
 		m = &olsModel{}
 		p.models[o.TaskName] = m
 	}
-	sf := o.SpeedFactor
-	if sf <= 0 {
-		sf = 1
+	m.observe(o.InputBytes, o.RuntimeSec*o.SpeedFactor)
+}
+
+// Samples implements Sampler.
+func (p *RegressionPredictor) Samples(taskName string) int {
+	if m := p.models[taskName]; m != nil {
+		return int(m.n)
 	}
-	m.observe(o.InputBytes, o.RuntimeSec*sf)
+	return 0
 }
 
 // Predict implements RuntimePredictor.
@@ -191,17 +238,19 @@ func (p *LotaruPredictor) fold(name string, rate, w float64) {
 	p.weight[name] = total
 }
 
-// Observe implements RuntimePredictor, refining the rate online.
+// Observe implements RuntimePredictor, refining the rate online. A rate
+// needs strictly positive runtime and input size on top of the shared
+// validity rule.
 func (p *LotaruPredictor) Observe(o Observation) {
-	if o.RuntimeSec <= 0 || o.InputBytes <= 0 {
+	if !usable(o) || o.RuntimeSec <= 0 || o.InputBytes <= 0 {
 		return
 	}
-	sf := o.SpeedFactor
-	if sf <= 0 {
-		sf = 1
-	}
-	p.fold(o.TaskName, o.InputBytes/(o.RuntimeSec*sf), 1)
+	p.fold(o.TaskName, o.InputBytes/(o.RuntimeSec*o.SpeedFactor), 1)
 }
+
+// Samples implements Sampler: the accumulated model weight, counting both
+// Profile seeds and online observations (each folds with weight 1).
+func (p *LotaruPredictor) Samples(taskName string) int { return int(p.weight[taskName]) }
 
 // Predict implements RuntimePredictor.
 func (p *LotaruPredictor) Predict(taskName string, inputBytes, speedFactor float64) (float64, bool) {
@@ -219,20 +268,30 @@ func (p *LotaruPredictor) Predict(taskName string, inputBytes, speedFactor float
 // safety margin — the conservative policy real WMSs use to avoid OOM kills.
 type MemPredictor struct {
 	peak   map[string]float64
+	counts map[string]int
 	Margin float64 // fractional head-room, e.g. 0.2 = +20 %
 }
 
 // NewMem returns a memory predictor with the given safety margin.
 func NewMem(margin float64) *MemPredictor {
-	return &MemPredictor{peak: map[string]float64{}, Margin: margin}
+	return &MemPredictor{peak: map[string]float64{}, counts: map[string]int{}, Margin: margin}
 }
 
-// Observe folds a completed execution.
+// Observe folds a completed execution. Only the peak-memory field is read
+// (memory does not scale with machine speed, so a zero SpeedFactor is fine
+// here); non-finite or non-positive peaks are rejected.
 func (p *MemPredictor) Observe(o Observation) {
+	if math.IsNaN(o.PeakMem) || math.IsInf(o.PeakMem, 0) || o.PeakMem <= 0 {
+		return
+	}
+	p.counts[o.TaskName]++
 	if o.PeakMem > p.peak[o.TaskName] {
 		p.peak[o.TaskName] = o.PeakMem
 	}
 }
+
+// Samples implements Sampler.
+func (p *MemPredictor) Samples(taskName string) int { return p.counts[taskName] }
 
 // Predict returns the padded peak, or ok=false before any observation.
 func (p *MemPredictor) Predict(taskName string) (float64, bool) {
@@ -241,6 +300,24 @@ func (p *MemPredictor) Predict(taskName string) (float64, bool) {
 		return 0, false
 	}
 	return v * (1 + p.Margin), true
+}
+
+// ByName maps a CLI/config predictor name to a constructor. "off" and ""
+// select no predictor (nil constructor, nil error) — the caller's signal to
+// keep the historical unpredicted path bit-for-bit.
+func ByName(name string) (func() RuntimePredictor, error) {
+	switch name {
+	case "", "off":
+		return nil, nil
+	case "mean":
+		return func() RuntimePredictor { return NewMean() }, nil
+	case "regression":
+		return func() RuntimePredictor { return NewRegression() }, nil
+	case "lotaru":
+		return func() RuntimePredictor { return NewLotaru() }, nil
+	default:
+		return nil, fmt.Errorf("predict: unknown predictor %q (want off, mean, regression, or lotaru)", name)
+	}
 }
 
 // Errors quantifies predictor accuracy for the ablation benches.

@@ -181,14 +181,25 @@ func TestPredictorNames(t *testing.T) {
 }
 
 func TestPredictZeroSpeedFactorDefaults(t *testing.T) {
+	// A zero speed factor is rejected on Observe (it would poison the
+	// reference normalization) but defaults to 1 on Predict (a query-side
+	// convenience, not training data).
 	p := NewMean()
-	p.Observe(Observation{TaskName: "x", RuntimeSec: 10, SpeedFactor: 0}) // treated as 1
+	p.Observe(Observation{TaskName: "x", RuntimeSec: 10, SpeedFactor: 0}) // rejected
+	if _, ok := p.Predict("x", 0, 1); ok {
+		t.Fatal("zero-speed observation should not train the mean model")
+	}
+	p.Observe(Observation{TaskName: "x", RuntimeSec: 10, SpeedFactor: 1})
 	got, ok := p.Predict("x", 0, 0)
 	if !ok || got != 10 {
 		t.Fatalf("zero-speed prediction = %v ok=%v", got, ok)
 	}
 	r := NewRegression()
-	r.Observe(Observation{TaskName: "x", InputBytes: 1, RuntimeSec: 10, SpeedFactor: 0})
+	r.Observe(Observation{TaskName: "x", InputBytes: 1, RuntimeSec: 10, SpeedFactor: 0}) // rejected
+	if _, ok := r.Predict("x", 1, 1); ok {
+		t.Fatal("zero-speed observation should not train the regression model")
+	}
+	r.Observe(Observation{TaskName: "x", InputBytes: 1, RuntimeSec: 10, SpeedFactor: 1})
 	if got, ok := r.Predict("x", 1, 0); !ok || got != 10 {
 		t.Fatalf("regression zero-speed = %v ok=%v", got, ok)
 	}

@@ -98,6 +98,9 @@ type Store struct {
 	// at any task count (see SetCompact).
 	compact bool
 	folded  int
+	// observer, when set, sees every record AddTask ingests (see
+	// SetTaskObserver).
+	observer func(TaskRecord)
 }
 
 // NewStore returns an empty store.
@@ -193,9 +196,19 @@ func (s *Store) Compact() bool { return s.compact }
 // retained. Len() + Folded() is the total executions observed.
 func (s *Store) Folded() int { return s.folded }
 
+// SetTaskObserver installs a hook invoked with every record AddTask
+// ingests, whether or not the record is retained (compact mode folds and
+// drops records, but the observer still sees each one exactly once). This
+// is the §3.4 provenance→prediction feed: online predictors subscribe here
+// and train as attempts complete, instead of rescanning Observations().
+func (s *Store) SetTaskObserver(fn func(TaskRecord)) { s.observer = fn }
+
 // AddTask appends a task execution record (unless the store is compact) and
 // folds it into the per-name running aggregates.
 func (s *Store) AddTask(r TaskRecord) {
+	if s.observer != nil {
+		s.observer(r)
+	}
 	if s.compact {
 		s.folded++
 	} else {

@@ -201,6 +201,10 @@ type TaskManager struct {
 	// waits stop being recorded. Scheduling decisions are untouched.
 	lean bool
 
+	// oracle, when set, arms EASY-style predicted-duration backfill in the
+	// dispatch pass (see SetDurationOracle in backfill.go).
+	oracle DurationOracle
+
 	schedulePending bool
 	// Steady-state scratch, reused across schedule passes so dispatch
 	// allocates nothing once warm.
@@ -208,6 +212,7 @@ type TaskManager struct {
 	orderScratch []*Submission
 	candScratch  []*cluster.Node
 	freeRunning  []*running
+	resScratch   []*running
 }
 
 type running struct {
@@ -215,6 +220,9 @@ type running struct {
 	alloc *cluster.Alloc
 	endEv *sim.Event
 	start sim.Time
+	// end is the scheduled completion time, recorded so backfill can
+	// simulate capacity releases without touching the event queue.
+	end sim.Time
 	// allocBox backs alloc: the reservation record is embedded here so a
 	// recycled running record carries its Alloc along instead of
 	// heap-allocating one per placement.
@@ -411,9 +419,22 @@ func (m *TaskManager) schedule() {
 	m.orderScratch = append(m.orderScratch[:0], m.pending...)
 	ordered := m.strategy.Prioritize(m.orderScratch)
 	anyPlaced := false
+	// Backfill reservation state for this pass (see backfill.go): the first
+	// capacity-blocked submission the oracle can predict reserves the node
+	// where its capacity frees earliest; later submissions may use that
+	// node's hole only if predicted to finish before the shadow time.
+	var resNode *cluster.Node
+	var shadow sim.Time
+	now := m.eng.Now()
 	for _, s := range ordered {
 		m.candScratch = m.cl.AppendCandidates(m.candScratch[:0], s.Cores, s.GPUs, s.Mem)
+		if resNode != nil {
+			m.candScratch = m.filterReserved(m.candScratch, s, resNode, shadow, now)
+		}
 		if len(m.candScratch) == 0 {
+			if resNode == nil && m.oracle != nil {
+				resNode, shadow = m.reserve(s)
+			}
 			continue
 		}
 		node := m.strategy.PickNode(s, m.candScratch)
@@ -472,6 +493,7 @@ func (m *TaskManager) start(s *Submission, r *running) {
 		dur = 0
 	}
 	r.sub, r.alloc, r.start = s, &r.allocBox, now
+	r.end = now + sim.Time(dur)
 	m.running[s.ID] = r
 	m.runningN.AddDelta(now, 1)
 	if !m.lean {

@@ -96,10 +96,18 @@ type Cell struct {
 	Retries          metrics.Summary
 	TerminalFailures metrics.Summary
 	BackoffSec       metrics.Summary
+	// Prediction-loop distributions over seeds — all-zero unless the env ran
+	// with an online predictor that warmed up (core.Result pred fields).
+	PredSamples metrics.Summary
+	PredMREPct  metrics.Summary
 }
 
 // Faulty reports whether any seed in the cell observed a failure.
 func (c *Cell) Faulty() bool { return c.FailedAttempts.Max > 0 || c.TerminalFailures.Max > 0 }
+
+// Predicted reports whether any seed in the cell placed work with a warm
+// runtime prediction.
+func (c *Cell) Predicted() bool { return c.PredSamples.Max > 0 }
 
 // Report is the reduced ensemble. Field values are pure functions of the
 // Config's workflows, envs, and seeds — Workers never leaks in.
@@ -242,7 +250,9 @@ func reduce(cfg Config, results []RunResult) *Report {
 				TerminalFailures: summarize(func(r *core.Result) float64 {
 					return float64(r.TerminalFailures)
 				}),
-				BackoffSec: summarize(func(r *core.Result) float64 { return r.BackoffSec }),
+				BackoffSec:  summarize(func(r *core.Result) float64 { return r.BackoffSec }),
+				PredSamples: summarize(func(r *core.Result) float64 { return float64(r.PredSamples) }),
+				PredMREPct:  summarize(func(r *core.Result) float64 { return r.PredMREPct }),
 			}
 			if baseIdx >= 0 && ei != baseIdx {
 				var speedup, cut metrics.Agg
@@ -319,6 +329,40 @@ func (r *Report) FaultTable() string {
 			c.Retries.Mean(), c.Retries.Median,
 			c.TerminalFailures.Mean(), c.TerminalFailures.Median,
 			metrics.HumanSeconds(c.BackoffSec.Median))
+	}
+	return b.String()
+}
+
+// PredictionTable renders the ablation view of prediction-loop cells —
+// per-(workflow, env) prediction volume and accuracy next to the makespan
+// cut vs the configured baseline (empty string when no cell predicted).
+// Like Table, its bytes are part of the determinism contract.
+func (r *Report) PredictionTable() string {
+	any := false
+	for i := range r.Cells {
+		if r.Cells[i].Predicted() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-40s %6s %12s %10s %10s %10s %9s\n",
+		"workflow", "environment", "seeds", "samples-med", "mre-mean", "mre-med", "makespan", "cut-mean")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-18s %-40s %6d %12.0f %9.1f%% %9.1f%% %10s",
+			c.Workflow, c.Env, c.Makespan.N,
+			c.PredSamples.Median,
+			c.PredMREPct.Mean(), c.PredMREPct.Median,
+			metrics.HumanSeconds(c.Makespan.Median))
+		if c.SpeedupMean > 0 {
+			fmt.Fprintf(&b, " %8.1f%%", c.CutMeanPct)
+		} else {
+			fmt.Fprintf(&b, " %9s", "-")
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
