@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover fuzz chaos sweep bench bench-json bench-json-short experiments examples compose clean
+.PHONY: all build vet test test-race cover fuzz chaos sweep bench bench-json bench-json-short profile experiments examples compose clean
 
 all: build vet test test-race chaos
 
@@ -60,6 +60,12 @@ bench-json:
 # (short and full reports are not comparable), self-consistency only.
 bench-json-short:
 	$(GO) run ./cmd/benchreport -short -out BENCH_short.json
+
+# Profile the ensemble hot path: the 200-seed sweep with CPU and heap
+# profiles. Every cmd/ binary accepts -cpuprofile/-memprofile via the shared
+# driver runtime; inspect with `go tool pprof cpu.prof` / `mem.prof`.
+profile:
+	$(GO) run ./cmd/sweeprun -seeds 200 -cpuprofile cpu.prof -memprofile mem.prof
 
 # Regenerate every experiment's human-readable output.
 experiments:

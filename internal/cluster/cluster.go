@@ -150,6 +150,27 @@ func New(eng *sim.Engine, name string, specs ...Spec) *Cluster {
 	return c
 }
 
+// Reset returns the cluster to its just-constructed state in place: every
+// node back to full free capacity, up, and at epoch zero; the segment index
+// rebuilt over the same backing arrays; the utilization gauges truncated.
+// Construction-time identity survives — node slabs, memoized node names,
+// folded-metrics mode, and registered OnNodeDown/OnNodeUp subscribers are all
+// retained, which is exactly why warm sessions must not re-register their
+// callbacks after Reset.
+func (c *Cluster) Reset() {
+	for _, n := range c.nodes {
+		n.freeCores = n.Type.Cores
+		n.freeGPUs = n.Type.GPUs
+		n.freeMem = n.Type.MemBytes
+		n.down = false
+		n.epoch = 0
+	}
+	c.idx.reset()
+	c.usedCores.Reset()
+	c.usedGPUs.Reset()
+	c.downNodes.Reset()
+}
+
 // Spec pairs a node type with a node count for cluster construction.
 type Spec struct {
 	Type  NodeType

@@ -51,6 +51,19 @@ func newCapIndex(nodes []*Node) *capIndex {
 	return ix
 }
 
+// reset rebuilds the whole tree in place over the same backing arrays, for
+// use after the node ledger has been bulk-reset. Padding leaves past
+// len(nodes) were zeroed at construction and are never written, so they stay
+// correct.
+func (ix *capIndex) reset() {
+	for i, n := range ix.nodes {
+		ix.writeLeaf(i, n)
+	}
+	for i := ix.base - 1; i >= 1; i-- {
+		ix.pull(i)
+	}
+}
+
 func (ix *capIndex) writeLeaf(i int, n *Node) {
 	p := ix.base + i
 	if n.down {

@@ -36,3 +36,12 @@ func (e *LazyEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*core.Result, e
 	}
 	return e.RunExpander(x, rng)
 }
+
+// NewSession overrides the promoted KubernetesEnv.NewSession with a cold
+// passthrough: lazy expansion runs on the streaming path, whose substrate is
+// rebuilt per run by design. Without this override, session-aware sweeps
+// would route lazy workflows through the eager warm path — running the
+// unexpanded reference root instead of resolving it.
+func (e *LazyEnv) NewSession() (core.RunSession, error) {
+	return core.ColdSession(e), nil
+}

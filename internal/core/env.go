@@ -173,184 +173,15 @@ func (e *KubernetesEnv) Run(w *dag.Workflow) (*Result, error) {
 }
 
 // RunSeeded implements SeededEnvironment: rng drives the fault processes (and
-// only those — fault-free configurations ignore it entirely).
+// only those — fault-free configurations ignore it entirely). It is the cold
+// fallback of the session contract: a one-shot Session built and discarded,
+// so cold and warm runs execute literally the same code (see session.go).
 func (e *KubernetesEnv) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error) {
-	if e.Nodes <= 0 || (!e.Heterogeneous && e.CoresPerNode <= 0) {
-		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
-	}
-	predCtor, err := predict.ByName(e.Predict)
+	s, err := e.NewSession()
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	if e.Sites > 1 {
-		eng.SetShards(e.Sites)
-	}
-	var cl *cluster.Cluster
-	if e.Heterogeneous {
-		cl = cluster.Heterogeneous(eng, e.Nodes)
-	} else {
-		mem := e.MemPerNode
-		if mem == 0 {
-			mem = 1e12
-		}
-		cl = cluster.New(eng, "k8s", cluster.Spec{
-			Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
-			Count: e.Nodes,
-		})
-	}
-	mgr := rm.NewTaskManager(cl, nil)
-	res := &Result{Environment: e.Name(), TasksRun: w.Len()}
-
-	// Arm the fault layer. Fork order is fixed (injector, task plan, retry
-	// jitter) — it is part of the determinism contract.
-	var inj *fault.Injector
-	var retry fault.RetryPolicy
-	var retryRNG *randx.Source
-	failAttempts := map[dag.TaskID]int{}
-	if e.Faults.Enabled() {
-		if rng == nil {
-			return nil, fmt.Errorf("core: fault profile %q needs a seeded source", e.Faults.Name)
-		}
-		retry = e.Retry
-		if retry == (fault.RetryPolicy{}) {
-			retry = fault.DefaultRetryPolicy()
-		}
-		inj = fault.NewInjector(cl, rng.Fork(), e.Faults)
-		plan := e.Faults.PlanTaskFailures(w.Len(), rng.Fork())
-		for i, t := range w.Tasks() {
-			if plan[i] > 0 {
-				failAttempts[t.ID] = plan[i]
-			}
-		}
-		retryRNG = rng.Fork()
-	}
-	runtime := func(t *dag.Task, n *cluster.Node) float64 {
-		d := rm.DefaultRuntime(t, n)
-		if inj != nil {
-			d *= inj.RuntimeScale()
-		}
-		return d
-	}
-
-	strat := e.effectiveStrategy()
-	if strat == nil {
-		runner := &rm.MakespanRunner{Manager: mgr, Workflow: w, WorkflowID: w.Name, Runtime: runtime}
-		if inj != nil {
-			runner.Retry = &retry
-			runner.RetryRNG = retryRNG
-			runner.Breaker = retry.NewBreaker()
-			runner.FailAttempts = failAttempts
-			runner.OnComplete = inj.Stop
-			inj.Start()
-		}
-		ms := runner.Run()
-		res.MakespanSec = float64(ms)
-		res.UtilizationCore = cl.Utilization(0, ms)
-		st := runner.Stats()
-		res.FailedAttempts = st.Failures
-		res.Retries = st.Retries
-		res.TerminalFailures = st.TerminalFailures + st.Skipped
-		res.BackoffSec = st.BackoffSec
-		return res, nil
-	}
-	var p predict.RuntimePredictor
-	if predCtor != nil {
-		p = predCtor()
-	} else if e.Predictor != nil {
-		p = e.Predictor()
-	}
-	cws := cwsi.New(mgr, strat, p)
-	if predCtor != nil {
-		// Close the loop: online training from provenance is wired by
-		// cwsi.New; arm the consumers. Walltime-overrun kills need a retry
-		// policy to route through, so prediction-on fault-free runs install
-		// the recovery policy too (fork order: the retry jitter source is
-		// the run's only fork when no injector exists).
-		minS := e.PredictMinSamples
-		if minS <= 0 {
-			minS = 3
-		}
-		cws.SetMinPredictionSamples(minS)
-		cws.SetMemPredictor(predict.NewMem(0.2))
-		cws.SetOverrunPolicy(1.5, 2)
-		cws.EnablePredictedBackfill()
-		if inj == nil {
-			retry = e.Retry
-			if retry == (fault.RetryPolicy{}) {
-				retry = fault.DefaultRetryPolicy()
-			}
-			if rng != nil {
-				retryRNG = rng.Fork()
-			}
-			cws.SetRecovery(retry, retryRNG)
-		}
-	}
-	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
-		return nil, err
-	}
-	finishPred := func() {
-		if predCtor == nil {
-			return
-		}
-		pe := cws.PredictionErrors()
-		res.PredSamples = pe.N
-		res.PredMAESec = pe.MAE()
-		res.PredMREPct = 100 * pe.MRE()
-	}
-	if inj == nil {
-		ms, err := cws.RunWorkflow(w.Name, 1)
-		if err != nil {
-			return nil, err
-		}
-		res.MakespanSec = float64(ms)
-		res.UtilizationCore = cl.Utilization(0, ms)
-		res.Provenance = cws.Provenance()
-		// Overrun kills surface as recovery accounting even without faults;
-		// zero (hence fingerprint-neutral) on predictor-off runs.
-		st := cws.RecoveryStats()
-		res.FailedAttempts = st.FailedAttempts
-		res.Retries = st.Retries
-		res.TerminalFailures = st.TerminalFailures + st.Skipped
-		res.BackoffSec = st.BackoffSec
-		finishPred()
-		return res, nil
-	}
-	cws.SetRecovery(retry, retryRNG)
-	cws.SetFaultInjection(func(_ string, taskID dag.TaskID, attempt int) bool {
-		return attempt <= failAttempts[taskID]
-	})
-	var ms sim.Time
-	var runErr error
-	done := false
-	if err := cws.StartWorkflow(w.Name, 0, func(m sim.Time, err error) {
-		ms, runErr = m, err
-		done = true
-		inj.Stop()
-		if err != nil {
-			eng.Halt()
-		}
-	}); err != nil {
-		return nil, err
-	}
-	inj.Start()
-	eng.Run()
-	if runErr != nil {
-		return nil, runErr
-	}
-	if !done {
-		return nil, fmt.Errorf("core: workflow %q stalled under faults", w.Name)
-	}
-	res.MakespanSec = float64(ms)
-	res.UtilizationCore = cl.Utilization(0, ms)
-	res.Provenance = cws.Provenance()
-	st := cws.RecoveryStats()
-	res.FailedAttempts = st.FailedAttempts
-	res.Retries = st.Retries
-	res.TerminalFailures = st.TerminalFailures + st.Skipped
-	res.BackoffSec = st.BackoffSec
-	finishPred()
-	return res, nil
+	return s.RunSeeded(w, rng)
 }
 
 // HPCEnv executes through a pilot job on a Frontier-like allocation (§4):

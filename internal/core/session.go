@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"hhcw/internal/cluster"
+	"hhcw/internal/cwsi"
+	"hhcw/internal/dag"
+	"hhcw/internal/fault"
+	"hhcw/internal/predict"
+	"hhcw/internal/randx"
+	"hhcw/internal/rm"
+	"hhcw/internal/sim"
+	"hhcw/internal/statediff"
+)
+
+// RunSession is a reusable warm-run handle over one environment: the
+// simulated substrate (engine, cluster, resource manager, scheduler,
+// provenance, metrics) is constructed once and reset in place between runs,
+// so an ensemble executes thousands of seeds with near-zero steady-state
+// construction cost. The determinism contract is exact: a warm RunSeeded is
+// bit-identical to a cold one — same fingerprints, same goldens — which
+// Audit and the sweep equivalence battery enforce.
+type RunSession interface {
+	Name() string
+	RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error)
+	// Audit resets the session and deep-diffs it against a freshly
+	// constructed one, returning one line per leaked field path (empty when
+	// the reset is clean). Pools and scratch whose capacity legitimately
+	// survives are exempt; any observational or decision-bearing state that
+	// differs is a reset bug.
+	Audit() []string
+}
+
+// SessionEnvironment is implemented by environments that support warm-run
+// sessions. The plain Environment/SeededEnvironment path remains the cold
+// fallback: RunSeeded on the environment itself builds a one-shot session,
+// so both paths execute literally the same code.
+type SessionEnvironment interface {
+	SeededEnvironment
+	NewSession() (RunSession, error)
+}
+
+// Session is the warm-run session over a KubernetesEnv. One engine, cluster,
+// manager, and (when a strategy is configured) one CWS with its provenance
+// store live for the session's lifetime; every RunSeeded after the first
+// resets them in place — the engine truncates its heaps and keeps its slab
+// tail, the cluster restores node capacity and rebuilds the segment index
+// over the same arrays, the manager and scheduler clear queues and pooled
+// records without dropping capacity, provenance and metrics truncate reusing
+// buffers. Per-run state (fault injector, RNG forks, retry policy, runtime
+// predictor) is constructed fresh each run in exactly the cold path's order.
+type Session struct {
+	env      KubernetesEnv // configuration copy; per-run knobs re-derive from it
+	name     string
+	predCtor func() predict.RuntimePredictor
+	strat    cwsi.Strategy
+
+	eng    *sim.Engine
+	cl     *cluster.Cluster
+	mgr    *rm.TaskManager
+	cws    *cwsi.CWS          // nil on the plain-FIFO path
+	runner *rm.MakespanRunner // non-nil on the plain-FIFO path
+	warm   bool
+}
+
+// NewSession implements SessionEnvironment: it validates the configuration
+// and constructs the substrate the session will reuse across runs.
+func (e *KubernetesEnv) NewSession() (RunSession, error) {
+	if e.Nodes <= 0 || (!e.Heterogeneous && e.CoresPerNode <= 0) {
+		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
+	}
+	predCtor, err := predict.ByName(e.Predict)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{env: *e, name: e.Name(), predCtor: predCtor, strat: e.effectiveStrategy()}
+	s.eng = sim.NewEngine()
+	if e.Sites > 1 {
+		s.eng.SetShards(e.Sites)
+	}
+	if e.Heterogeneous {
+		s.cl = cluster.Heterogeneous(s.eng, e.Nodes)
+	} else {
+		mem := e.MemPerNode
+		if mem == 0 {
+			mem = 1e12
+		}
+		s.cl = cluster.New(s.eng, "k8s", cluster.Spec{
+			Type:  cluster.NodeType{Name: "node", Cores: e.CoresPerNode, MemBytes: mem},
+			Count: e.Nodes,
+		})
+	}
+	s.mgr = rm.NewTaskManager(s.cl, nil)
+	if s.strat != nil {
+		// The predictor is per-run state (each run trains its own); Reset
+		// installs it at the top of every RunSeeded.
+		s.cws = cwsi.New(s.mgr, s.strat, nil)
+	} else {
+		s.runner = &rm.MakespanRunner{Manager: s.mgr}
+	}
+	return s, nil
+}
+
+// Name implements RunSession.
+func (s *Session) Name() string { return s.name }
+
+// reset returns the substrate to its just-constructed state. The CWS is
+// reset separately (RunSeeded hands it the run's predictor; Audit hands it
+// nil, matching a fresh construction).
+func (s *Session) reset() {
+	s.eng.Reset()
+	s.cl.Reset()
+	s.mgr.Reset()
+	if s.runner != nil {
+		s.runner.Reset()
+	}
+}
+
+// RunSeeded implements RunSession. The body is the cold KubernetesEnv run
+// path verbatim — same construction order, same fault-layer fork order
+// (injector, task plan, retry jitter), same knob arming — operating on the
+// session's retained substrate instead of freshly built objects.
+func (s *Session) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error) {
+	if s.warm {
+		s.reset()
+	}
+	s.warm = true
+	e := &s.env
+	res := &Result{Environment: s.name, TasksRun: w.Len()}
+
+	// Arm the fault layer. Fork order is fixed (injector, task plan, retry
+	// jitter) — it is part of the determinism contract.
+	var inj *fault.Injector
+	var retry fault.RetryPolicy
+	var retryRNG *randx.Source
+	var failAttempts map[dag.TaskID]int
+	if e.Faults.Enabled() {
+		if rng == nil {
+			return nil, fmt.Errorf("core: fault profile %q needs a seeded source", e.Faults.Name)
+		}
+		retry = e.Retry
+		if retry == (fault.RetryPolicy{}) {
+			retry = fault.DefaultRetryPolicy()
+		}
+		inj = fault.NewInjector(s.cl, rng.Fork(), e.Faults)
+		plan := e.Faults.PlanTaskFailures(w.Len(), rng.Fork())
+		failAttempts = make(map[dag.TaskID]int)
+		for i, t := range w.Tasks() {
+			if plan[i] > 0 {
+				failAttempts[t.ID] = plan[i]
+			}
+		}
+		retryRNG = rng.Fork()
+	}
+	runtime := func(t *dag.Task, n *cluster.Node) float64 {
+		d := rm.DefaultRuntime(t, n)
+		if inj != nil {
+			d *= inj.RuntimeScale()
+		}
+		return d
+	}
+
+	if s.cws == nil {
+		runner := s.runner
+		runner.Workflow, runner.WorkflowID, runner.Runtime = w, w.Name, runtime
+		if inj != nil {
+			runner.Retry = &retry
+			runner.RetryRNG = retryRNG
+			runner.Breaker = retry.NewBreaker()
+			runner.FailAttempts = failAttempts
+			runner.OnComplete = inj.Stop
+			inj.Start()
+		}
+		ms := runner.Run()
+		res.MakespanSec = float64(ms)
+		res.UtilizationCore = s.cl.Utilization(0, ms)
+		st := runner.Stats()
+		res.FailedAttempts = st.Failures
+		res.Retries = st.Retries
+		res.TerminalFailures = st.TerminalFailures + st.Skipped
+		res.BackoffSec = st.BackoffSec
+		return res, nil
+	}
+
+	var p predict.RuntimePredictor
+	if s.predCtor != nil {
+		p = s.predCtor()
+	} else if e.Predictor != nil {
+		p = e.Predictor()
+	}
+	cws := s.cws
+	// Reset unconditionally (a no-op on the first, still-fresh run): this is
+	// where the run's predictor and the configured strategy are installed,
+	// exactly as cwsi.New received them on the cold path.
+	cws.Reset(s.strat, p)
+	if s.predCtor != nil {
+		// Close the loop: online training from provenance is wired at
+		// construction; arm the consumers. Walltime-overrun kills need a retry
+		// policy to route through, so prediction-on fault-free runs install
+		// the recovery policy too (fork order: the retry jitter source is
+		// the run's only fork when no injector exists).
+		minS := e.PredictMinSamples
+		if minS <= 0 {
+			minS = 3
+		}
+		cws.SetMinPredictionSamples(minS)
+		cws.SetMemPredictor(predict.NewMem(0.2))
+		cws.SetOverrunPolicy(1.5, 2)
+		cws.EnablePredictedBackfill()
+		if inj == nil {
+			retry = e.Retry
+			if retry == (fault.RetryPolicy{}) {
+				retry = fault.DefaultRetryPolicy()
+			}
+			if rng != nil {
+				retryRNG = rng.Fork()
+			}
+			cws.SetRecovery(retry, retryRNG)
+		}
+	}
+	if err := cws.RegisterWorkflow(w.Name, w); err != nil {
+		return nil, err
+	}
+	finishPred := func() {
+		if s.predCtor == nil {
+			return
+		}
+		pe := cws.PredictionErrors()
+		res.PredSamples = pe.N
+		res.PredMAESec = pe.MAE()
+		res.PredMREPct = 100 * pe.MRE()
+	}
+	if inj == nil {
+		ms, err := cws.RunWorkflow(w.Name, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.MakespanSec = float64(ms)
+		res.UtilizationCore = s.cl.Utilization(0, ms)
+		res.Provenance = cws.Provenance()
+		// Overrun kills surface as recovery accounting even without faults;
+		// zero (hence fingerprint-neutral) on predictor-off runs.
+		st := cws.RecoveryStats()
+		res.FailedAttempts = st.FailedAttempts
+		res.Retries = st.Retries
+		res.TerminalFailures = st.TerminalFailures + st.Skipped
+		res.BackoffSec = st.BackoffSec
+		finishPred()
+		return res, nil
+	}
+	cws.SetRecovery(retry, retryRNG)
+	cws.SetFaultInjection(func(_ string, taskID dag.TaskID, attempt int) bool {
+		return attempt <= failAttempts[taskID]
+	})
+	var ms sim.Time
+	var runErr error
+	done := false
+	if err := cws.StartWorkflow(w.Name, 0, func(m sim.Time, err error) {
+		ms, runErr = m, err
+		done = true
+		inj.Stop()
+		if err != nil {
+			s.eng.Halt()
+		}
+	}); err != nil {
+		return nil, err
+	}
+	inj.Start()
+	s.eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !done {
+		return nil, fmt.Errorf("core: workflow %q stalled under faults", w.Name)
+	}
+	res.MakespanSec = float64(ms)
+	res.UtilizationCore = s.cl.Utilization(0, ms)
+	res.Provenance = cws.Provenance()
+	st := cws.RecoveryStats()
+	res.FailedAttempts = st.FailedAttempts
+	res.Retries = st.Retries
+	res.TerminalFailures = st.TerminalFailures + st.Skipped
+	res.BackoffSec = st.BackoffSec
+	finishPred()
+	return res, nil
+}
+
+// sessionAuditSkip exempts the fields a warm reset legitimately retains:
+// capacity pools, scratch buffers, slab tails, and memoized renderings, none
+// of which carry observational or decision-bearing state into the next run.
+var sessionAuditSkip = []string{
+	"core.Session.warm",           // the one intentional divergence
+	"sim.Engine.slab",             // slab tail is consumed, never reused
+	"cluster.Node.name",           // lazily memoized rendering of stable identity
+	"rm.TaskManager.orderScratch", // dispatch scratch, overwritten per pass
+	"rm.TaskManager.candScratch",
+	"rm.TaskManager.resScratch",
+	"rm.TaskManager.freeRunning", // pooled records, zeroed on recycle
+	"rm.MakespanRunner.freeAttempts",
+	"rm.MakespanRunner.idMemo", // memoized IDs, pure f(WorkflowID, TaskID)
+	"rm.MakespanRunner.idMemoWf",
+	"provenance.Store.freeIdx", // harvested index-slice capacity
+	"cwsi.CWS.freeRuns",
+	"cwsi.CWS.idScratch",
+	"cwsi.rmAdapter.keys", // priority-sort scratch, refilled per round
+}
+
+// Audit implements RunSession: it resets the session and deep-diffs it
+// against a freshly constructed one, field by field through every subsystem.
+// A non-empty result names each leaked path — for example, a fault-injection
+// predicate surviving Reset reports as cwsi.CWS.injectFail.
+func (s *Session) Audit() []string {
+	s.reset()
+	if s.cws != nil {
+		s.cws.Reset(s.strat, nil)
+	}
+	return s.auditDiff()
+}
+
+// auditDiff diffs the session's current state against a fresh construction
+// without resetting first — the seam negative tests use to prove that a
+// deliberately leaked field is caught and named.
+func (s *Session) auditDiff() []string {
+	fresh, err := s.env.NewSession()
+	if err != nil {
+		return []string{"audit: rebuilding fresh session: " + err.Error()}
+	}
+	return statediff.Diff(s, fresh, statediff.Config{Skip: sessionAuditSkip})
+}
+
+// NewSession implements SessionEnvironment for the streaming environment as
+// a cold passthrough: RunExpander's substrate is lean, folded, and O(window)
+// per run by design, so each run constructs it fresh. Without this override,
+// the promoted KubernetesEnv.NewSession would silently route streaming
+// sweeps through the eager path.
+func (e *StreamingEnv) NewSession() (RunSession, error) {
+	if e.Nodes <= 0 || e.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("core: kubernetes env needs nodes and cores")
+	}
+	return &coldSession{env: e}, nil
+}
+
+// ColdSession wraps a seeded environment in a cold-passthrough RunSession:
+// every run constructs the substrate fresh, so there is nothing to reset or
+// leak. Environments that embed KubernetesEnv but run on a different path
+// (e.g. lazy expansion) use this to override the promoted eager NewSession.
+func ColdSession(env SeededEnvironment) RunSession {
+	return &coldSession{env: env}
+}
+
+// coldSession satisfies RunSession by running cold every time: nothing is
+// retained, so there is nothing to reset or leak.
+type coldSession struct{ env SeededEnvironment }
+
+func (s *coldSession) Name() string { return s.env.Name() }
+
+func (s *coldSession) RunSeeded(w *dag.Workflow, rng *randx.Source) (*Result, error) {
+	return s.env.RunSeeded(w, rng)
+}
+
+func (s *coldSession) Audit() []string { return nil }

@@ -217,6 +217,38 @@ func New(mgr *rm.TaskManager, strategy Strategy, predictor predict.RuntimePredic
 	return c
 }
 
+// Reset returns the scheduler to its just-constructed state over the same
+// manager, installing the strategy and predictor the next run will use (the
+// arguments New would have received). Every per-run knob — memory predictor,
+// data bandwidth, recovery policy, fault injection, task observer, prediction
+// gates — reverts to its construction default, the provenance store truncates
+// in place, and the priority-cache generation restarts at 1 exactly as New
+// sets it. Construction wiring survives untouched: the provenance→predict
+// observer, the rmAdapter installed as the manager's strategy, and the
+// cluster OnNodeDown trace subscription are registered once in New and must
+// not be registered again on a warm substrate. Pooled attempt records and
+// scratch buffers are retained.
+func (c *CWS) Reset(strategy Strategy, predictor predict.RuntimePredictor) {
+	c.prov.Reset()
+	c.predictor = predictor
+	c.memPred = nil
+	c.strategy = strategy
+	clear(c.workflows)
+	c.dataBW = 0
+	clear(c.outputs)
+	c.prioGen = 1
+	clear(c.measuredSpeed)
+	c.recovery = nil
+	c.recoveryRNG = nil
+	c.injectFail = nil
+	c.recStats = RecoveryStats{}
+	c.observer = nil
+	c.minPredSamples = 0
+	c.overrunSlack, c.overrunInfl = 0, 0
+	c.overrunKills = 0
+	c.predErr = predict.Errors{}
+}
+
 // Provenance exposes the central provenance store (§3.3).
 func (c *CWS) Provenance() *provenance.Store { return c.prov }
 

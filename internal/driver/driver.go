@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hhcw/internal/compose"
 	"hhcw/internal/core"
@@ -31,10 +33,14 @@ type App struct {
 	traceOut   *string
 	provOut    *string
 	jsonOut    *bool
+	cpuOut     *string
+	memOut     *string
 
 	faults         fault.Profile
 	noFaults       bool
 	wroteArtifacts bool
+	cpuFile        *os.File
+	profilesDone   bool
 }
 
 // New creates an App named after the command and registers the common flags
@@ -48,6 +54,8 @@ func New(name, synopsis string) *App {
 	a.traceOut = fs.String("trace", "", "write a Chrome trace JSON of the run (provenance-enabled runs)")
 	a.provOut = fs.String("provenance", "", "write a W3C PROV-JSON document of the run (provenance-enabled runs)")
 	a.jsonOut = fs.Bool("json", false, "emit the report as machine-readable JSON (schema "+compose.Schema+")")
+	a.cpuOut = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	a.memOut = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "Usage: %s\n\n", synopsis)
 		fs.PrintDefaults()
@@ -104,6 +112,47 @@ func (a *App) Parse() {
 		a.Usagef("-faults %s is not supported by this command", *a.faultsName)
 	}
 	a.faults = faults
+	if *a.cpuOut != "" {
+		f, err := os.Create(*a.cpuOut)
+		if err != nil {
+			a.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			a.Fatalf("-cpuprofile: %v", err)
+		}
+		a.cpuFile = f
+	}
+}
+
+// stopProfiles flushes the -cpuprofile and -memprofile outputs. It runs on
+// every exit path (Emit, Fatalf, Usagef) and is idempotent, so a failed run
+// still leaves a usable CPU profile behind. Profile-writing errors are
+// reported to stderr directly — never through Fatalf, which would recurse.
+func (a *App) stopProfiles() {
+	if a.profilesDone {
+		return
+	}
+	a.profilesDone = true
+	if a.cpuFile != nil {
+		pprof.StopCPUProfile()
+		a.cpuFile.Close()
+		a.cpuFile = nil
+		a.Logf("wrote cpu profile %s (go tool pprof %s)", *a.cpuOut, *a.cpuOut)
+	}
+	if a.memOut != nil && *a.memOut != "" {
+		f, err := os.Create(*a.memOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", a.name, err)
+			return
+		}
+		runtime.GC() // materialize the live heap, not allocation noise
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", a.name, err)
+		}
+		f.Close()
+		a.Logf("wrote heap profile %s (go tool pprof %s)", *a.memOut, *a.memOut)
+	}
 }
 
 // Args returns the positional arguments left after flag parsing.
@@ -129,12 +178,14 @@ func (a *App) NewReport() *compose.Report {
 // Fatalf prints "name: message" to stderr and exits 1 — runtime failures.
 func (a *App) Fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, a.name+": "+format+"\n", args...)
+	a.stopProfiles()
 	os.Exit(1)
 }
 
 // Usagef prints "name: message" to stderr and exits 2 — flag/usage errors.
 func (a *App) Usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, a.name+": "+format+"\n", args...)
+	a.stopProfiles()
 	os.Exit(2)
 }
 
@@ -196,6 +247,7 @@ func (a *App) Emit(rep *compose.Report) {
 	if !a.wroteArtifacts && (*a.traceOut != "" || *a.provOut != "") {
 		a.Usagef("-trace/-provenance are not produced by this command mode")
 	}
+	a.stopProfiles()
 	if a.JSON() {
 		raw, err := rep.JSON()
 		a.Check(err)

@@ -101,6 +101,10 @@ type Store struct {
 	// observer, when set, sees every record AddTask ingests (see
 	// SetTaskObserver).
 	observer func(TaskRecord)
+	// freeIdx recycles the byWorkflow/byName index slices across Reset:
+	// warm sessions replay the same workflow shapes, so steady-state
+	// indexing reuses harvested capacity instead of regrowing from nil.
+	freeIdx [][]int
 }
 
 // NewStore returns an empty store.
@@ -115,6 +119,33 @@ func NewStore() *Store {
 		statByName: map[string]statAgg{},
 		workflows:  map[string]*dag.Workflow{},
 	}
+}
+
+// Reset empties the store in place: records, indexes, aggregates, node
+// events, and registered workflows are all cleared with their backing
+// capacity retained, and the per-run configuration (tenant resolver, compact
+// mode) reverts to the just-constructed default. The task observer survives:
+// it is construction-time wiring (the CWS trains predictors through it) and
+// warm sessions must not re-register it.
+func (s *Store) Reset() {
+	clear(s.records)
+	s.records = s.records[:0]
+	for _, v := range s.byWorkflow {
+		s.freeIdx = append(s.freeIdx, v[:0])
+	}
+	for _, v := range s.byName {
+		s.freeIdx = append(s.freeIdx, v[:0])
+	}
+	clear(s.byWorkflow)
+	clear(s.byName)
+	clear(s.refByName)
+	clear(s.statByName)
+	s.nodeEvents = s.nodeEvents[:0]
+	clear(s.workflows)
+	s.tenantOf = nil
+	clear(s.byTenant)
+	s.compact = false
+	s.folded = 0
 }
 
 // RegisterWorkflow stores workflow structure for lineage queries.
@@ -214,8 +245,16 @@ func (s *Store) AddTask(r TaskRecord) {
 	} else {
 		idx := len(s.records)
 		s.records = append(s.records, r)
-		s.byWorkflow[r.WorkflowID] = append(s.byWorkflow[r.WorkflowID], idx)
-		s.byName[r.Name] = append(s.byName[r.Name], idx)
+		wfIdx, ok := s.byWorkflow[r.WorkflowID]
+		if !ok {
+			wfIdx = s.popIdx()
+		}
+		s.byWorkflow[r.WorkflowID] = append(wfIdx, idx)
+		nameIdx, ok := s.byName[r.Name]
+		if !ok {
+			nameIdx = s.popIdx()
+		}
+		s.byName[r.Name] = append(nameIdx, idx)
 	}
 
 	if s.tenantOf != nil {
@@ -259,6 +298,17 @@ func (s *Store) AddTask(r TaskRecord) {
 	a.sum += float64(r.Runtime()) * sf
 	a.n++
 	s.refByName[r.Name] = a
+}
+
+// popIdx takes a zero-length, capacity-bearing index slice from the Reset
+// harvest, or nil when the pool is dry (a fresh key on a cold store).
+func (s *Store) popIdx() []int {
+	if n := len(s.freeIdx); n > 0 {
+		sl := s.freeIdx[n-1]
+		s.freeIdx = s.freeIdx[:n-1]
+		return sl
+	}
+	return nil
 }
 
 // MeanRefRuntime returns the running mean of the speed-normalized runtimes

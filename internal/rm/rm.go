@@ -262,6 +262,26 @@ func NewTaskManager(cl *cluster.Cluster, strategy Strategy) *TaskManager {
 	return m
 }
 
+// Reset returns the manager to its just-constructed state over the same
+// cluster and engine: the pending queue, running set, recorded waits, and all
+// gauges/counters are cleared in place with their capacity retained, and any
+// duration oracle is disarmed. Construction identity survives: the strategy,
+// lean mode, scratch buffers, pooled running records, and — critically — the
+// OnNodeDown/OnNodeUp subscriptions made by NewTaskManager, which must not be
+// re-registered on a warm cluster.
+func (m *TaskManager) Reset() {
+	clear(m.pending)
+	m.pending = m.pending[:0]
+	clear(m.running)
+	m.waits = m.waits[:0]
+	m.queueLen.Reset()
+	m.runningN.Reset()
+	m.completed.Reset()
+	m.failed.Reset()
+	m.oracle = nil
+	m.schedulePending = false
+}
+
 // Strategy returns the active scheduling strategy.
 func (m *TaskManager) Strategy() Strategy { return m.strategy }
 
@@ -593,6 +613,12 @@ type MakespanRunner struct {
 	// Done hook returns (retry closures capture the task, not the attempt),
 	// so steady-state submission allocates only at peak concurrency.
 	freeAttempts []*mrAttempt
+	// idMemo caches first-attempt submission IDs per task. An ID is a pure
+	// function of (WorkflowID, TaskID), so the memo survives Reset as a
+	// capacity cache and is cleared only when WorkflowID changes — warm
+	// sessions replaying the same workflow shape re-derive zero ID strings.
+	idMemo   map[dag.TaskID]string
+	idMemoWf string
 }
 
 // mrAttempt is one submission attempt of one task: the Submission and every
@@ -689,11 +715,26 @@ func (mr *MakespanRunner) Run() sim.Time {
 	if mr.Runtime == nil {
 		mr.Runtime = DefaultRuntime
 	}
-	mr.results = make(map[dag.TaskID]Result, mr.Workflow.Len())
+	// A runner is reusable across runs: the warm session keeps one and calls
+	// Run repeatedly, so every per-run accumulator starts from zero and the
+	// maps are cleared in place rather than reallocated.
+	mr.doneCount, mr.finishAt, mr.stats = 0, 0, RunStats{}
+	if mr.results == nil {
+		mr.results = make(map[dag.TaskID]Result, mr.Workflow.Len())
+		mr.remainingDeps = make(map[dag.TaskID]int, mr.Workflow.Len())
+		mr.skipped = make(map[dag.TaskID]bool)
+	} else {
+		clear(mr.results)
+		clear(mr.remainingDeps)
+		clear(mr.skipped)
+	}
+	if mr.idMemo == nil {
+		mr.idMemo = make(map[dag.TaskID]string, mr.Workflow.Len())
+	} else if mr.WorkflowID != mr.idMemoWf {
+		clear(mr.idMemo)
+	}
+	mr.idMemoWf = mr.WorkflowID
 	startAt := mr.Manager.eng.Now()
-
-	mr.remainingDeps = make(map[dag.TaskID]int, mr.Workflow.Len())
-	mr.skipped = make(map[dag.TaskID]bool)
 
 	for _, t := range mr.Workflow.Tasks() {
 		mr.remainingDeps[t.ID] = len(t.Deps)
@@ -719,7 +760,11 @@ func (mr *MakespanRunner) submit(t *dag.Task, attempt int) {
 		a = new(mrAttempt)
 	}
 	*a = mrAttempt{mr: mr, task: t, attempt: attempt}
-	id := mr.WorkflowID + "/" + string(t.ID)
+	id, ok := mr.idMemo[t.ID]
+	if !ok {
+		id = mr.WorkflowID + "/" + string(t.ID)
+		mr.idMemo[t.ID] = id
+	}
 	if attempt > 1 {
 		id = fmt.Sprintf("%s#%d", id, attempt)
 	}
@@ -768,6 +813,20 @@ func (mr *MakespanRunner) taskDone() {
 			mr.OnComplete()
 		}
 	}
+}
+
+// Reset clears every per-run field — workflow wiring, recovery policy, and
+// accounting — so a pooled runner audits identically to a zero one. The
+// Manager binding, pooled attempt records, the submission-ID memo, and map
+// capacity survive; the next Run starts from the same state a fresh runner
+// would.
+func (mr *MakespanRunner) Reset() {
+	mr.Workflow, mr.Runtime, mr.WorkflowID = nil, nil, ""
+	mr.Retry, mr.RetryRNG, mr.Breaker, mr.FailAttempts, mr.OnComplete = nil, nil, nil, nil, nil
+	mr.doneCount, mr.finishAt, mr.stats = 0, 0, RunStats{}
+	clear(mr.results)
+	clear(mr.remainingDeps)
+	clear(mr.skipped)
 }
 
 // Results returns per-task results after Run. Tasks skipped because an

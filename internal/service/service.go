@@ -14,6 +14,7 @@ import (
 	"hhcw/internal/randx"
 	"hhcw/internal/rm"
 	"hhcw/internal/sim"
+	"hhcw/internal/statediff"
 )
 
 // Tenant is one workload stream sharing the service's cluster.
@@ -200,10 +201,106 @@ func (sv *serviceRun) tenantOf(wfID string) *tenantState {
 	return sv.byID[wfID[:i]]
 }
 
+// Substrate is a warm service substrate: one engine + cluster + task manager
+// + CWS instance, reusable across any number of runs that share the same
+// cluster shape (Nodes, CoresPerNode, MemPerNode). Between runs the
+// substrate is reset in place — event queues truncated, node capacities
+// restored, scheduler and provenance state cleared — instead of rebuilt, so
+// an ensemble's steady-state construction cost is near zero. The determinism
+// contract is the same as core.Session's: a warm run is bit-identical to a
+// cold one, so reuse affects wall-clock and allocation only, never Results.
+// A Substrate is single-goroutine: share nothing, one per worker.
+type Substrate struct {
+	nodes, cores int
+	mem          float64
+
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	mgr  *rm.TaskManager
+	cws  *cwsi.CWS
+	warm bool
+}
+
+// NewSubstrate builds a cold substrate for the given cluster shape.
+// memPerNode <= 0 means the 1e12 default (memory out of the way). Returns
+// nil for a non-positive shape — runs on a nil Substrate fall back to the
+// cold path, where config validation reports the error.
+func NewSubstrate(nodes, coresPerNode int, memPerNode float64) *Substrate {
+	if nodes <= 0 || coresPerNode <= 0 {
+		return nil
+	}
+	if memPerNode <= 0 {
+		memPerNode = 1e12
+	}
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, "svc", cluster.Spec{
+		Type:  cluster.NodeType{Name: "svc-node", Cores: coresPerNode, GPUs: 2, MemBytes: memPerNode},
+		Count: nodes,
+	})
+	mgr := rm.NewTaskManager(cl, nil)
+	// The per-run strategy is installed by cws.Reset at the top of each run;
+	// Baseline here is just the construction placeholder.
+	cws := cwsi.New(mgr, cwsi.Baseline{}, nil)
+	return &Substrate{nodes: nodes, cores: coresPerNode, mem: memPerNode, eng: eng, cl: cl, mgr: mgr, cws: cws}
+}
+
+// matches reports whether the substrate's cluster shape serves cfg.
+func (sub *Substrate) matches(cfg *Config) bool {
+	if sub == nil {
+		return false
+	}
+	mem := cfg.MemPerNode
+	if mem <= 0 {
+		mem = 1e12
+	}
+	return sub.nodes == cfg.Nodes && sub.cores == cfg.CoresPerNode && sub.mem == mem
+}
+
+// reset truncates the engine/cluster/manager in place. The CWS is reset
+// separately (cws.Reset) because the per-run strategy is installed there.
+func (sub *Substrate) reset() {
+	sub.eng.Reset()
+	sub.cl.Reset()
+	sub.mgr.Reset()
+}
+
+// substrateAuditSkip lists the fields that legitimately survive a reset:
+// capacity pools and memoization caches whose contents are never observable
+// in a run's results (see the statediff package doc for the semantics).
+var substrateAuditSkip = []string{
+	"service.Substrate.warm",
+	"sim.Engine.slab",
+	"cluster.Node.name",
+	"rm.TaskManager.orderScratch",
+	"rm.TaskManager.candScratch",
+	"rm.TaskManager.resScratch",
+	"rm.TaskManager.freeRunning",
+	"provenance.Store.freeIdx",
+	"cwsi.CWS.freeRuns",
+	"cwsi.CWS.idScratch",
+	"cwsi.rmAdapter.keys",
+}
+
+// Audit resets the substrate and deep-diffs it against a freshly constructed
+// one, returning one "path: detail" line per leaked field (nil when clean) —
+// the service-mode arm of the warm-run dirty-state auditor.
+func (sub *Substrate) Audit() []string {
+	sub.reset()
+	sub.cws.Reset(cwsi.Baseline{}, nil)
+	fresh := NewSubstrate(sub.nodes, sub.cores, sub.mem)
+	return statediff.Diff(sub, fresh, statediff.Config{Skip: substrateAuditSkip})
+}
+
 // Run executes the service session and returns per-tenant accounting. It is
 // a pure function of (cfg, seed): bit-identical Results for equal inputs.
 func Run(cfg Config, seed int64) (*Result, error) {
-	return run(cfg, seed, -1)
+	return run(nil, cfg, seed, -1)
+}
+
+// Run executes the session on the warm substrate — bit-identical to the
+// package-level Run, minus the per-run substrate construction.
+func (sub *Substrate) Run(cfg Config, seed int64) (*Result, error) {
+	return run(sub, cfg, seed, -1)
 }
 
 // RunSolo executes the session with only tenant index `only` armed, on the
@@ -212,14 +309,23 @@ func Run(cfg Config, seed int64) (*Result, error) {
 // The solo run always schedules under FIFO: it measures the tenant's
 // uncontended behavior, not the strategy's.
 func RunSolo(cfg Config, seed int64, only int) (*Result, error) {
+	return runSolo(nil, cfg, seed, only)
+}
+
+// RunSolo is the warm-substrate form of the package-level RunSolo.
+func (sub *Substrate) RunSolo(cfg Config, seed int64, only int) (*Result, error) {
+	return runSolo(sub, cfg, seed, only)
+}
+
+func runSolo(sub *Substrate, cfg Config, seed int64, only int) (*Result, error) {
 	if only < 0 || only >= len(cfg.Tenants) {
 		return nil, fmt.Errorf("service: RunSolo tenant index %d out of range", only)
 	}
 	cfg.FairShare = false
-	return run(cfg, seed, only)
+	return run(sub, cfg, seed, only)
 }
 
-func run(cfg Config, seed int64, only int) (*Result, error) {
+func run(sub *Substrate, cfg Config, seed int64, only int) (*Result, error) {
 	if len(cfg.Tenants) == 0 {
 		return nil, fmt.Errorf("service: config needs at least one tenant")
 	}
@@ -229,22 +335,21 @@ func run(cfg Config, seed int64, only int) (*Result, error) {
 	if cfg.HorizonSec <= 0 {
 		return nil, fmt.Errorf("service: config needs a positive horizon")
 	}
-	mem := cfg.MemPerNode
-	if mem <= 0 {
-		mem = 1e12
-	}
 
-	eng := sim.NewEngine()
-	cl := cluster.New(eng, "svc", cluster.Spec{
-		Type:  cluster.NodeType{Name: "svc-node", Cores: cfg.CoresPerNode, GPUs: 2, MemBytes: mem},
-		Count: cfg.Nodes,
-	})
-	mgr := rm.NewTaskManager(cl, nil)
+	// Resolve the substrate: the caller's warm one when its shape serves the
+	// config, else a one-shot cold build (also the path of the package-level
+	// Run functions).
+	if !sub.matches(&cfg) {
+		sub = NewSubstrate(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode)
+	} else if sub.warm {
+		sub.reset()
+	}
+	sub.warm = true
 
 	sv := &serviceRun{
 		cfg:      cfg,
-		eng:      eng,
-		cl:       cl,
+		eng:      sub.eng,
+		cl:       sub.cl,
 		byID:     map[string]*tenantState{},
 		only:     only,
 		decayTau: cfg.FairShareDecaySec,
@@ -295,7 +400,10 @@ func run(cfg Config, seed int64, only int) (*Result, error) {
 	if cfg.FairShare {
 		strat = &FairShare{sv: sv}
 	}
-	sv.cws = cwsi.New(mgr, strat, nil)
+	// Reset installs the per-run strategy; on a fresh substrate it is the
+	// identity apart from that, so warm and cold runs see the same CWS.
+	sub.cws.Reset(strat, nil)
+	sv.cws = sub.cws
 	sv.cws.Provenance().SetTenantResolver(func(wfID string) string {
 		if i := strings.IndexByte(wfID, '/'); i >= 0 {
 			return wfID[:i]
@@ -312,7 +420,7 @@ func run(cfg Config, seed int64, only int) (*Result, error) {
 		if retry == (fault.RetryPolicy{}) {
 			retry = fault.DefaultRetryPolicy()
 		}
-		sv.inj = fault.NewInjector(cl, rng.Fork(), cfg.Faults)
+		sv.inj = fault.NewInjector(sub.cl, rng.Fork(), cfg.Faults)
 		sv.cws.SetRecovery(retry, rng.Fork())
 		if cfg.Faults.TaskFailProb > 0 {
 			sv.failPlans = map[string]map[dag.TaskID]int{}
@@ -330,7 +438,7 @@ func run(cfg Config, seed int64, only int) (*Result, error) {
 		sv.activeChains++
 		sv.armArrivals(ts)
 	}
-	eng.Run()
+	sub.eng.Run()
 	if sv.err != nil {
 		return nil, sv.err
 	}
@@ -543,12 +651,23 @@ func (sv *serviceRun) result(seed int64) *Result {
 // Solo*/inflation fields — the §6 pathology metric (contended p99 wait vs
 // solo) and the fairness SLO read straight off the returned Result.
 func RunWithBaselines(cfg Config, seed int64) (*Result, error) {
-	res, err := Run(cfg, seed)
+	return runWithBaselines(nil, cfg, seed)
+}
+
+// RunWithBaselines is the warm-substrate form: the contended run and all N
+// solo baselines execute on the one reused substrate — 1+N resets instead of
+// 1+N constructions.
+func (sub *Substrate) RunWithBaselines(cfg Config, seed int64) (*Result, error) {
+	return runWithBaselines(sub, cfg, seed)
+}
+
+func runWithBaselines(sub *Substrate, cfg Config, seed int64) (*Result, error) {
+	res, err := run(sub, cfg, seed, -1)
 	if err != nil {
 		return nil, err
 	}
 	for i := range res.Tenants {
-		solo, err := RunSolo(cfg, seed, i)
+		solo, err := runSolo(sub, cfg, seed, i)
 		if err != nil {
 			return nil, err
 		}

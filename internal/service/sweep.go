@@ -76,13 +76,25 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	}
 	type pair struct{ fifo, fair *Result }
 	pairs := make([]pair, cfg.Seeds)
-	err := sweep.ForEach(cfg.Seeds, cfg.Workers, cfg.Progress, func(idx int) error {
+	// One warm substrate per worker, built lazily from the scenario's shape
+	// and reused (reset in place) across every run the worker executes: both
+	// strategies, all seeds, and each run's per-tenant solo baselines. A nil
+	// substrate (degenerate scenario shape) runs cold, where validation
+	// reports the config error.
+	subs := make([]*Substrate, sweep.PoolWorkers(cfg.Seeds, cfg.Workers))
+	built := make([]bool, len(subs))
+	err := sweep.ForEachWorker(cfg.Seeds, cfg.Workers, cfg.Progress, func(worker, idx int) error {
 		seed := cfg.Seed0 + int64(idx)
-		fifo, err := RunWithBaselines(scen(false), seed)
+		if !built[worker] {
+			built[worker] = true
+			c := scen(false)
+			subs[worker] = NewSubstrate(c.Nodes, c.CoresPerNode, c.MemPerNode)
+		}
+		fifo, err := subs[worker].RunWithBaselines(scen(false), seed)
 		if err != nil {
 			return fmt.Errorf("service: fifo seed %d: %w", seed, err)
 		}
-		fair, err := RunWithBaselines(scen(true), seed)
+		fair, err := subs[worker].RunWithBaselines(scen(true), seed)
 		if err != nil {
 			return fmt.Errorf("service: fairshare seed %d: %w", seed, err)
 		}

@@ -26,6 +26,13 @@ type heap4 struct {
 
 func (h *heap4) len() int { return len(h.a) }
 
+// reset empties the heap in place, zeroing entries so *Event references are
+// dropped but keeping the backing array for reuse.
+func (h *heap4) reset() {
+	clear(h.a)
+	h.a = h.a[:0]
+}
+
 // min returns the smallest entry without removing it. Callers must check
 // len() > 0 first.
 func (h *heap4) min() entry { return h.a[0] }

@@ -108,6 +108,29 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its just-constructed state (clock at zero, no
+// history, nothing pending) while retaining allocated capacity: the heap
+// backing arrays, the batch buffer, and the shard layout all survive, and the
+// current slab tail keeps being consumed. Slabs are still never reused — an
+// Event handed out before Reset is never handed out again — so stale *Event
+// handles held across runs keep the no-aliasing Cancel semantics. The warm
+// contract is exact: an event population scheduled after Reset receives the
+// same seqs, pops in the same order, and fires at the same times as on a
+// fresh engine.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.fired, e.halted = 0, 0, 0, false
+	clear(e.batch)
+	e.batch = e.batch[:0]
+	e.batchNext = 0
+	e.queue.reset()
+	if e.shards != nil {
+		for i := range e.shards {
+			e.shards[i].reset()
+		}
+		e.shardCur, e.shardBar, e.shardN = 0, noEntry, 0
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -6,11 +6,15 @@
 // (CWS's 10.8 % average makespan cut, EnTK's ~90 % utilization) are stated.
 //
 // Determinism contract: the same Config (workflows, environments, seeds)
-// produces a bit-identical Report regardless of Workers. Every worker builds
-// its own sim.Engine, randx.Source, and Environment from the job's seed, so
-// nothing is shared mutably between goroutines, and the reduction folds
-// results in the fixed (workflow, env, seed) job order — never in completion
-// order.
+// produces a bit-identical Report regardless of Workers. Every worker owns
+// its substrate privately — a warm core.RunSession per environment, reset in
+// place between jobs, or a fresh Environment per job for envs that don't
+// support sessions — plus a fresh randx.Source per seed, so nothing is
+// shared mutably between goroutines, and the reduction folds results in the
+// fixed (workflow, env, seed) job order — never in completion order. The
+// warm path is bit-identical to the cold one (core.Session's contract,
+// enforced by the golden corpus), so session reuse affects wall-clock and
+// allocation only, never the Report.
 package sweep
 
 import (
@@ -38,6 +42,14 @@ type WorkflowSpec struct {
 type EnvSpec struct {
 	Name string
 	New  func() core.Environment
+	// NewSession, when non-nil, supplies a warm-run session for this env:
+	// each worker acquires one and reuses it (reset in place) across all of
+	// its jobs on this env instead of rebuilding the substrate per run. When
+	// nil, New's result is probed for core.SessionEnvironment and its
+	// NewSession is used; envs supporting neither run cold (a fresh New per
+	// job). A session-construction error falls back to the cold path so the
+	// underlying config error surfaces with normal job attribution.
+	NewSession func() (core.RunSession, error)
 }
 
 // Config describes one ensemble: the cartesian product of Workflows × Envs ×
@@ -148,10 +160,19 @@ func Run(cfg Config) (*Report, error) {
 	}
 	total := len(cfg.Workflows) * len(cfg.Envs) * len(cfg.Seeds)
 	results := make([]RunResult, total) // each index written by exactly one worker
-	err := ForEach(total, cfg.Workers, cfg.Progress, func(idx int) error {
+	// One warm-session cache per worker: slot [worker] is touched only by
+	// that worker's goroutine (ForEachWorker's contract), so session reuse
+	// needs no locking and never crosses goroutines.
+	sessions := make([]workerSessions, PoolWorkers(total, cfg.Workers))
+	err := ForEachWorker(total, cfg.Workers, cfg.Progress, func(worker, idx int) error {
 		j := jobAt(&cfg, idx)
-		rr, err := runOne(cfg, j)
+		sess := sessions[worker].acquire(&cfg, j.ei)
+		rr, err := runOne(cfg, j, sess)
 		if err != nil {
+			// The session may hold arbitrarily corrupted state after a panic;
+			// drop it so any jobs this worker still drains (the sweep aborts,
+			// but workers finish the queue) run on a fresh substrate.
+			sessions[worker].drop(j.ei)
 			return fmt.Errorf("sweep: %s on %s seed %d: %w",
 				cfg.Workflows[j.wi].Name, cfg.Envs[j.ei].Name, cfg.Seeds[j.si], err)
 		}
@@ -164,11 +185,63 @@ func Run(cfg Config) (*Report, error) {
 	return reduce(cfg, results), nil
 }
 
+// workerSessions caches one warm session per environment for a single
+// worker. Slots resolve lazily on first use — a worker that never draws jobs
+// for an env never builds its substrate — and a nil slot after resolution
+// means the env runs cold.
+type workerSessions struct {
+	slots []core.RunSession
+	tried []bool
+}
+
+func (ws *workerSessions) acquire(cfg *Config, ei int) core.RunSession {
+	if ws.slots == nil {
+		ws.slots = make([]core.RunSession, len(cfg.Envs))
+		ws.tried = make([]bool, len(cfg.Envs))
+	}
+	if !ws.tried[ei] {
+		ws.tried[ei] = true
+		ws.slots[ei] = newEnvSession(cfg.Envs[ei])
+	}
+	return ws.slots[ei]
+}
+
+// drop discards a possibly-corrupted session; the next acquire builds a
+// fresh one (fresh ≡ warm ≡ cold under the session determinism contract).
+func (ws *workerSessions) drop(ei int) {
+	if ws.slots != nil {
+		ws.slots[ei], ws.tried[ei] = nil, false
+	}
+}
+
+// newEnvSession resolves the warm session for one EnvSpec: the explicit
+// NewSession constructor when set, otherwise a probe of New's result for
+// core.SessionEnvironment. nil means the env runs every job cold — including
+// when session construction fails, so the underlying config error surfaces
+// through the cold path with normal job attribution instead of being
+// swallowed here.
+func newEnvSession(spec EnvSpec) core.RunSession {
+	if spec.NewSession != nil {
+		if s, err := spec.NewSession(); err == nil {
+			return s
+		}
+		return nil
+	}
+	if se, ok := spec.New().(core.SessionEnvironment); ok {
+		if s, err := se.NewSession(); err == nil {
+			return s
+		}
+	}
+	return nil
+}
+
 // runOne executes a single job in full isolation: its own Source seeded from
-// the job's seed, a freshly generated workflow, and a fresh environment. A
-// substrate panic (e.g. a stalled workflow) is converted into an error so one
-// bad seed aborts the sweep deterministically instead of killing the process.
-func runOne(cfg Config, j job) (rr RunResult, err error) {
+// the job's seed, a freshly generated workflow, and either the worker's warm
+// session for the job's env (reset in place before the run) or, when sess is
+// nil, a fresh environment. A substrate panic (e.g. a stalled workflow) is
+// converted into an error so one bad seed aborts the sweep deterministically
+// instead of killing the process.
+func runOne(cfg Config, j job, sess core.RunSession) (rr RunResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rr, err = RunResult{}, fmt.Errorf("panic: %v", p)
@@ -181,15 +254,19 @@ func runOne(cfg Config, j job) (rr RunResult, err error) {
 	if w == nil {
 		return RunResult{}, fmt.Errorf("generator returned nil workflow")
 	}
-	env := cfg.Envs[j.ei].New()
 	var res *core.Result
-	if se, ok := env.(core.SeededEnvironment); ok {
+	if sess != nil {
 		// Substrate randomness (fault injection) forks off the same source
 		// right after workflow generation, so a chaos run is a pure function
-		// of the job's seed — the same contract, now fault-aware.
-		res, err = se.RunSeeded(w, rng.Fork())
+		// of the job's seed — the same contract, now fault-aware and warm.
+		res, err = sess.RunSeeded(w, rng.Fork())
 	} else {
-		res, err = env.Run(w)
+		env := cfg.Envs[j.ei].New()
+		if se, ok := env.(core.SeededEnvironment); ok {
+			res, err = se.RunSeeded(w, rng.Fork())
+		} else {
+			res, err = env.Run(w)
+		}
 	}
 	if err != nil {
 		return RunResult{}, err
